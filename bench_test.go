@@ -1,0 +1,157 @@
+package rolap
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (IPDPS'03 §4, Figures 5-11 plus the §1/§4.1 headline
+// claims). Each benchmark runs the corresponding experiment sweep at a
+// reduced data scale (shapes, not absolute numbers, are the
+// reproduction target; see EXPERIMENTS.md) and reports the key
+// simulated-time metrics the paper plots. Run the full-size sweeps
+// with cmd/experiments -scale paper.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps each figure sweep to a few seconds of wall time.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		N1M: 15_000, N2M: 30_000, N10M: 60_000,
+		Procs: []int{1, 4, 16},
+		MaxP:  16,
+		Seed:  1,
+	}
+}
+
+func lastPoint(pts []experiments.SpeedupPoint) experiments.SpeedupPoint {
+	return pts[len(pts)-1]
+}
+
+// BenchmarkFig5_Speedup regenerates Figure 5: full-cube construction
+// time and relative speedup vs processor count for two data sizes.
+func BenchmarkFig5_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(benchScale())
+		res.Print(io.Discard)
+		small, large := res.Series[0], res.Series[1]
+		b.ReportMetric(lastPoint(small.Points).Speedup, "speedup-n1")
+		b.ReportMetric(lastPoint(large.Points).Speedup, "speedup-n2")
+		b.ReportMetric(small.SeqSeconds, "seqsim-sec")
+	}
+}
+
+// BenchmarkFig6_PartialCube regenerates Figure 6: partial-cube time
+// and speedup for 25/50/75/100% selected views.
+func BenchmarkFig6_PartialCube(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(benchScale())
+		res.Print(io.Discard)
+		b.ReportMetric(lastPoint(res.Series[0].Points).Speedup, "speedup-25pct")
+		b.ReportMetric(lastPoint(res.Series[3].Points).Speedup, "speedup-100pct")
+	}
+}
+
+// BenchmarkFig7_ScheduleTrees regenerates Figure 7: global vs local
+// schedule trees.
+func BenchmarkFig7_ScheduleTrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(benchScale())
+		res.Print(io.Discard)
+		b.ReportMetric(lastPoint(res.Global).Seconds, "global-sim-sec")
+		b.ReportMetric(lastPoint(res.Local).Seconds, "local-sim-sec")
+	}
+}
+
+// BenchmarkFig8_Skew regenerates Figure 8: time and merge-phase
+// communication volume vs Zipf skew.
+func BenchmarkFig8_Skew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.N1M = 30_000 // skew effects need data reduction headroom
+		res := experiments.Fig8(sc)
+		res.Print(io.Discard)
+		b.ReportMetric(res.Points[0].Seconds, "alpha0-sim-sec")
+		b.ReportMetric(res.Points[3].Seconds, "alpha3-sim-sec")
+		b.ReportMetric(res.Points[1].MergeMB, "alpha1-merge-MB")
+	}
+}
+
+// BenchmarkFig9_Cardinality regenerates Figure 9: cardinality mixes
+// A-D including the difficult skewed-leading-dimension input.
+func BenchmarkFig9_Cardinality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Procs = []int{1, 16}
+		res := experiments.Fig9(sc)
+		res.Print(io.Discard)
+		b.ReportMetric(lastPoint(res.Series[0].Points).Seconds, "mixA-sim-sec")
+		b.ReportMetric(lastPoint(res.Series[2].Points).Seconds, "mixC-sim-sec")
+		b.ReportMetric(lastPoint(res.Series[3].Points).Speedup, "mixD-speedup")
+	}
+}
+
+// BenchmarkFig10_Dimensionality regenerates Figure 10: time vs
+// dimensionality (d = 6..10).
+func BenchmarkFig10_Dimensionality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10(benchScale())
+		res.Print(io.Discard)
+		b.ReportMetric(res.Points[0].Seconds, "d6-sim-sec")
+		b.ReportMetric(res.Points[len(res.Points)-1].Seconds, "d10-sim-sec")
+	}
+}
+
+// BenchmarkFig11_Balance regenerates Figure 11: balance-threshold
+// tradeoffs (gamma = 3/5/7%).
+func BenchmarkFig11_Balance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(benchScale())
+		res.Print(io.Discard)
+		b.ReportMetric(lastPoint(res.Series[0].Points).Seconds, "gamma3-sim-sec")
+		b.ReportMetric(lastPoint(res.Series[2].Points).Seconds, "gamma7-sim-sec")
+	}
+}
+
+// BenchmarkHeadline regenerates the paper's headline table: input size
+// vs cube size and end-to-end build time at the full machine size.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Headline(benchScale())
+		res.Print(io.Discard)
+		b.ReportMetric(res.Entries[0].Seconds, "n2M-sim-sec")
+		b.ReportMetric(res.Entries[0].Expansion, "n2M-expansion")
+		b.ReportMetric(res.Entries[1].Seconds, "n10M-sim-sec")
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end public-API path (load,
+// build, query) that examples/quickstart exercises.
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in, err := NewInput(Schema{Dimensions: []Dimension{
+			{Name: "a", Cardinality: 32},
+			{Name: "b", Cardinality: 16},
+			{Name: "c", Cardinality: 8},
+			{Name: "d", Cardinality: 4},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < 20000; r++ {
+			vals := []uint32{uint32(r % 32), uint32(r % 16), uint32(r % 8), uint32(r % 4)}
+			if err := in.AddRow(vals, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cube, err := Build(in, Options{Processors: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cube.Aggregate([]string{"a", "c"}, []uint32{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cube.Metrics().SimSeconds, "sim-sec")
+	}
+}

@@ -1,0 +1,164 @@
+// Command cubegen generates a synthetic data set and builds its
+// (partial) data cube on the simulated shared-nothing multiprocessor,
+// reporting the paper's metrics: simulated wall-clock time, per-phase
+// breakdown, communication volume, merge case mix, and cube size.
+//
+// Usage:
+//
+//	cubegen [-n rows] [-d dims] [-cards 256,128,...] [-skew 0,0,...]
+//	        [-p procs] [-select pct] [-gamma 0.01] [-merge-gamma 0.03]
+//	        [-local-trees] [-fm] [-greedy] [-seed N] [-views]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/partialcube"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "number of input rows")
+	d := flag.Int("d", 8, "dimensions")
+	cardsFlag := flag.String("cards", "", "per-dimension cardinalities (default: the paper's 256,128,64,32,16,8,6,6 truncated/extended)")
+	skewFlag := flag.String("skew", "", "per-dimension Zipf alphas (default: no skew)")
+	p := flag.Int("p", 16, "processors")
+	selectPct := flag.Int("select", 100, "percentage of views to materialize (partial cube)")
+	gamma := flag.Float64("gamma", 0.01, "sample-sort balance threshold")
+	mergeGamma := flag.Float64("merge-gamma", 0.03, "merge case-2/3 threshold")
+	localTrees := flag.Bool("local-trees", false, "use per-processor (local) schedule trees")
+	fm := flag.Bool("fm", false, "use Flajolet-Martin view-size estimation")
+	greedy := flag.Bool("greedy", false, "use the greedy partial-cube planner")
+	seed := flag.Int64("seed", 1, "generator seed")
+	showViews := flag.Bool("views", false, "print per-view row counts")
+	flag.Parse()
+
+	cards, err := parseInts(*cardsFlag, *d, defaultCards(*d))
+	if err != nil {
+		fatal(err)
+	}
+	skews, err := parseFloats(*skewFlag, *d)
+	if err != nil {
+		fatal(err)
+	}
+	spec := gen.Spec{N: *n, D: *d, Cards: cards, Skews: skews, Seed: *seed}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{D: *d, Gamma: *gamma, MergeGamma: *mergeGamma}
+	if *localTrees {
+		cfg.Schedule = core.LocalTree
+	}
+	if *fm {
+		cfg.Estimator = core.FMEstimator
+	}
+	if *greedy {
+		cfg.Partial = partialcube.Greedy
+	}
+	if *selectPct < 100 {
+		cfg.Selected = partialcube.SelectPercent(*d, *selectPct, *seed)
+	}
+
+	g := gen.New(spec)
+	m := cluster.New(*p, costmodel.Default())
+	for r := 0; r < *p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, *p))
+	}
+	met := core.BuildCube(m, "raw", cfg)
+
+	fmt.Printf("input: n=%d d=%d cards=%v skew=%v seed=%d\n", *n, *d, cards, skews, *seed)
+	fmt.Printf("machine: p=%d  gamma=%.1f%%  merge-gamma=%.1f%%  trees=%s\n",
+		*p, *gamma*100, *mergeGamma*100, cfg.Schedule)
+	fmt.Printf("cube: %d views, %d rows, %.2f GB\n",
+		len(met.ViewRows), met.OutputRows, float64(met.OutputBytes)/1e9)
+	fmt.Printf("simulated wall clock: %.1f s\n", met.SimSeconds)
+	var phases []string
+	for name := range met.PhaseSeconds {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	for _, name := range phases {
+		fmt.Printf("  %-10s %8.1f s   (%6.1f MB moved)\n",
+			name, met.PhaseSeconds[name], float64(met.BytesByPhase[name])/1e6)
+	}
+	fmt.Printf("communication: %.1f MB total, %d supersteps, %d shifts, %d resorts\n",
+		float64(met.BytesMoved)/1e6, met.Supersteps, met.Shifts, met.Resorts)
+	fmt.Printf("merge cases: %v\n", met.CaseCounts)
+
+	if *showViews {
+		views := make([]lattice.ViewID, 0, len(met.ViewRows))
+		for v := range met.ViewRows {
+			views = append(views, v)
+		}
+		sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+		for _, v := range views {
+			fmt.Printf("  %-12s %12d rows\n", v, met.ViewRows[v])
+		}
+	}
+}
+
+func defaultCards(d int) []int {
+	paper := gen.PaperCards()
+	out := make([]int, d)
+	for i := range out {
+		if i < len(paper) {
+			out[i] = paper[i]
+		} else {
+			out[i] = paper[len(paper)-1]
+		}
+	}
+	return out
+}
+
+func parseInts(s string, d int, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("cubegen: %d cardinalities for %d dimensions", len(parts), d)
+	}
+	out := make([]int, d)
+	for i, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cubegen: bad cardinality %q", part)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFloats(s string, d int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("cubegen: %d skews for %d dimensions", len(parts), d)
+	}
+	out := make([]float64, d)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cubegen: bad skew %q", part)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestDefaultCards(t *testing.T) {
+	c := defaultCards(10)
+	if len(c) != 10 || c[0] != 256 || c[9] != 6 {
+		t.Fatalf("defaultCards(10) = %v", c)
+	}
+	c = defaultCards(3)
+	if len(c) != 3 || c[2] != 64 {
+		t.Fatalf("defaultCards(3) = %v", c)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("4,3,2", 3, nil)
+	if err != nil || got[1] != 3 {
+		t.Fatalf("parseInts: %v, %v", got, err)
+	}
+	if _, err := parseInts("4,3", 3, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := parseInts("a,b,c", 3, nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	def := []int{1, 2}
+	if got, _ := parseInts("", 2, def); got[1] != 2 {
+		t.Fatal("default not used")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0, 1.5", 2)
+	if err != nil || got[1] != 1.5 {
+		t.Fatalf("parseFloats: %v, %v", got, err)
+	}
+	if got, err := parseFloats("", 2); err != nil || got != nil {
+		t.Fatal("empty should be nil")
+	}
+	if _, err := parseFloats("1", 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

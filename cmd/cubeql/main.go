@@ -1,0 +1,205 @@
+// Command cubeql is an end-to-end ROLAP workbench: ingest a CSV fact
+// table, build its (partial) data cube on the simulated shared-nothing
+// cluster, optionally snapshot it, and answer group-by queries as CSV.
+//
+// Build and query in one shot:
+//
+//	cubeql -csv sales.csv -p 8 -group region,quarter -where product=widget
+//
+// Materialize only selected views and save a snapshot:
+//
+//	cubeql -csv sales.csv -select "region,quarter;region;" -save sales.cube
+//
+// Query a saved snapshot (no rebuild):
+//
+//	cubeql -snapshot sales.cube -group region
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rolap "repro"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV fact table to ingest")
+	measure := flag.String("measure", "measure", "measure column name (absent column = COUNT)")
+	procs := flag.Int("p", 4, "processors of the simulated cluster")
+	selectFlag := flag.String("select", "", "views to materialize, ';'-separated dimension lists (empty list = grand total); default full cube")
+	save := flag.String("save", "", "write a cube snapshot to this file")
+	snapshot := flag.String("snapshot", "", "load a cube snapshot instead of building")
+	groupFlag := flag.String("group", "", "comma-separated dimensions to group by")
+	whereFlag := flag.String("where", "", "comma-separated equality filters, dim=value")
+	minSupport := flag.Int64("min-support", 0, "iceberg threshold (keep groups with aggregate >= this)")
+	agg := flag.String("agg", "sum", "aggregate: sum, min, max")
+	flag.Parse()
+
+	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *groupFlag, *whereFlag, *minSupport, *agg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFlag, whereFlag string, minSupport int64, agg string) error {
+	var cube *rolap.Cube
+	var in *rolap.Input
+
+	switch {
+	case snapshot != "":
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cube, err = rolap.LoadCube(f)
+		if err != nil {
+			return err
+		}
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, err = rolap.LoadCSV(f, rolap.CSVOptions{MeasureColumn: measure})
+		if err != nil {
+			return err
+		}
+		opts := rolap.Options{Processors: procs, MinSupport: minSupport}
+		switch agg {
+		case "sum":
+		case "min":
+			opts.Aggregate = rolap.Min
+		case "max":
+			opts.Aggregate = rolap.Max
+		default:
+			return fmt.Errorf("cubeql: unknown aggregate %q", agg)
+		}
+		if sel, err := parseSelect(selectFlag); err != nil {
+			return err
+		} else if sel != nil {
+			opts.SelectedViews = sel
+		}
+		cube, err = rolap.Build(in, opts)
+		if err != nil {
+			return err
+		}
+		met := cube.Metrics()
+		fmt.Fprintf(os.Stderr, "built %d views, %d rows in %.1f simulated s on %d processors\n",
+			len(cube.Views()), met.OutputRows, met.SimSeconds, met.Processors)
+	default:
+		return fmt.Errorf("cubeql: need -csv or -snapshot")
+	}
+
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := cube.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", save)
+	}
+
+	if groupFlag == "" {
+		return nil
+	}
+	dims := splitList(groupFlag)
+	// Queries on a snapshot have no *Input dictionaries accessible here;
+	// the cube carries them internally, but filters arrive as strings,
+	// which we can only resolve with the build-time input. For
+	// snapshots, filters use numeric codes.
+	filters, err := parseWhere(whereFlag, in)
+	if err != nil {
+		return err
+	}
+	vw, err := cube.GroupBy(dims, filters)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		return vw.WriteCSV(os.Stdout, in)
+	}
+	// Snapshot path: print numeric codes.
+	fmt.Println(strings.Join(append(append([]string{}, vw.Attributes...), "measure"), ","))
+	for i := 0; i < vw.Len(); i++ {
+		key, m := vw.Row(i)
+		parts := make([]string, 0, len(key)+1)
+		for _, k := range key {
+			parts = append(parts, fmt.Sprint(k))
+		}
+		parts = append(parts, fmt.Sprint(m))
+		fmt.Println(strings.Join(parts, ","))
+	}
+	return nil
+}
+
+// parseSelect parses "a,b;c;" into view name lists; empty string means
+// full cube (nil). A trailing or standalone empty segment is the grand
+// total.
+func parseSelect(s string) ([][]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out [][]string
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			out = append(out, []string{})
+			continue
+		}
+		out = append(out, splitList(part))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cubeql: empty -select")
+	}
+	return out, nil
+}
+
+// parseWhere parses "dim=value,dim2=value2". String values are
+// resolved through the input's dictionaries when available; otherwise
+// they must be numeric codes.
+func parseWhere(s string, in *rolap.Input) (map[string]uint32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]uint32{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("cubeql: bad filter %q (want dim=value)", part)
+		}
+		dim, val := kv[0], kv[1]
+		if in != nil {
+			if code, ok := in.CodeOf(dim, val); ok {
+				out[dim] = code
+				continue
+			}
+		}
+		var code uint32
+		if _, err := fmt.Sscanf(val, "%d", &code); err != nil {
+			return nil, fmt.Errorf("cubeql: filter value %q is neither a known dictionary value nor a code", val)
+		}
+		out[dim] = code
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated list, trimming whitespace.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rolap "repro"
+)
+
+func TestParseSelect(t *testing.T) {
+	got, err := parseSelect("a,b; c ;")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("parseSelect: %v, %v", got, err)
+	}
+	if len(got[0]) != 2 || got[1][0] != "c" || len(got[2]) != 0 {
+		t.Fatalf("parseSelect contents: %v", got)
+	}
+	if got, _ := parseSelect(""); got != nil {
+		t.Fatal("empty should be nil (full cube)")
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	in, err := rolap.LoadCSV(strings.NewReader("city,measure\nparis,1\nlyon,2\n"), rolap.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseWhere("city=lyon", in)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("parseWhere: %v, %v", got, err)
+	}
+	if code, _ := in.CodeOf("city", "lyon"); got["city"] != code {
+		t.Fatalf("wrong code: %v", got)
+	}
+	// Numeric fallback without dictionaries.
+	got, err = parseWhere("x=3", nil)
+	if err != nil || got["x"] != 3 {
+		t.Fatalf("numeric filter: %v, %v", got, err)
+	}
+	for _, bad := range []string{"nov", "=3", "x=notanumber"} {
+		if _, err := parseWhere(bad, nil); err == nil {
+			t.Errorf("parseWhere(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	snapPath := filepath.Join(dir, "cube.bin")
+	facts := "region,product,measure\neast,widget,10\neast,nut,5\nwest,widget,7\n"
+	if err := os.WriteFile(csvPath, []byte(facts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Build + save + query.
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "", 0, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	// Query the snapshot.
+	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := run("", "measure", 2, "", "", "", "", "", 0, "sum"); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	if err := run(csvPath, "measure", 2, "", "", "", "", "", 0, "bogus"); err == nil {
+		t.Fatal("bad aggregate accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's evaluation (IPDPS'03 §4):
+// every figure plus the headline end-to-end claims, printed as text
+// tables.
+//
+// Usage:
+//
+//	experiments [-fig all|5|6|7|8|9|10|11|headline] [-scale default|paper|<multiplier>] [-procs 1,2,4,8,16] [-seed N]
+//
+// The default scale shrinks the paper's 1M/2M/10M-row data sets so the
+// full suite finishes in minutes; -scale paper runs the original sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: all, 5, 6, 7, 8, 9, 10, 11, headline")
+	scaleFlag := flag.String("scale", "default", "workload scale: default, paper, or a multiplier like 4")
+	procsFlag := flag.String("procs", "", "comma-separated processor sweep (default 1,2,4,8,16)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	sc, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	if *procsFlag != "" {
+		procs, err := parseProcs(*procsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Procs = procs
+		sc.MaxP = procs[len(procs)-1]
+	}
+
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *fig == "all" || *fig == name {
+			f()
+			fmt.Fprintln(w)
+		}
+	}
+	run("5", func() { experiments.Fig5(sc).Print(w) })
+	run("6", func() { experiments.Fig6(sc).Print(w) })
+	run("7", func() { experiments.Fig7(sc).Print(w) })
+	run("8", func() { experiments.Fig8(sc).Print(w) })
+	run("9", func() { experiments.Fig9(sc).Print(w) })
+	run("10", func() { experiments.Fig10(sc).Print(w) })
+	run("11", func() { experiments.Fig11(sc).Print(w) })
+	run("headline", func() { experiments.Headline(sc).Print(w) })
+	run("baseline", func() { experiments.Baseline(sc).Print(w) })
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "default":
+		return experiments.DefaultScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 {
+		return experiments.Scale{}, fmt.Errorf("experiments: bad -scale %q (want default, paper, or a positive multiplier)", s)
+	}
+	return experiments.Scaled(f), nil
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("experiments: bad -procs entry %q", part)
+		}
+		if len(out) > 0 && p <= out[len(out)-1] {
+			return nil, fmt.Errorf("experiments: -procs must be strictly increasing")
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty -procs")
+	}
+	return out, nil
+}

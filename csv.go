@@ -1,0 +1,204 @@
+package rolap
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSVOptions configures LoadCSV.
+type CSVOptions struct {
+	// Comma is the field delimiter (default ',').
+	Comma rune
+	// MeasureColumn names the measure column (default "measure"). All
+	// other columns become dimensions. If the named column is absent,
+	// every row gets measure 1 (COUNT semantics).
+	MeasureColumn string
+}
+
+// LoadCSV reads a fact table from CSV. The first record is the
+// header: every column except the measure column becomes a dimension
+// whose string values are dictionary-encoded into dense codes;
+// cardinalities are the observed distinct counts. The returned Input
+// remembers the dictionaries, so views gathered from the built cube
+// can decode values back to strings (View.Decode, View.WriteCSV).
+//
+// This is the ROLAP integration path the paper motivates: fact tables
+// arrive as relations, and every materialized view leaves as one.
+func LoadCSV(r io.Reader, opts CSVOptions) (*Input, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("rolap: reading CSV header: %w", err)
+	}
+	measureName := opts.MeasureColumn
+	if measureName == "" {
+		measureName = "measure"
+	}
+	measCol := -1
+	var dimNames []string
+	var dimCols []int
+	for c, name := range header {
+		if name == measureName && measCol == -1 {
+			measCol = c
+			continue
+		}
+		dimNames = append(dimNames, name)
+		dimCols = append(dimCols, c)
+	}
+	if len(dimNames) == 0 {
+		return nil, fmt.Errorf("rolap: CSV has no dimension columns")
+	}
+
+	// First pass: read all records, building dictionaries.
+	type rawRow struct {
+		codes []uint32
+		meas  int64
+	}
+	dicts := make([]map[string]uint32, len(dimNames))
+	values := make([][]string, len(dimNames)) // code -> string
+	for i := range dicts {
+		dicts[i] = map[string]uint32{}
+	}
+	var rows []rawRow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rolap: reading CSV line %d: %w", line, err)
+		}
+		row := rawRow{codes: make([]uint32, len(dimNames)), meas: 1}
+		for k, c := range dimCols {
+			if c >= len(rec) {
+				return nil, fmt.Errorf("rolap: CSV line %d has %d fields, header has %d", line, len(rec), len(header))
+			}
+			v := rec[c]
+			code, ok := dicts[k][v]
+			if !ok {
+				code = uint32(len(values[k]))
+				dicts[k][v] = code
+				values[k] = append(values[k], v)
+			}
+			row.codes[k] = code
+		}
+		if measCol >= 0 {
+			if measCol >= len(rec) {
+				return nil, fmt.Errorf("rolap: CSV line %d missing measure column", line)
+			}
+			m, err := strconv.ParseInt(rec[measCol], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rolap: CSV line %d: bad measure %q", line, rec[measCol])
+			}
+			row.meas = m
+		}
+		rows = append(rows, row)
+	}
+
+	// Build the schema from observed cardinalities and load the rows.
+	schema := Schema{Dimensions: make([]Dimension, len(dimNames))}
+	for k, name := range dimNames {
+		card := len(values[k])
+		if card == 0 {
+			card = 1 // empty input: keep the schema valid
+		}
+		schema.Dimensions[k] = Dimension{Name: name, Cardinality: card}
+	}
+	in, err := NewInput(schema)
+	if err != nil {
+		return nil, err
+	}
+	in.dicts = values
+	for _, row := range rows {
+		if err := in.AddRow(row.codes, row.meas); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// Decode renders a dimension code as its original string. For inputs
+// without dictionaries (NewInput), the numeric code is rendered.
+func (in *Input) Decode(dim string, code uint32) string {
+	for u, d := range in.schema.Dimensions {
+		if d.Name == dim {
+			if in.dicts != nil && int(code) < len(in.dicts[u]) {
+				return in.dicts[u][code]
+			}
+			return strconv.FormatUint(uint64(code), 10)
+		}
+	}
+	return strconv.FormatUint(uint64(code), 10)
+}
+
+// WriteCSV writes the view as a relational table: a header with the
+// attribute names plus "measure", then one record per group, decoded
+// through the input's dictionaries when available.
+func (v *View) WriteCSV(w io.Writer, in *Input) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, v.Attributes...), "measure")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(v.Attributes)+1)
+	for i := 0; i < v.Len(); i++ {
+		key, m := v.Row(i)
+		for c, attr := range v.Attributes {
+			rec[c] = in.Decode(attr, key[c])
+		}
+		rec[len(rec)-1] = strconv.FormatInt(m, 10)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DimensionValues returns the distinct values of a dimension in code
+// order (dictionary inputs only; nil otherwise), for building query
+// UIs over the cube.
+func (in *Input) DimensionValues(dim string) []string {
+	if in.dicts == nil {
+		return nil
+	}
+	for u, d := range in.schema.Dimensions {
+		if d.Name == dim {
+			return append([]string(nil), in.dicts[u]...)
+		}
+	}
+	return nil
+}
+
+// CodeOf returns the dictionary code of a dimension value (dictionary
+// inputs only), for building queries from user-facing strings.
+func (in *Input) CodeOf(dim, value string) (uint32, bool) {
+	if in.dicts == nil {
+		return 0, false
+	}
+	for u, d := range in.schema.Dimensions {
+		if d.Name == dim {
+			// The dictionaries are stored code->string; invert lazily.
+			for code, s := range in.dicts[u] {
+				if s == value {
+					return uint32(code), true
+				}
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// sortedNames is a test helper exposed for deterministic assertions.
+func sortedNames(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

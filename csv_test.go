@@ -1,0 +1,169 @@
+package rolap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const salesCSV = `region,product,quarter,measure
+east,widget,Q1,100
+east,widget,Q2,150
+east,gadget,Q1,80
+west,widget,Q1,200
+west,gadget,Q3,60
+west,gadget,Q3,40
+`
+
+func TestLoadCSV(t *testing.T) {
+	in, err := LoadCSV(strings.NewReader(salesCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 6 {
+		t.Fatalf("rows = %d, want 6", in.Len())
+	}
+	schema := in.Schema()
+	if len(schema.Dimensions) != 3 {
+		t.Fatalf("dims = %v", schema.Dimensions)
+	}
+	// Observed cardinalities: region 2, product 2, quarter 3.
+	byName := map[string]int{}
+	for _, d := range schema.Dimensions {
+		byName[d.Name] = d.Cardinality
+	}
+	if byName["region"] != 2 || byName["product"] != 2 || byName["quarter"] != 3 {
+		t.Fatalf("cardinalities wrong: %v", byName)
+	}
+	// Dictionary round trips.
+	code, ok := in.CodeOf("region", "west")
+	if !ok || in.Decode("region", code) != "west" {
+		t.Fatal("dictionary round trip failed")
+	}
+	if vals := in.DimensionValues("quarter"); len(vals) != 3 || vals[0] != "Q1" {
+		t.Fatalf("DimensionValues = %v", vals)
+	}
+	if _, ok := in.CodeOf("region", "north"); ok {
+		t.Fatal("phantom value decoded")
+	}
+}
+
+func TestCSVBuildAndQueryByName(t *testing.T) {
+	in, err := LoadCSV(strings.NewReader(salesCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	east, _ := in.CodeOf("region", "east")
+	got, err := cube.Aggregate([]string{"region"}, []uint32{east})
+	if err != nil || got != 330 {
+		t.Fatalf("east total = %d (%v), want 330", got, err)
+	}
+	q3, _ := in.CodeOf("quarter", "Q3")
+	got, err = cube.Aggregate([]string{"quarter"}, []uint32{q3})
+	if err != nil || got != 100 {
+		t.Fatalf("Q3 total = %d (%v), want 100", got, err)
+	}
+}
+
+func TestViewWriteCSV(t *testing.T) {
+	in, err := LoadCSV(strings.NewReader(salesCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := cube.View([]string{"region", "product"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vw.WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 { // header + 4 (region,product) groups
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "measure") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+	if !strings.Contains(out, "east,widget,250") && !strings.Contains(out, "widget,east,250") {
+		t.Fatalf("expected east/widget=250 group:\n%s", out)
+	}
+}
+
+func TestLoadCSVNoMeasureColumn(t *testing.T) {
+	// Without a measure column every row counts 1.
+	csvData := "a,b\nx,1\nx,2\ny,1\n"
+	in, err := LoadCSV(strings.NewReader(csvData), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := in.CodeOf("a", "x")
+	got, err := cube.Aggregate([]string{"a"}, []uint32{x})
+	if err != nil || got != 2 {
+		t.Fatalf("count(x) = %d (%v), want 2", got, err)
+	}
+}
+
+func TestLoadCSVCustomDelimiterAndMeasure(t *testing.T) {
+	csvData := "city;qty\nparis;5\nparis;7\n"
+	in, err := LoadCSV(strings.NewReader(csvData), CSVOptions{Comma: ';', MeasureColumn: "qty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Build(in, Options{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := cube.Aggregate(nil, nil)
+	if total != 12 {
+		t.Fatalf("total = %d, want 12", total)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // no header
+		"measure\n5\n",       // no dimensions
+		"a,measure\nx\n",     // short record is a csv error
+		"a,measure\nx,nan\n", // bad measure
+	}
+	for i, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), CSVOptions{}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDecodeWithoutDictionaries(t *testing.T) {
+	in, _ := NewInput(testSchema())
+	if got := in.Decode("store", 7); got != "7" {
+		t.Fatalf("Decode = %q", got)
+	}
+	if in.DimensionValues("store") != nil {
+		t.Fatal("expected nil values without dictionaries")
+	}
+	if _, ok := in.CodeOf("store", "7"); ok {
+		t.Fatal("CodeOf should fail without dictionaries")
+	}
+}
+
+func TestSortedNamesHelper(t *testing.T) {
+	in := []string{"b", "a"}
+	out := sortedNames(in)
+	if out[0] != "a" || in[0] != "b" {
+		t.Fatal("sortedNames must not mutate input")
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a full data cube over a small fact table on a
+// simulated 4-processor shared-nothing cluster and run point queries
+// against the materialized views.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rolap "repro"
+)
+
+func main() {
+	// A fact table: sales events over three dimensions. Dimension
+	// values are dense integer codes in [0, cardinality).
+	schema := rolap.Schema{Dimensions: []rolap.Dimension{
+		{Name: "store", Cardinality: 64},
+		{Name: "product", Cardinality: 32},
+		{Name: "month", Cardinality: 12},
+	}}
+	in, err := rolap.NewInput(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50_000; i++ {
+		err := in.AddRow([]uint32{
+			uint32(rng.Intn(64)),
+			uint32(rng.Intn(32)),
+			uint32(rng.Intn(12)),
+		}, int64(rng.Intn(500))) // revenue in cents
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build the full cube: all 2^3 = 8 group-bys, distributed over 4
+	// simulated processors with private disks.
+	cube, err := rolap.Build(in, rolap.Options{Processors: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	met := cube.Metrics()
+	fmt.Printf("built %d views (%d rows) in %.2f simulated seconds on %d processors\n",
+		len(cube.Views()), met.OutputRows, met.SimSeconds, met.Processors)
+
+	// Point queries. Each hits the exact materialized view.
+	total, _ := cube.Aggregate(nil, nil)
+	fmt.Printf("total revenue:              %d\n", total)
+
+	byStore, _ := cube.Aggregate([]string{"store"}, []uint32{7})
+	fmt.Printf("revenue of store 7:         %d\n", byStore)
+
+	byPair, _ := cube.Aggregate([]string{"store", "month"}, []uint32{7, 11})
+	fmt.Printf("store 7 in December:        %d\n", byPair)
+
+	// Scan a whole view.
+	vw, err := cube.View([]string{"month"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monthly totals (%v):\n", vw.Attributes)
+	for i := 0; i < vw.Len(); i++ {
+		key, revenue := vw.Row(i)
+		fmt.Printf("  month %2d: %d\n", key[0], revenue)
+	}
+}

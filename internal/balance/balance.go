@@ -1,0 +1,48 @@
+// Package balance implements the relative-imbalance metric the paper
+// uses to decide when data must be rebalanced:
+//
+//	I(y0..yp-1) = max{ (ymax - yavg)/yavg, (yavg - ymin)/yavg }
+//
+// Adaptive–Sample–Sort triggers its "global shift" when I exceeds γ
+// (default 1%), and Merge–Partitions distinguishes Case 2 from Case 3
+// views by comparing I against γ (default 3%).
+package balance
+
+// Imbalance returns I(sizes). It is 0 for empty input, perfectly
+// balanced input, or an all-zero distribution.
+func Imbalance(sizes []int) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	min, max, sum := sizes[0], sizes[0], 0
+	for _, y := range sizes {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+		sum += y
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(sizes))
+	hi := (float64(max) - avg) / avg
+	lo := (avg - float64(min)) / avg
+	if hi > lo {
+		return hi
+	}
+	return lo
+}
+
+// Targets returns the balanced target boundaries for redistributing a
+// total of n items over p parts: part k owns global positions
+// [Targets[k], Targets[k+1]). len(result) == p+1.
+func Targets(n, p int) []int {
+	t := make([]int, p+1)
+	for k := 0; k <= p; k++ {
+		t[k] = k * n / p
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImbalanceBasics(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		want  float64
+	}{
+		{nil, 0},
+		{[]int{5}, 0},
+		{[]int{10, 10, 10}, 0},
+		{[]int{0, 0, 0}, 0},
+		{[]int{20, 10}, 1.0 / 3},     // avg 15: (20-15)/15 = 1/3
+		{[]int{0, 10, 20}, 1},        // avg 10: (10-0)/10 = 1
+		{[]int{9, 10, 11}, 1.0 / 10}, // avg 10
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.sizes); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.sizes, got, c.want)
+		}
+	}
+}
+
+func TestImbalanceProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return Imbalance(nil) == 0
+		}
+		sizes := make([]int, len(raw))
+		allEqual := true
+		for i, v := range raw {
+			sizes[i] = int(v)
+			if v != raw[0] {
+				allEqual = false
+			}
+		}
+		I := Imbalance(sizes)
+		if I < 0 {
+			return false
+		}
+		if allEqual && I != 0 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]int, len(sizes))
+		for i := range sizes {
+			scaled[i] = sizes[i] * 7
+		}
+		return math.Abs(Imbalance(scaled)-I) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	got := Targets(10, 4)
+	want := []int{0, 2, 5, 7, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Targets(10,4) = %v, want %v", got, want)
+		}
+	}
+	// Target sizes are balanced within 1.
+	for k := 0; k < 4; k++ {
+		size := got[k+1] - got[k]
+		if size < 2 || size > 3 {
+			t.Fatalf("target part %d has size %d", k, size)
+		}
+	}
+}
+
+func TestTargetsImbalanceWithinOne(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw%16) + 1
+		ts := Targets(n, p)
+		if ts[0] != 0 || ts[p] != n {
+			return false
+		}
+		for k := 0; k < p; k++ {
+			size := ts[k+1] - ts[k]
+			if size < n/p || size > n/p+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

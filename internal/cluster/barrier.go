@@ -1,0 +1,75 @@
+package cluster
+
+import "sync"
+
+// abortSignal is panicked inside barrier waiters when another processor
+// has failed, so that SPMD goroutines unwind instead of deadlocking.
+type abortSignal struct{}
+
+// barrier is a reusable generation-counting barrier for a fixed party
+// size, with abort support: once aborted, all current and future
+// waiters panic with abortSignal.
+type barrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	size int
+	n    int
+	gen  uint64
+	err  error
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all parties arrive. A size-1 barrier returns
+// immediately.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		panic(abortSignal{})
+	}
+	b.n++
+	if b.n == b.size {
+		b.n = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for b.gen == gen && b.err == nil {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		panic(abortSignal{})
+	}
+}
+
+// abort records the first failure and releases all waiters.
+func (b *barrier) abort(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+}
+
+// abortErr returns the recorded failure, if any.
+func (b *barrier) abortErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// reset clears abort state so the machine can be reused after a
+// propagated failure (primarily for tests).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.err = nil
+	b.n = 0
+}

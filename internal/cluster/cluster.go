@@ -1,0 +1,371 @@
+// Package cluster simulates the paper's shared-nothing multiprocessor
+// (Figure 2a): p processors P0..Pp-1, each with private memory and a
+// private local disk, connected by a switch. There is no shared memory
+// or shared disk visible to the algorithm; processors interact only
+// through the collective operations of this package, mirroring the MPI
+// primitives the paper uses (MPI_Alltoallv h-relations, broadcast,
+// gather).
+//
+// Execution model: Run launches one goroutine per processor executing
+// the same SPMD body, so the algorithm really runs in parallel on the
+// host. Timing model: each processor owns a costmodel.Clock charged for
+// its local CPU and disk work; every collective is a BSP superstep that
+// (1) synchronizes all clocks to the maximum (the barrier wait) and
+// (2) charges each processor h-relation communication time, where h is
+// the maximum of its bytes sent and received in the superstep. The
+// machine's simulated wall-clock time is the maximum clock at the end,
+// exactly the paper's "wall clock time between the start of the first
+// process and the termination of the last process".
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+// Machine is a simulated shared-nothing multiprocessor.
+type Machine struct {
+	p      int
+	params costmodel.Params
+	procs  []*Proc
+
+	bar *barrier
+
+	// Superstep exchange state. matrix[src][dst] carries point-to-point
+	// payloads; slot[src] carries one-per-processor payloads; times[src]
+	// carries clock postings for BSP synchronization.
+	matrix [][]any
+	slot   []any
+	times  []float64
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats aggregates communication over a run.
+type Stats struct {
+	BytesMoved int64            // total bytes crossing the network
+	Messages   int64            // total point-to-point messages
+	Supersteps int64            // number of collective supersteps
+	ByPhase    map[string]int64 // bytes moved per phase label
+}
+
+// Proc is one simulated processor: a rank, a private clock, and a
+// private disk. SPMD bodies receive their Proc and must not touch any
+// other processor's state except through collectives.
+type Proc struct {
+	rank  int
+	m     *Machine
+	clock *costmodel.Clock
+	disk  *simdisk.Disk
+	phase string
+}
+
+// New returns a machine with p processors using the given cost
+// parameters.
+func New(p int, params costmodel.Params) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("cluster: need at least one processor, got %d", p))
+	}
+	m := &Machine{
+		p:      p,
+		params: params,
+		bar:    newBarrier(p),
+		matrix: make([][]any, p),
+		slot:   make([]any, p),
+		times:  make([]float64, p),
+		stats:  Stats{ByPhase: make(map[string]int64)},
+	}
+	for i := range m.matrix {
+		m.matrix[i] = make([]any, p)
+	}
+	m.procs = make([]*Proc, p)
+	for i := 0; i < p; i++ {
+		clk := costmodel.NewClock(params)
+		m.procs[i] = &Proc{rank: i, m: m, clock: clk, disk: simdisk.New(clk)}
+	}
+	return m
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.p }
+
+// Params returns the machine's cost parameters.
+func (m *Machine) Params() costmodel.Params { return m.params }
+
+// Proc returns processor i, for pre-loading its disk before Run and
+// inspecting it afterwards.
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// Stats returns a copy of the accumulated communication statistics.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.ByPhase = make(map[string]int64, len(m.stats.ByPhase))
+	for k, v := range m.stats.ByPhase {
+		s.ByPhase[k] = v
+	}
+	return s
+}
+
+// SimSeconds returns the simulated makespan: the maximum clock over all
+// processors.
+func (m *Machine) SimSeconds() float64 {
+	max := 0.0
+	for _, p := range m.procs {
+		if s := p.clock.Seconds(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Run executes body on every processor concurrently and blocks until
+// all finish. If any processor panics, every other processor is
+// released from its barrier waits and Run re-panics with the first
+// failure.
+func (m *Machine) Run(body func(*Proc)) {
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	for i := 0; i < m.p; i++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(abortSignal); !isAbort {
+						m.bar.abort(fmt.Errorf("cluster: processor %d panicked: %v", p.rank, r))
+					}
+				}
+			}()
+			body(p)
+		}(m.procs[i])
+	}
+	wg.Wait()
+	if err := m.bar.abortErr(); err != nil {
+		m.bar.reset()
+		panic(err)
+	}
+}
+
+// Rank returns the processor's rank in [0, P).
+func (p *Proc) Rank() int { return p.rank }
+
+// P returns the number of processors in the machine.
+func (p *Proc) P() int { return p.m.p }
+
+// Clock returns the processor's simulated clock.
+func (p *Proc) Clock() *costmodel.Clock { return p.clock }
+
+// Disk returns the processor's private disk.
+func (p *Proc) Disk() *simdisk.Disk { return p.disk }
+
+// SetPhase labels subsequent communication for per-phase statistics
+// (e.g. the merge phase bytes of Figure 8b).
+func (p *Proc) SetPhase(name string) { p.phase = name }
+
+// account records communication volume attributed to this processor's
+// sends.
+func (p *Proc) account(bytesSent int64, msgs int64) {
+	m := p.m
+	m.mu.Lock()
+	m.stats.BytesMoved += bytesSent
+	m.stats.Messages += msgs
+	if p.phase != "" {
+		m.stats.ByPhase[p.phase] += bytesSent
+	}
+	m.mu.Unlock()
+}
+
+// superstep performs the two-barrier BSP exchange protocol around a
+// collective. post must write this processor's payloads into the
+// exchange state; read must consume payloads destined to this
+// processor. sent and recv are this processor's byte counts for the
+// h-relation charge; msgs is its message count.
+func (p *Proc) superstep(post func(), read func(), sent, recv, msgs int) {
+	m := p.m
+	post()
+	m.times[p.rank] = p.clock.Seconds()
+	m.bar.wait()
+
+	// All postings visible. Synchronize to the slowest processor, then
+	// pay for this processor's share of the h-relation.
+	tmax := 0.0
+	for _, t := range m.times {
+		if t > tmax {
+			tmax = t
+		}
+	}
+	read()
+	p.clock.AdvanceTo(tmax)
+	h := sent
+	if recv > h {
+		h = recv
+	}
+	p.clock.AddComm(h, msgs)
+	p.account(int64(sent), int64(msgs))
+	if p.rank == 0 {
+		m.mu.Lock()
+		m.stats.Supersteps++
+		m.mu.Unlock()
+	}
+
+	// Second barrier: nobody may start posting the next superstep until
+	// everyone has read this one.
+	m.bar.wait()
+}
+
+// Barrier synchronizes all processors and their clocks without moving
+// data.
+func Barrier(p *Proc) {
+	p.superstep(func() {}, func() {}, 0, 0, 0)
+}
+
+// Broadcast sends root's value to every processor and returns it.
+// bytes is the modelled payload size; the root is charged for p-1
+// outgoing copies.
+func Broadcast[T any](p *Proc, root int, val T, bytes int) T {
+	m := p.m
+	var out T
+	sent, recv, msgs := 0, 0, 0
+	if p.rank == root {
+		sent = bytes * (m.p - 1)
+		msgs = m.p - 1
+	} else {
+		recv = bytes
+	}
+	p.superstep(
+		func() {
+			if p.rank == root {
+				m.slot[root] = val
+			}
+		},
+		func() { out = m.slot[root].(T) },
+		sent, recv, msgs,
+	)
+	return out
+}
+
+// Gather collects one value from every processor at root. Only the
+// root receives the slice (indexed by rank); others get nil. bytes is
+// the per-processor payload size.
+func Gather[T any](p *Proc, root int, val T, bytes int) []T {
+	m := p.m
+	var out []T
+	sent, recv, msgs := 0, 0, 0
+	if p.rank == root {
+		recv = bytes * (m.p - 1)
+	} else {
+		sent = bytes
+		msgs = 1
+	}
+	p.superstep(
+		func() { m.slot[p.rank] = val },
+		func() {
+			if p.rank == root {
+				out = make([]T, m.p)
+				for i := 0; i < m.p; i++ {
+					out[i] = m.slot[i].(T)
+				}
+			}
+		},
+		sent, recv, msgs,
+	)
+	return out
+}
+
+// AllGather collects one value from every processor at every processor.
+func AllGather[T any](p *Proc, val T, bytes int) []T {
+	m := p.m
+	out := make([]T, m.p)
+	p.superstep(
+		func() { m.slot[p.rank] = val },
+		func() {
+			for i := 0; i < m.p; i++ {
+				out[i] = m.slot[i].(T)
+			}
+		},
+		bytes*(m.p-1), bytes*(m.p-1), m.p-1,
+	)
+	return out
+}
+
+// AllToAll performs the h-relation at the heart of the algorithm
+// (MPI_Alltoallv): out[k] is this processor's payload for processor k;
+// the result's element j is the payload processor j addressed to this
+// processor. bytesOf models each payload's wire size; local delivery
+// (k == rank) is free.
+func AllToAll[T any](p *Proc, out []T, bytesOf func(T) int) []T {
+	m := p.m
+	if len(out) != m.p {
+		panic(fmt.Sprintf("cluster: AllToAll payload count %d, want %d", len(out), m.p))
+	}
+	sent, msgs := 0, 0
+	for k, v := range out {
+		if k != p.rank {
+			if b := bytesOf(v); b > 0 {
+				sent += b
+				msgs++
+			}
+		}
+	}
+	in := make([]T, m.p)
+	recv := 0
+	p.superstep(
+		func() {
+			for k, v := range out {
+				m.matrix[p.rank][k] = v
+			}
+		},
+		func() {
+			for j := 0; j < m.p; j++ {
+				in[j] = m.matrix[j][p.rank].(T)
+				if j != p.rank {
+					recv += bytesOf(in[j])
+				}
+			}
+		},
+		sent, recv, msgs,
+	)
+	return in
+}
+
+// AllToAllTables is AllToAll for record tables, with byte accounting
+// from the tables' modelled sizes. nil entries are treated as empty.
+func AllToAllTables(p *Proc, out []*record.Table) []*record.Table {
+	return AllToAll(p, out, func(t *record.Table) int {
+		if t == nil {
+			return 0
+		}
+		return t.Bytes()
+	})
+}
+
+// Reduce combines one value per processor at root with a left fold over
+// ranks 0..p-1; non-roots receive the zero value.
+func Reduce[T any](p *Proc, root int, val T, bytes int, combine func(a, b T) T) T {
+	vals := Gather(p, root, val, bytes)
+	var acc T
+	if p.rank == root {
+		acc = vals[0]
+		for _, v := range vals[1:] {
+			acc = combine(acc, v)
+		}
+	}
+	return acc
+}
+
+// AllReduce combines one value per processor and delivers the result
+// everywhere.
+func AllReduce[T any](p *Proc, val T, bytes int, combine func(a, b T) T) T {
+	vals := AllGather(p, val, bytes)
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = combine(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+)
+
+func newMachine(p int) *Machine { return New(p, costmodel.Default()) }
+
+func TestRunExecutesAllProcessors(t *testing.T) {
+	m := newMachine(8)
+	var ran [8]int32
+	m.Run(func(p *Proc) {
+		atomic.AddInt32(&ran[p.Rank()], 1)
+		if p.P() != 8 {
+			t.Errorf("P() = %d, want 8", p.P())
+		}
+	})
+	for i, r := range ran {
+		if r != 1 {
+			t.Fatalf("processor %d ran %d times", i, r)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := newMachine(5)
+	var got [5]int
+	m.Run(func(p *Proc) {
+		val := -1
+		if p.Rank() == 2 {
+			val = 42
+		}
+		got[p.Rank()] = Broadcast(p, 2, val, 8)
+	})
+	for i, v := range got {
+		if v != 42 {
+			t.Fatalf("processor %d got %d, want 42", i, v)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := newMachine(4)
+	var atRoot []int
+	m.Run(func(p *Proc) {
+		res := Gather(p, 0, p.Rank()*10, 8)
+		if p.Rank() == 0 {
+			atRoot = res
+		} else if res != nil {
+			t.Errorf("non-root %d received %v", p.Rank(), res)
+		}
+	})
+	for i, v := range atRoot {
+		if v != i*10 {
+			t.Fatalf("gathered[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	m := newMachine(4)
+	var all [4][]int
+	m.Run(func(p *Proc) {
+		all[p.Rank()] = AllGather(p, p.Rank()+1, 8)
+	})
+	for r := 0; r < 4; r++ {
+		for i, v := range all[r] {
+			if v != i+1 {
+				t.Fatalf("proc %d allgather[%d] = %d, want %d", r, i, v, i+1)
+			}
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	p := 4
+	m := newMachine(p)
+	var got [4][]int
+	m.Run(func(pr *Proc) {
+		out := make([]int, p)
+		for k := range out {
+			out[k] = pr.Rank()*100 + k // message "from rank to k"
+		}
+		got[pr.Rank()] = AllToAll(pr, out, func(int) int { return 8 })
+	})
+	for me := 0; me < p; me++ {
+		for j := 0; j < p; j++ {
+			if got[me][j] != j*100+me {
+				t.Fatalf("proc %d from %d = %d, want %d", me, j, got[me][j], j*100+me)
+			}
+		}
+	}
+}
+
+func TestAllToAllTables(t *testing.T) {
+	p := 3
+	m := newMachine(p)
+	var total [3]int64
+	m.Run(func(pr *Proc) {
+		out := make([]*record.Table, p)
+		for k := range out {
+			tb := record.New(1, 1)
+			tb.Append([]uint32{uint32(pr.Rank())}, int64(k))
+			out[k] = tb
+		}
+		out[(pr.Rank()+1)%p] = nil // nil payloads allowed
+		in := AllToAllTables(pr, out)
+		var sum int64
+		for _, tb := range in {
+			if tb != nil {
+				sum += tb.TotalMeasure()
+			}
+		}
+		total[pr.Rank()] = sum
+	})
+	// Each processor k receives measure k from every sender that kept it.
+	for me := 0; me < p; me++ {
+		var want int64
+		for src := 0; src < p; src++ {
+			if (src+1)%p != me {
+				want += int64(me)
+			}
+		}
+		if total[me] != want {
+			t.Fatalf("proc %d total = %d, want %d", me, total[me], want)
+		}
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	m := newMachine(6)
+	var red [6]int
+	var allred [6]int
+	m.Run(func(p *Proc) {
+		red[p.Rank()] = Reduce(p, 0, p.Rank()+1, 8, func(a, b int) int { return a + b })
+		allred[p.Rank()] = AllReduce(p, p.Rank()+1, 8, func(a, b int) int { return a + b })
+	})
+	if red[0] != 21 {
+		t.Fatalf("Reduce at root = %d, want 21", red[0])
+	}
+	for i := 1; i < 6; i++ {
+		if red[i] != 0 {
+			t.Fatalf("Reduce at non-root %d = %d, want 0", i, red[i])
+		}
+	}
+	for i, v := range allred {
+		if v != 21 {
+			t.Fatalf("AllReduce at %d = %d, want 21", i, v)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := newMachine(3)
+	m.Run(func(p *Proc) {
+		// Processor 1 does much more local work.
+		if p.Rank() == 1 {
+			p.Clock().AddCompute(12e6) // 1 second at default rate
+		}
+		Barrier(p)
+	})
+	// After the barrier all clocks advanced to the slowest.
+	for i := 0; i < 3; i++ {
+		if s := m.Proc(i).Clock().Seconds(); s < 0.99 {
+			t.Fatalf("processor %d clock %v, want >= ~1s", i, s)
+		}
+	}
+	if m.SimSeconds() < 0.99 {
+		t.Fatalf("SimSeconds = %v", m.SimSeconds())
+	}
+}
+
+func TestCommunicationChargesTime(t *testing.T) {
+	m := newMachine(2)
+	payload := 12_500_000 // 1 second at default 12.5 MB/s
+	m.Run(func(p *Proc) {
+		out := make([]*record.Table, 2)
+		tb := record.New(0, payload/record.RowBytes(0))
+		for i := 0; i < payload/record.RowBytes(0); i++ {
+			tb.Append(nil, 1)
+		}
+		out[1-p.Rank()] = tb
+		AllToAllTables(p, out)
+	})
+	for i := 0; i < 2; i++ {
+		if c := m.Proc(i).Clock().CommSeconds(); c < 0.9 {
+			t.Fatalf("processor %d comm seconds = %v, want ~1", i, c)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := newMachine(4)
+	m.Run(func(p *Proc) {
+		p.SetPhase("merge")
+		out := make([]int, 4)
+		AllToAll(p, out, func(int) int { return 100 })
+		p.SetPhase("")
+		Barrier(p)
+	})
+	st := m.Stats()
+	// Each of 4 procs sends 3 off-rank payloads of 100 bytes.
+	if st.BytesMoved != 1200 {
+		t.Fatalf("BytesMoved = %d, want 1200", st.BytesMoved)
+	}
+	if st.Messages != 12 {
+		t.Fatalf("Messages = %d, want 12", st.Messages)
+	}
+	if st.ByPhase["merge"] != 1200 {
+		t.Fatalf("ByPhase[merge] = %d, want 1200", st.ByPhase["merge"])
+	}
+	if st.Supersteps != 2 {
+		t.Fatalf("Supersteps = %d, want 2", st.Supersteps)
+	}
+}
+
+func TestLocalDeliveryIsFree(t *testing.T) {
+	m := newMachine(1)
+	m.Run(func(p *Proc) {
+		in := AllToAll(p, []int{7}, func(int) int { return 1 << 20 })
+		if in[0] != 7 {
+			t.Errorf("self-delivery failed: %v", in)
+		}
+	})
+	if st := m.Stats(); st.BytesMoved != 0 {
+		t.Fatalf("BytesMoved = %d, want 0 for self-delivery", st.BytesMoved)
+	}
+}
+
+func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
+	m := newMachine(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from Run")
+		}
+		if !strings.Contains(r.(error).Error(), "processor 2") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.Rank() == 2 {
+			panic("boom")
+		}
+		Barrier(p) // others would deadlock here without abort support
+	})
+}
+
+func TestProcDisksAreIndependent(t *testing.T) {
+	m := newMachine(3)
+	m.Run(func(p *Proc) {
+		tb := record.New(1, 1)
+		tb.Append([]uint32{uint32(p.Rank())}, 1)
+		p.Disk().Put("mine", tb)
+	})
+	for i := 0; i < 3; i++ {
+		tb := m.Proc(i).Disk().MustGet("mine")
+		if tb.Dim(0, 0) != uint32(i) {
+			t.Fatalf("disk %d holds %v", i, tb)
+		}
+	}
+}
+
+func TestManySuperstepsStress(t *testing.T) {
+	m := newMachine(8)
+	m.Run(func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			v := AllReduce(p, 1, 4, func(a, b int) int { return a + b })
+			if v != 8 {
+				t.Errorf("round %d: AllReduce = %d", i, v)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+// Package core implements Procedure 1 of the paper,
+// Parallel–Shared–Nothing–Data–Cube: for each dimension Di (in
+// decreasing cardinality order), (1) partition the data — every
+// processor locally aggregates its raw share into its Di-root, the
+// union is globally sorted by (Di,...,Dd-1) with Adaptive–Sample–Sort,
+// and re-aggregated locally; (2) build the local Di-partition with the
+// Pipesort schedule tree planned by P0 and broadcast (or per-processor
+// local trees, the §4.2 baseline); (3) merge the p local copies of
+// every view with Merge–Partitions. Partial cubes (§3) replace the
+// schedule-tree construction with the partial-cube planner and merge
+// only the selected views.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/estimate"
+	"repro/internal/extsort"
+	"repro/internal/lattice"
+	"repro/internal/mergepart"
+	"repro/internal/partialcube"
+	"repro/internal/pipesort"
+	"repro/internal/record"
+	"repro/internal/samplesort"
+)
+
+// ScheduleMode selects between the paper's global schedule trees
+// (P0 plans, everyone follows — the recommended configuration) and
+// per-processor local trees (each processor plans from its own data;
+// merge must re-sort disagreeing views).
+type ScheduleMode int
+
+const (
+	// GlobalTree is the paper's method: one tree, broadcast by P0.
+	GlobalTree ScheduleMode = iota
+	// LocalTree lets each processor plan from its own statistics.
+	LocalTree
+)
+
+func (s ScheduleMode) String() string {
+	if s == LocalTree {
+		return "local"
+	}
+	return "global"
+}
+
+// EstimatorKind selects the view-size estimator driving planning.
+type EstimatorKind int
+
+const (
+	// CardenasEstimator uses the analytic balls-in-cells formula on
+	// locally measured per-dimension cardinalities.
+	CardenasEstimator EstimatorKind = iota
+	// FMEstimator uses Flajolet–Martin probabilistic counting over the
+	// local data (the paper's reference [6]).
+	FMEstimator
+)
+
+// Config parameterizes a cube build.
+type Config struct {
+	// D is the data dimensionality.
+	D int
+	// Selected lists the views to materialize; nil means the full cube.
+	Selected []lattice.ViewID
+	// Gamma is the Adaptive–Sample–Sort shift threshold for raw-data
+	// partitioning (paper default 1%).
+	Gamma float64
+	// MergeGamma is the Merge–Partitions Case 2/3 threshold (paper
+	// default 3%).
+	MergeGamma float64
+	// Schedule selects global (default) or local schedule trees.
+	Schedule ScheduleMode
+	// Estimator selects the view-size estimator (default Cardenas).
+	Estimator EstimatorKind
+	// Partial selects the partial-cube planner when Selected is a
+	// proper subset (default Pruned).
+	Partial partialcube.Kind
+	// SampleCap overrides the spaced-sample size (default 100p).
+	SampleCap int
+	// FMBitmaps is the sketch width for FMEstimator (default 64).
+	FMBitmaps int
+	// Agg is the aggregate operator applied to measures (default
+	// record.OpSum; COUNT is OpSum over unit measures).
+	Agg record.AggOp
+	// MinSupport, when > 0, builds an iceberg cube (Beyer-Ramakrishnan;
+	// Ng et al. [18] on PC clusters): only groups whose aggregate is >=
+	// MinSupport are kept in the output views. The filter is applied to
+	// the final merged views, so it is exact for any operator.
+	MinSupport int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma == 0 {
+		c.Gamma = 0.01
+	}
+	if c.MergeGamma == 0 {
+		c.MergeGamma = 0.03
+	}
+	if c.FMBitmaps == 0 {
+		c.FMBitmaps = 64
+	}
+	return c
+}
+
+// ViewFile names the disk file holding a view's local slice.
+func ViewFile(v lattice.ViewID) string { return "cube." + v.String() }
+
+// Metrics aggregates a parallel cube build.
+type Metrics struct {
+	P          int
+	SimSeconds float64
+	// PhaseSeconds is the per-phase makespan contribution (max over
+	// processors of local phase time): "partition", "plan", "build",
+	// "merge".
+	PhaseSeconds map[string]float64
+	BytesMoved   int64
+	BytesByPhase map[string]int64
+	Supersteps   int64
+	// CPUSeconds, DiskSeconds and CommSeconds break the makespan
+	// processor's clock into components (taken from the processor that
+	// finished last). The paper's §4.1 notes that overlapping
+	// communication with local computation would mask 40-60% of the
+	// communication overhead; MaskableCommFraction is CommSeconds over
+	// the makespan, the upper bound of that optimization.
+	CPUSeconds  float64
+	DiskSeconds float64
+	CommSeconds float64
+	Shifts      int // global shifts triggered by Adaptive–Sample–Sort
+	Resorts     int // views re-sorted during merge (local-tree mode)
+	CaseCounts  map[mergepart.Case]int
+	OutputRows  int64
+	OutputBytes int64
+	ViewRows    map[lattice.ViewID]int64
+	// ViewOrders records each selected view's materialized attribute
+	// order (the merge target order agreed by P0).
+	ViewOrders map[lattice.ViewID]lattice.Order
+}
+
+// procOut captures per-processor observations during the SPMD run.
+type procOut struct {
+	phase   map[string]float64
+	shifts  int
+	resorts int
+	cases   map[mergepart.Case]int
+	orders  map[lattice.ViewID]lattice.Order
+}
+
+// BuildCube runs Procedure 1 on the machine. Every processor's disk
+// must hold its share of the raw data under rawFile (n/p records each,
+// D dimension columns in canonical order). On return, each selected
+// view v is distributed across the processors' disks under
+// ViewFile(v), globally sorted in its attribute order, balanced within
+// the merge threshold.
+func BuildCube(m *cluster.Machine, rawFile string, cfg Config) Metrics {
+	cfg = cfg.withDefaults()
+	if cfg.D < 1 || cfg.D > lattice.MaxDims {
+		panic(fmt.Sprintf("core: bad dimensionality %d", cfg.D))
+	}
+	sel := cfg.Selected
+	if sel == nil {
+		sel = lattice.AllViews(cfg.D)
+	}
+	outs := make([]*procOut, m.P())
+	m.Run(func(p *cluster.Proc) {
+		out := &procOut{
+			phase:  map[string]float64{},
+			cases:  map[mergepart.Case]int{},
+			orders: map[lattice.ViewID]lattice.Order{},
+		}
+		outs[p.Rank()] = out
+		buildOnProc(p, rawFile, cfg, sel, out)
+	})
+	return collectMetrics(m, sel, outs)
+}
+
+// buildOnProc is the SPMD body of Procedure 1.
+func buildOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.ViewID, out *procOut) {
+	d := cfg.D
+	disk := p.Disk()
+	clk := p.Clock()
+	phase := func(name string) func() {
+		p.SetPhase(name)
+		start := clk.Seconds()
+		return func() { out.phase[name] += clk.Seconds() - start }
+	}
+
+	for i := 0; i < d; i++ {
+		partViews := lattice.Partition(i, d)
+		partSel := lattice.PartitionSubset(i, d, sel)
+		if len(partSel) == 0 {
+			continue // nothing selected in this partition (partial cube)
+		}
+		root := lattice.Root(i, d)
+		rootOrder := lattice.Canonical(root)
+		rootFile := ViewFile(root)
+
+		// ---- Step 1: data partitioning. ----
+		done := phase("partition")
+		// 1a: local Di-root = sort + scan of the local raw share.
+		raw := disk.MustGet(rawFile)
+		clk.AddCompute(costmodel.ScanOps(raw.Len()))
+		disk.Put(rootFile, raw.Project([]int(rootOrder)))
+		extsort.Sort(disk, rootFile)
+		localAggregate(p, rootFile, cfg.Agg)
+		// 1b: global sort of the union of the local roots.
+		sres := samplesort.Sort(p, rootFile, cfg.Gamma)
+		if sres.Shifted {
+			out.shifts++
+		}
+		// 1c: local re-aggregation of the received slice.
+		localAggregate(p, rootFile, cfg.Agg)
+		done()
+
+		// ---- Step 2: local Di-partition. ----
+		done = phase("plan")
+		tree := planTree(p, cfg, i, partViews, partSel, root, rootOrder, rootFile)
+		done()
+
+		done = phase("build")
+		sampleCap := cfg.SampleCap
+		if sampleCap == 0 {
+			sampleCap = 100 * p.P()
+		}
+		pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg})
+		done()
+
+		// ---- Step 3: merge of the local Di-partitions. ----
+		done = phase("merge")
+		targets := mergeTargets(p, tree, partSel)
+		for k, v := range partSel {
+			out.orders[v] = targets[k]
+			my := tree.Node(v).Order
+			r := mergepart.MergeViewOp(p, ViewFile(v), v, my, targets[k], rootOrder, cfg.MergeGamma, cfg.Agg)
+			if r.Resorted {
+				out.resorts++
+			}
+			out.cases[r.Case]++
+			if cfg.MinSupport > 0 {
+				icebergFilter(p, ViewFile(v), cfg.MinSupport)
+			}
+		}
+		// Drop intermediate views a partial plan materialized.
+		selSet := map[lattice.ViewID]bool{}
+		for _, v := range partSel {
+			selSet[v] = true
+		}
+		tree.Walk(func(n *lattice.Node) {
+			if !selSet[n.View] {
+				disk.Remove(ViewFile(n.View))
+			}
+		})
+		done()
+	}
+}
+
+// icebergFilter drops groups whose final aggregate falls below the
+// iceberg threshold (one scan and a rewrite of the survivors).
+func icebergFilter(p *cluster.Proc, file string, minSupport int64) {
+	disk := p.Disk()
+	t := disk.MustTake(file)
+	p.Clock().AddCompute(costmodel.ScanOps(t.Len()))
+	kept := record.New(t.D, 0)
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		if t.Meas(i) >= minSupport {
+			kept.AppendFrom(t, i)
+		}
+	}
+	disk.Put(file, kept)
+}
+
+// localAggregate rewrites a sorted file with adjacent duplicate keys
+// collapsed (the "sequential scan" halves of Steps 1a and 1c).
+func localAggregate(p *cluster.Proc, file string, op record.AggOp) {
+	disk := p.Disk()
+	t := disk.MustTake(file)
+	p.Clock().AddCompute(costmodel.ScanOps(t.Len()))
+	disk.Put(file, record.AggregateSortedOp(t, t.D, op))
+}
+
+// planTree performs Steps 2a/2b: P0 plans and broadcasts in global
+// mode; every processor plans its own tree in local mode.
+func planTree(p *cluster.Proc, cfg Config, i int, partViews, partSel []lattice.ViewID, root lattice.ViewID, rootOrder lattice.Order, rootFile string) *lattice.Tree {
+	needPlan := cfg.Schedule == LocalTree || p.Rank() == 0
+	var tree *lattice.Tree
+	if needPlan {
+		sizer := makeSizer(p, cfg, rootFile, rootOrder)
+		if len(partSel) == len(partViews) {
+			tree = pipesort.Plan(cfg.D, root, rootOrder, partViews, sizer)
+		} else {
+			tree = partialcube.Plan(cfg.Partial, cfg.D, root, rootOrder, partViews, partSel, sizer)
+		}
+		if fm, ok := sizer.(*estimate.FMSizer); ok {
+			p.Clock().AddCompute(fm.ScanOps)
+		}
+	}
+	if cfg.Schedule == GlobalTree {
+		// Two-step broadcast: size, then the tree itself.
+		bytes := 0
+		if p.Rank() == 0 {
+			bytes = tree.EncodedBytes()
+		}
+		bytes = cluster.Broadcast(p, 0, bytes, 8)
+		tree = cluster.Broadcast(p, 0, tree, bytes)
+	}
+	return tree
+}
+
+// makeSizer builds the view-size estimator from this processor's local
+// root slice — the paper's "statistical estimates based on the data
+// available".
+func makeSizer(p *cluster.Proc, cfg Config, rootFile string, rootOrder lattice.Order) estimate.Sizer {
+	disk := p.Disk()
+	t := disk.MustGet(rootFile)
+	switch cfg.Estimator {
+	case FMEstimator:
+		return estimate.NewFM(t, rootOrder, cfg.FMBitmaps)
+	default:
+		p.Clock().AddCompute(costmodel.ScanOps(t.Len()) * float64(len(rootOrder)))
+		cards := estimate.MeasureCardinalities(t, rootOrder)
+		return estimate.NewCardenas(int64(t.Len()), cards)
+	}
+}
+
+// mergeTargets agrees on the per-view merge orders: P0's
+// materialization orders, broadcast to everyone. In global-tree mode
+// these always equal the local orders; in local-tree mode they may
+// differ, triggering merge-time re-sorts.
+func mergeTargets(p *cluster.Proc, tree *lattice.Tree, partSel []lattice.ViewID) []lattice.Order {
+	orders := make([]lattice.Order, len(partSel))
+	bytes := 0
+	if p.Rank() == 0 {
+		for k, v := range partSel {
+			orders[k] = tree.Node(v).Order
+			bytes += 1 + len(orders[k])
+		}
+	}
+	bytes = cluster.Broadcast(p, 0, bytes, 8)
+	return cluster.Broadcast(p, 0, orders, bytes)
+}
+
+// MaskableCommFraction returns the fraction of the makespan spent in
+// communication — the upper bound on the §4.1 overlap optimization.
+func (m Metrics) MaskableCommFraction() float64 {
+	if m.SimSeconds == 0 {
+		return 0
+	}
+	return m.CommSeconds / m.SimSeconds
+}
+
+// collectMetrics aggregates per-processor observations and the final
+// disk state.
+func collectMetrics(m *cluster.Machine, sel []lattice.ViewID, outs []*procOut) Metrics {
+	st := m.Stats()
+	met := Metrics{
+		P:            m.P(),
+		SimSeconds:   m.SimSeconds(),
+		PhaseSeconds: map[string]float64{},
+		BytesMoved:   st.BytesMoved,
+		BytesByPhase: st.ByPhase,
+		Supersteps:   st.Supersteps,
+		CaseCounts:   map[mergepart.Case]int{},
+		ViewRows:     map[lattice.ViewID]int64{},
+		ViewOrders:   outs[0].orders,
+	}
+	for _, out := range outs {
+		for name, sec := range out.phase {
+			if sec > met.PhaseSeconds[name] {
+				met.PhaseSeconds[name] = sec
+			}
+		}
+		met.Shifts += out.shifts
+		met.Resorts += out.resorts
+	}
+	// Component breakdown of the slowest processor's clock.
+	for r := 0; r < m.P(); r++ {
+		clk := m.Proc(r).Clock()
+		if clk.Seconds() >= met.SimSeconds-1e-9 {
+			met.CPUSeconds = clk.CPUSeconds()
+			met.DiskSeconds = clk.DiskSeconds()
+			met.CommSeconds = clk.CommSeconds()
+			break
+		}
+	}
+	// Case counts from P0's observations (identical on all processors).
+	for c, n := range outs[0].cases {
+		met.CaseCounts[c] += n
+	}
+	for _, v := range sel {
+		var rows int64
+		for r := 0; r < m.P(); r++ {
+			if n := m.Proc(r).Disk().Len(ViewFile(v)); n > 0 {
+				rows += int64(n)
+			}
+		}
+		met.ViewRows[v] = rows
+		met.OutputRows += rows
+		met.OutputBytes += rows * int64(record.RowBytes(v.Count()))
+	}
+	return met
+}

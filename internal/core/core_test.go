@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/balance"
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/mergepart"
+	"repro/internal/partialcube"
+	"repro/internal/record"
+)
+
+// buildMachine generates a data set, distributes it over p processors,
+// and runs BuildCube.
+func buildMachine(t *testing.T, spec gen.Spec, p int, cfg Config) (*cluster.Machine, Metrics, *record.Table) {
+	t.Helper()
+	g := gen.New(spec)
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	met := BuildCube(m, "raw", cfg)
+	return m, met, g.All()
+}
+
+// checkCube verifies every selected view against a brute-force hash
+// group-by of the full raw data: globally sorted, duplicate-free,
+// correct sums.
+func checkCube(t *testing.T, m *cluster.Machine, raw *record.Table, views []lattice.ViewID) {
+	t.Helper()
+	for _, v := range views {
+		// Determine the materialized order from the column layout: we
+		// reconstruct ground truth per attribute order by gathering the
+		// distributed slices and checking group sums for every possible
+		// order is overkill; instead verify against all-order-agnostic
+		// invariants plus sum-per-group via P0's order metadata being
+		// unavailable here, we use the canonical trick: aggregate truth
+		// keyed by multiset of (dim value) pairs is order-dependent, so
+		// instead we check totals and row counts, then sortedness.
+		var parts []*record.Table
+		for r := 0; r < m.P(); r++ {
+			if tb, ok := m.Proc(r).Disk().Get(ViewFile(v)); ok {
+				parts = append(parts, tb)
+			}
+		}
+		concat := record.New(v.Count(), 0)
+		for i, tb := range parts {
+			if !tb.IsSorted() {
+				t.Fatalf("view %v part %d not sorted", v, i)
+			}
+			concat.AppendTable(tb)
+		}
+		if !concat.IsSorted() {
+			t.Fatalf("view %v not globally sorted", v)
+		}
+		for i := 1; i < concat.Len(); i++ {
+			if concat.Compare(i-1, i, concat.D) == 0 {
+				t.Fatalf("view %v has cross-processor duplicate keys", v)
+			}
+		}
+		if got, want := concat.TotalMeasure(), raw.TotalMeasure(); got != want {
+			t.Fatalf("view %v measure mass %d, want %d", v, got, want)
+		}
+		// Distinct-group count must match a hash group-by on the raw
+		// data (group identity is order-independent).
+		groups := map[string]int64{}
+		for i := 0; i < raw.Len(); i++ {
+			key := ""
+			for _, dim := range v.Dims() {
+				key += fmt.Sprintf("%d,", raw.Dim(i, dim))
+			}
+			groups[key] += raw.Meas(i)
+		}
+		if concat.Len() != len(groups) {
+			t.Fatalf("view %v has %d rows, want %d", v, concat.Len(), len(groups))
+		}
+		// Sum-set equality: collect measure multiset per view.
+		counts := map[int64]int{}
+		for _, s := range groups {
+			counts[s]++
+		}
+		for i := 0; i < concat.Len(); i++ {
+			counts[concat.Meas(i)]--
+		}
+		for s, c := range counts {
+			if c != 0 {
+				t.Fatalf("view %v group-sum multiset mismatch at sum %d (delta %d)", v, s, c)
+			}
+		}
+	}
+}
+
+func smallSpec() gen.Spec {
+	return gen.Spec{N: 3000, D: 4, Cards: []int{12, 8, 5, 3}, Seed: 7}
+}
+
+func TestFullCubeCorrectnessAcrossP(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		m, met, raw := buildMachine(t, smallSpec(), p, Config{D: 4})
+		checkCube(t, m, raw, lattice.AllViews(4))
+		if met.OutputRows == 0 || met.SimSeconds <= 0 {
+			t.Fatalf("p=%d: empty metrics %+v", p, met)
+		}
+		if met.P != p {
+			t.Fatalf("metrics P = %d", met.P)
+		}
+	}
+}
+
+func TestFullCubeOutputBalanced(t *testing.T) {
+	p := 4
+	m, _, _ := buildMachine(t, gen.Spec{N: 8000, D: 4, Cards: []int{16, 12, 8, 5}, Seed: 3}, p, Config{D: 4})
+	// Large views should be spread within a loose bound (small views
+	// can't balance, so only check views with >= 8p rows).
+	for _, v := range lattice.AllViews(4) {
+		sizes := make([]int, p)
+		total := 0
+		for r := 0; r < p; r++ {
+			if n := m.Proc(r).Disk().Len(ViewFile(v)); n > 0 {
+				sizes[r] = n
+				total += n
+			}
+		}
+		if total < 8*p {
+			continue
+		}
+		if I := balance.Imbalance(sizes); I > 0.5 {
+			t.Errorf("view %v imbalance %.2f (sizes %v)", v, I, sizes)
+		}
+	}
+}
+
+func TestPartialCubeOnlySelectedMaterialized(t *testing.T) {
+	sel := partialcube.SelectPercent(4, 50, 11)
+	p := 3
+	m, met, raw := buildMachine(t, smallSpec(), p, Config{D: 4, Selected: sel})
+	checkCube(t, m, raw, sel)
+	selSet := map[lattice.ViewID]bool{}
+	for _, v := range sel {
+		selSet[v] = true
+	}
+	for _, v := range lattice.AllViews(4) {
+		exists := false
+		for r := 0; r < p; r++ {
+			if m.Proc(r).Disk().Has(ViewFile(v)) {
+				exists = true
+			}
+		}
+		if selSet[v] && !exists {
+			t.Fatalf("selected view %v missing", v)
+		}
+		if !selSet[v] && exists {
+			t.Fatalf("unselected view %v left on disk", v)
+		}
+	}
+	if met.OutputRows == 0 {
+		t.Fatal("no output rows")
+	}
+}
+
+func TestPartialCubeGreedyPlanner(t *testing.T) {
+	sel := partialcube.SelectPercent(4, 25, 5)
+	m, _, raw := buildMachine(t, smallSpec(), 3, Config{D: 4, Selected: sel, Partial: partialcube.Greedy})
+	checkCube(t, m, raw, sel)
+}
+
+func TestLocalTreeModeCorrect(t *testing.T) {
+	// Local trees diverge (each processor holds a different key range
+	// after partitioning) but the cube must still be correct; resorts
+	// are counted.
+	spec := gen.Spec{N: 6000, D: 4, Cards: []int{16, 8, 6, 4}, Seed: 13}
+	m, met, raw := buildMachine(t, spec, 4, Config{D: 4, Schedule: LocalTree})
+	checkCube(t, m, raw, lattice.AllViews(4))
+	t.Logf("local-tree resorts: %d", met.Resorts)
+}
+
+func TestGlobalTreeModeNeverResorts(t *testing.T) {
+	m, met, raw := buildMachine(t, smallSpec(), 4, Config{D: 4, Schedule: GlobalTree})
+	checkCube(t, m, raw, lattice.AllViews(4))
+	if met.Resorts != 0 {
+		t.Fatalf("global trees must never resort, got %d", met.Resorts)
+	}
+}
+
+func TestFMEstimatorModeCorrect(t *testing.T) {
+	m, _, raw := buildMachine(t, smallSpec(), 3, Config{D: 4, Estimator: FMEstimator})
+	checkCube(t, m, raw, lattice.AllViews(4))
+}
+
+func TestSkewedDataCorrect(t *testing.T) {
+	spec := gen.Spec{N: 5000, D: 4, Cards: []int{16, 8, 6, 4},
+		Skews: []float64{2, 2, 2, 2}, Seed: 9}
+	m, _, raw := buildMachine(t, spec, 4, Config{D: 4})
+	checkCube(t, m, raw, lattice.AllViews(4))
+}
+
+func TestLeadingDimensionSkewCorrect(t *testing.T) {
+	// The paper's "difficult input" (§4.4, curve D): high skew and high
+	// cardinality on the leading dimension only.
+	spec := gen.Spec{N: 5000, D: 4, Cards: []int{64, 8, 6, 4},
+		Skews: []float64{3, 0, 0, 0}, Seed: 21}
+	m, _, raw := buildMachine(t, spec, 4, Config{D: 4})
+	checkCube(t, m, raw, lattice.AllViews(4))
+}
+
+func TestMetricsPhases(t *testing.T) {
+	_, met, _ := buildMachine(t, smallSpec(), 3, Config{D: 4})
+	for _, name := range []string{"partition", "plan", "build", "merge"} {
+		if met.PhaseSeconds[name] <= 0 {
+			t.Fatalf("phase %q has no time (phases: %v)", name, met.PhaseSeconds)
+		}
+	}
+	if met.BytesMoved <= 0 || met.Supersteps <= 0 {
+		t.Fatalf("communication metrics empty: %+v", met)
+	}
+	if met.BytesByPhase["partition"] <= 0 {
+		t.Fatal("partitioning moved no bytes")
+	}
+	total := 0
+	for _, n := range met.CaseCounts {
+		total += n
+	}
+	if total != 16 {
+		t.Fatalf("case counts cover %d views, want 16 (%v)", total, met.CaseCounts)
+	}
+	if met.CaseCounts[mergepart.CasePrefix] < 4 {
+		t.Fatalf("expected at least the 4 roots + prefixes as case 1: %v", met.CaseCounts)
+	}
+}
+
+func TestOutputRowsMatchViewRows(t *testing.T) {
+	_, met, raw := buildMachine(t, smallSpec(), 2, Config{D: 4})
+	var sum int64
+	for _, rows := range met.ViewRows {
+		sum += rows
+	}
+	if sum != met.OutputRows {
+		t.Fatalf("OutputRows %d != sum of ViewRows %d", met.OutputRows, sum)
+	}
+	// The "all" view has exactly one row; the full view at most n.
+	if met.ViewRows[lattice.Empty] != 1 {
+		t.Fatalf("all view rows = %d", met.ViewRows[lattice.Empty])
+	}
+	if met.ViewRows[lattice.Full(4)] > int64(raw.Len()) {
+		t.Fatal("full view larger than raw data")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	spec := gen.Spec{N: 0, D: 3, Cards: []int{4, 3, 2}, Seed: 1}
+	m, met, _ := buildMachine(t, spec, 3, Config{D: 3})
+	if met.OutputRows != 0 {
+		t.Fatalf("empty input produced %d rows", met.OutputRows)
+	}
+	for _, v := range lattice.AllViews(3) {
+		for r := 0; r < 3; r++ {
+			if n := m.Proc(r).Disk().Len(ViewFile(v)); n > 0 {
+				t.Fatalf("view %v has rows on empty input", v)
+			}
+		}
+	}
+}
+
+func TestTinyInputFewerRowsThanProcessors(t *testing.T) {
+	spec := gen.Spec{N: 3, D: 3, Cards: []int{4, 3, 2}, Seed: 2}
+	m, _, raw := buildMachine(t, spec, 5, Config{D: 3})
+	checkCube(t, m, raw, lattice.AllViews(3))
+}
+
+func TestRawDataPreserved(t *testing.T) {
+	spec := smallSpec()
+	g := gen.New(spec)
+	p := 3
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	BuildCube(m, "raw", Config{D: 4})
+	for r := 0; r < p; r++ {
+		got := m.Proc(r).Disk().MustGet("raw")
+		if !record.Equal(got, g.Slice(r, p)) {
+			t.Fatalf("processor %d raw data mutated", r)
+		}
+	}
+}
+
+func TestComponentBreakdownAndMaskableComm(t *testing.T) {
+	_, met, _ := buildMachine(t, smallSpec(), 4, Config{D: 4})
+	if met.CPUSeconds <= 0 || met.DiskSeconds <= 0 || met.CommSeconds <= 0 {
+		t.Fatalf("component breakdown empty: cpu=%v disk=%v comm=%v",
+			met.CPUSeconds, met.DiskSeconds, met.CommSeconds)
+	}
+	// Components never exceed the makespan (barrier wait fills the gap).
+	sum := met.CPUSeconds + met.DiskSeconds + met.CommSeconds
+	if sum > met.SimSeconds*1.0001 {
+		t.Fatalf("components (%v) exceed makespan (%v)", sum, met.SimSeconds)
+	}
+	f := met.MaskableCommFraction()
+	if f <= 0 || f >= 1 {
+		t.Fatalf("maskable comm fraction %v out of (0,1)", f)
+	}
+}
+
+func TestOneAndTwoDimensionalCubes(t *testing.T) {
+	// Degenerate lattices: d=1 has views {A, all}; d=2 adds {B, AB}.
+	for _, d := range []int{1, 2} {
+		cards := []int{9, 4}[:d]
+		spec := gen.Spec{N: 500, D: d, Cards: cards, Seed: 5}
+		m, met, raw := buildMachine(t, spec, 3, Config{D: d})
+		checkCube(t, m, raw, lattice.AllViews(d))
+		if met.ViewRows[lattice.Empty] != 1 {
+			t.Fatalf("d=%d: grand total has %d rows", d, met.ViewRows[lattice.Empty])
+		}
+	}
+}
+
+func TestTightAndLooseGammas(t *testing.T) {
+	for _, g := range []float64{0.001, 0.2} {
+		m, _, raw := buildMachine(t, smallSpec(), 4, Config{D: 4, Gamma: g, MergeGamma: g})
+		checkCube(t, m, raw, lattice.AllViews(4))
+	}
+}
+
+func TestMissingRawFilePanics(t *testing.T) {
+	m := cluster.New(2, costmodel.Default())
+	// No raw data placed on the disks: the machine must fail loudly,
+	// not deadlock or silently build an empty cube.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildCube(m, "raw", Config{D: 3})
+}
+
+func TestQuickRandomConfigurations(t *testing.T) {
+	// Randomized end-to-end property: any (d, p, skew, gamma, schedule
+	// mode) combination must produce a correct cube.
+	f := func(seed int64, dRaw, pRaw, modeRaw uint8, gammaRaw uint8) bool {
+		d := int(dRaw%4) + 2 // 2..5
+		p := int(pRaw%6) + 1 // 1..6
+		alpha := float64(uint64(seed)%3) / 2
+		gamma := float64(gammaRaw%10)/100 + 0.001
+		cards := []int{13, 9, 7, 5, 3}[:d]
+		skews := make([]float64, d)
+		for i := range skews {
+			skews[i] = alpha
+		}
+		spec := gen.Spec{N: 800, D: d, Cards: cards, Skews: skews, Seed: seed}
+		cfg := Config{D: d, Gamma: gamma, MergeGamma: gamma}
+		if modeRaw%2 == 1 {
+			cfg.Schedule = LocalTree
+		}
+		g := gen.New(spec)
+		m := cluster.New(p, costmodel.Default())
+		for r := 0; r < p; r++ {
+			m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+		}
+		met := BuildCube(m, "raw", cfg)
+		raw := g.All()
+		// Spot-check three views: full, the empty view, one mid view.
+		views := []lattice.ViewID{lattice.Full(d), lattice.Empty, lattice.Full(d).Remove(0)}
+		for _, v := range views {
+			concat := record.New(v.Count(), 0)
+			for r := 0; r < p; r++ {
+				if tb, ok := m.Proc(r).Disk().Get(ViewFile(v)); ok {
+					concat.AppendTable(tb)
+				}
+			}
+			if !concat.IsSorted() || concat.TotalMeasure() != raw.TotalMeasure() {
+				return false
+			}
+			groups := map[string]bool{}
+			for i := 0; i < raw.Len(); i++ {
+				key := ""
+				for _, dim := range v.Dims() {
+					key += fmt.Sprintf("%d,", raw.Dim(i, dim))
+				}
+				groups[key] = true
+			}
+			if concat.Len() != len(groups) {
+				return false
+			}
+		}
+		return met.OutputRows > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxAggregation(t *testing.T) {
+	// Build MIN and MAX cubes and verify three views against brute
+	// force; the distributed merge must combine partial aggregates
+	// with the operator, not add them.
+	spec := smallSpec()
+	for _, op := range []record.AggOp{record.OpMin, record.OpMax} {
+		m, _, raw := buildMachine(t, spec, 4, Config{D: 4, Agg: op})
+		for _, v := range []lattice.ViewID{lattice.Empty, lattice.Full(4).Remove(1), lattice.Full(4)} {
+			concat := record.New(v.Count(), 0)
+			for r := 0; r < 4; r++ {
+				if tb, ok := m.Proc(r).Disk().Get(ViewFile(v)); ok {
+					concat.AppendTable(tb)
+				}
+			}
+			truth := map[string]int64{}
+			seen := map[string]bool{}
+			for i := 0; i < raw.Len(); i++ {
+				key := ""
+				for _, dim := range v.Dims() {
+					key += fmt.Sprintf("%d,", raw.Dim(i, dim))
+				}
+				if !seen[key] {
+					seen[key] = true
+					truth[key] = raw.Meas(i)
+				} else {
+					truth[key] = op.Combine(truth[key], raw.Meas(i))
+				}
+			}
+			if concat.Len() != len(truth) {
+				t.Fatalf("%v view %v: %d rows, want %d", op, v, concat.Len(), len(truth))
+			}
+			for i := 0; i < concat.Len(); i++ {
+				key := ""
+				for c := 0; c < concat.D; c++ {
+					key += fmt.Sprintf("%d,", concat.Dim(i, c))
+				}
+				if concat.Meas(i) != truth[key] {
+					t.Fatalf("%v view %v key %q = %d, want %d", op, v, key, concat.Meas(i), truth[key])
+				}
+			}
+		}
+	}
+}
+
+func TestIcebergCube(t *testing.T) {
+	spec := smallSpec()
+	threshold := int64(20)
+	m, met, raw := buildMachine(t, spec, 4, Config{D: 4, MinSupport: threshold})
+	for _, v := range []lattice.ViewID{lattice.Full(4), lattice.Full(4).Remove(2), lattice.Empty} {
+		concat := record.New(v.Count(), 0)
+		for r := 0; r < 4; r++ {
+			if tb, ok := m.Proc(r).Disk().Get(ViewFile(v)); ok {
+				concat.AppendTable(tb)
+			}
+		}
+		truth := map[string]int64{}
+		for i := 0; i < raw.Len(); i++ {
+			key := ""
+			for _, dim := range v.Dims() {
+				key += fmt.Sprintf("%d,", raw.Dim(i, dim))
+			}
+			truth[key] += raw.Meas(i)
+		}
+		want := 0
+		for _, s := range truth {
+			if s >= threshold {
+				want++
+			}
+		}
+		if concat.Len() != want {
+			t.Fatalf("iceberg view %v: %d groups, want %d", v, concat.Len(), want)
+		}
+		for i := 0; i < concat.Len(); i++ {
+			if concat.Meas(i) < threshold {
+				t.Fatalf("iceberg view %v kept group below threshold: %d", v, concat.Meas(i))
+			}
+		}
+	}
+	// An iceberg cube is never larger than the full cube.
+	_, full, _ := buildMachine(t, spec, 4, Config{D: 4})
+	if met.OutputRows >= full.OutputRows {
+		t.Fatalf("iceberg rows %d not smaller than full %d", met.OutputRows, full.OutputRows)
+	}
+}

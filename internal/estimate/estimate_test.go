@@ -1,0 +1,192 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+func TestCardenasBasics(t *testing.T) {
+	if got := Cardenas(0, 100); got != 0 {
+		t.Fatalf("Cardenas(0,100) = %v", got)
+	}
+	if got := Cardenas(100, 1); got != 1 {
+		t.Fatalf("Cardenas(100,1) = %v", got)
+	}
+	// n >> cells: essentially all cells occupied.
+	if got := Cardenas(1e6, 100); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("Cardenas(1e6,100) = %v, want ~100", got)
+	}
+	// cells >> n: essentially all rows distinct.
+	if got := Cardenas(100, 1e12); math.Abs(got-100) > 0.01 {
+		t.Fatalf("Cardenas(100,1e12) = %v, want ~100", got)
+	}
+	// Never exceeds n.
+	if got := Cardenas(10, 1e18); got > 10 {
+		t.Fatalf("Cardenas exceeded n: %v", got)
+	}
+}
+
+func TestCardenasMonotone(t *testing.T) {
+	f := func(nRaw uint16, cRaw uint16) bool {
+		n := int64(nRaw) + 1
+		c := float64(cRaw) + 1
+		v := Cardenas(n, c)
+		return v >= Cardenas(n-1, c)-1e-9 && v <= Cardenas(n, c+1)+c*1e-9 && v <= float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCardenasSizer(t *testing.T) {
+	// d=3, cards 10, 5, 2; n = 10000 (saturating every view).
+	cs := NewCardenas(10000, []int{10, 5, 2})
+	abc := lattice.Full(3)
+	if got := cs.EstimateView(abc); math.Abs(got-100) > 1 {
+		t.Fatalf("ABC estimate %v, want ~100", got)
+	}
+	a := lattice.Empty.Add(0)
+	if got := cs.EstimateView(a); math.Abs(got-10) > 0.1 {
+		t.Fatalf("A estimate %v, want ~10", got)
+	}
+	if got := cs.EstimateView(lattice.Empty); got != 1 {
+		t.Fatalf("all estimate %v, want 1", got)
+	}
+	// Estimates must be monotone in the subset order (supersets are
+	// at least as large for saturated uniform data).
+	ab := a.Add(1)
+	if cs.EstimateView(ab) < cs.EstimateView(a) {
+		t.Fatal("superset view estimated smaller")
+	}
+}
+
+func TestCardenasSizerSmallN(t *testing.T) {
+	// Tiny n: view sizes capped by n.
+	cs := NewCardenas(10, []int{1000, 1000})
+	if got := cs.EstimateView(lattice.Full(2)); got > 10 {
+		t.Fatalf("estimate %v exceeds n", got)
+	}
+}
+
+func TestMeasureCardinalities(t *testing.T) {
+	tb := record.FromRows(2, [][]uint32{{1, 7}, {2, 7}, {1, 8}, {3, 7}}, nil)
+	// Columns follow order CA (dims 2 and 0).
+	cards := MeasureCardinalities(tb, lattice.Order{2, 0})
+	if cards[2] != 3 || cards[0] != 2 {
+		t.Fatalf("cards = %v, want card(D2)=3 card(D0)=2", cards)
+	}
+}
+
+func TestFMSketchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, distinct := range []int{100, 1000, 20000} {
+		sk := NewFMSketch(64)
+		for i := 0; i < distinct; i++ {
+			h := rng.Uint64()
+			// Add duplicates too; they must not affect the estimate.
+			sk.Add(h)
+			sk.Add(h)
+		}
+		est := sk.Estimate()
+		ratio := est / float64(distinct)
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Fatalf("FM estimate %v for %d distinct (ratio %.2f)", est, distinct, ratio)
+		}
+	}
+}
+
+func TestFMSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := NewFMSketch(64), NewFMSketch(64)
+	hs := make([]uint64, 5000)
+	for i := range hs {
+		hs[i] = rng.Uint64()
+	}
+	for i, h := range hs {
+		if i%2 == 0 {
+			a.Add(h)
+		} else {
+			b.Add(h)
+		}
+	}
+	union := NewFMSketch(64)
+	for _, h := range hs {
+		union.Add(h)
+	}
+	a.Merge(b)
+	if a.Estimate() != union.Estimate() {
+		t.Fatalf("merged estimate %v != union estimate %v", a.Estimate(), union.Estimate())
+	}
+}
+
+func TestFMSketchValidation(t *testing.T) {
+	for _, m := range []int{0, 3, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFMSketch(%d) should panic", m)
+				}
+			}()
+			NewFMSketch(m)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge of mismatched sketches should panic")
+		}
+	}()
+	NewFMSketch(8).Merge(NewFMSketch(16))
+}
+
+func TestFMSizerAgainstTruth(t *testing.T) {
+	// Data over 3 dims with known distinct structure.
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	tb := record.New(3, n)
+	type key2 struct{ a, b uint32 }
+	truthAB := map[key2]struct{}{}
+	truthA := map[uint32]struct{}{}
+	for i := 0; i < n; i++ {
+		a, b, c := uint32(rng.Intn(50)), uint32(rng.Intn(40)), uint32(rng.Intn(30))
+		tb.Append([]uint32{a, b, c}, 1)
+		truthAB[key2{a, b}] = struct{}{}
+		truthA[a] = struct{}{}
+	}
+	// Table columns follow canonical order ABC.
+	f := NewFM(tb, lattice.Order{0, 1, 2}, 64)
+	ab := lattice.Empty.Add(0).Add(1)
+	est := f.EstimateView(ab)
+	if r := est / float64(len(truthAB)); r < 0.5 || r > 2.0 {
+		t.Fatalf("AB estimate %v vs truth %d", est, len(truthAB))
+	}
+	a := lattice.Empty.Add(0)
+	est = f.EstimateView(a)
+	if r := est / float64(len(truthA)); r < 0.4 || r > 2.5 {
+		t.Fatalf("A estimate %v vs truth %d", est, len(truthA))
+	}
+	if f.EstimateView(lattice.Empty) != 1 {
+		t.Fatal("empty view must estimate 1")
+	}
+	// Cache: second call must not add scan work.
+	ops := f.ScanOps
+	f.EstimateView(ab)
+	if f.ScanOps != ops {
+		t.Fatal("cached estimate re-scanned")
+	}
+}
+
+func TestHashRowRespectsProjection(t *testing.T) {
+	tb := record.FromRows(3, [][]uint32{{1, 2, 3}, {1, 9, 3}}, nil)
+	// Projected on columns {0,2}, the two rows are identical.
+	if HashRow(tb, 0, []int{0, 2}) != HashRow(tb, 1, []int{0, 2}) {
+		t.Fatal("equal projections hash differently")
+	}
+	if HashRow(tb, 0, []int{0, 1}) == HashRow(tb, 1, []int{0, 1}) {
+		t.Fatal("different projections collide (astronomically unlikely)")
+	}
+}

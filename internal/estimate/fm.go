@@ -1,0 +1,139 @@
+package estimate
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// fmPhi is the Flajolet–Martin magic constant correcting the bias of
+// the first-zero-bit observable.
+const fmPhi = 0.77351
+
+// FMSketch is a Flajolet–Martin PCSA (probabilistic counting with
+// stochastic averaging) distinct-count sketch with m bitmaps.
+type FMSketch struct {
+	maps []uint64
+}
+
+// NewFMSketch returns a sketch with m bitmaps; m must be a power of
+// two. Larger m reduces variance (standard error ~ 0.78/sqrt(m)).
+func NewFMSketch(m int) *FMSketch {
+	if m < 1 || m&(m-1) != 0 {
+		panic("estimate: FM bitmap count must be a power of two")
+	}
+	return &FMSketch{maps: make([]uint64, m)}
+}
+
+// Add records a hashed item.
+func (s *FMSketch) Add(h uint64) {
+	m := uint64(len(s.maps))
+	idx := h & (m - 1)
+	rest := h >> bits.Len64(m-1)
+	// rho = position of the lowest set bit of the remaining hash.
+	rho := bits.TrailingZeros64(rest | 1<<63)
+	s.maps[idx] |= 1 << uint(rho)
+}
+
+// Estimate returns the approximate number of distinct items added.
+func (s *FMSketch) Estimate() float64 {
+	m := len(s.maps)
+	sum := 0
+	for _, bm := range s.maps {
+		// R = index of lowest zero bit.
+		sum += bits.TrailingZeros64(^bm)
+	}
+	mean := float64(sum) / float64(m)
+	return float64(m) / fmPhi * math.Pow(2, mean)
+}
+
+// Merge unions another sketch of identical shape into s, yielding the
+// sketch of the union of the two item sets.
+func (s *FMSketch) Merge(o *FMSketch) {
+	if len(s.maps) != len(o.maps) {
+		panic("estimate: merging FM sketches of different sizes")
+	}
+	for i := range s.maps {
+		s.maps[i] |= o.maps[i]
+	}
+}
+
+// Bytes returns the modelled wire size of the sketch.
+func (s *FMSketch) Bytes() int { return len(s.maps) * 8 }
+
+// FMSizer estimates view sizes by scanning a table and sketching each
+// requested view's projection. Sketches are built lazily and cached,
+// so only views the planner actually asks about cost a scan.
+type FMSizer struct {
+	t      *record.Table
+	order  lattice.Order
+	m      int
+	cache  map[lattice.ViewID]float64
+	colsOf map[lattice.ViewID][]int
+	// ScanOps tallies the data passes performed, letting planners
+	// charge simulated CPU time for estimation work.
+	ScanOps float64
+}
+
+// NewFM builds a sizer over a table whose columns follow the given
+// attribute order, using sketches of m bitmaps each.
+func NewFM(t *record.Table, order lattice.Order, m int) *FMSizer {
+	return &FMSizer{
+		t: t, order: order, m: m,
+		cache:  make(map[lattice.ViewID]float64),
+		colsOf: make(map[lattice.ViewID][]int),
+	}
+}
+
+// EstimateView implements Sizer.
+func (f *FMSizer) EstimateView(v lattice.ViewID) float64 {
+	if v == lattice.Empty {
+		return 1
+	}
+	if est, ok := f.cache[v]; ok {
+		return est
+	}
+	cols := lattice.Canonical(v).ProjectionFrom(f.order)
+	sk := NewFMSketch(f.m)
+	n := f.t.Len()
+	for i := 0; i < n; i++ {
+		sk.Add(HashRow(f.t, i, cols))
+	}
+	f.ScanOps += float64(n)
+	est := sk.Estimate()
+	if est > float64(n) {
+		est = float64(n)
+	}
+	if est < 1 {
+		est = 1
+	}
+	f.cache[v] = est
+	return est
+}
+
+// HashRow hashes the projection of row i of t onto the given columns
+// with a 64-bit FNV-1a-style mix followed by an avalanche finalizer.
+func HashRow(t *record.Table, i int, cols []int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range cols {
+		v := t.Dim(i, c)
+		h = (h ^ uint64(v&0xff)) * prime
+		h = (h ^ uint64((v>>8)&0xff)) * prime
+		h = (h ^ uint64((v>>16)&0xff)) * prime
+		h = (h ^ uint64(v>>24)) * prime
+	}
+	// Final avalanche (splitmix64 tail) so low bits are well mixed for
+	// the sketch's bucket selection.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

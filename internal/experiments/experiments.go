@@ -1,0 +1,548 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§4, Figures 5-11) plus the headline end-to-end claims
+// (§1/§4.1). Each FigN function runs the corresponding workload sweep
+// on the simulated shared-nothing cluster and returns the series the
+// paper plots; the Print methods emit them as aligned text tables.
+//
+// The Scale parameter maps the paper's data sizes onto practical run
+// sizes: DefaultScale shrinks the paper's 1M/2M-row data sets so the
+// full suite finishes in seconds (shapes, not absolute numbers, are
+// the reproduction target); PaperScale uses the original sizes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/mergepart"
+	"repro/internal/partialcube"
+	"repro/internal/seq"
+	"repro/internal/workpart"
+)
+
+// Scale maps the paper's workload sizes to run sizes.
+type Scale struct {
+	// N1M stands in for the paper's n = 1,000,000 rows; N2M and N10M
+	// for 2,000,000 and 10,000,000.
+	N1M, N2M, N10M int
+	// Procs is the processor sweep (the paper uses 1..16).
+	Procs []int
+	// MaxP is the fixed processor count of the single-machine figures
+	// (8 and 10; the paper uses 16).
+	MaxP int
+	// Seed makes every workload deterministic.
+	Seed int64
+}
+
+// DefaultScale is small enough for tests and benches (seconds of wall
+// time) while preserving every figure's qualitative shape.
+func DefaultScale() Scale {
+	return Scale{
+		N1M: 60_000, N2M: 120_000, N10M: 600_000,
+		Procs: []int{1, 2, 4, 8, 16},
+		MaxP:  16,
+		Seed:  1,
+	}
+}
+
+// PaperScale uses the paper's actual data sizes. Expect minutes of
+// wall time per figure.
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.N1M, s.N2M, s.N10M = 1_000_000, 2_000_000, 10_000_000
+	return s
+}
+
+// Scaled returns DefaultScale with every data size multiplied by f
+// (e.g. f = 4 for a medium run).
+func Scaled(f float64) Scale {
+	s := DefaultScale()
+	s.N1M = int(float64(s.N1M) * f)
+	s.N2M = int(float64(s.N2M) * f)
+	s.N10M = int(float64(s.N10M) * f)
+	return s
+}
+
+// paperSpec is the fixed parameter set of §4: d=8, |Di| = 256, 128,
+// 64, 32, 16, 8, 6, 6, no skew.
+func paperSpec(n int, seed int64) gen.Spec {
+	return gen.Spec{N: n, D: 8, Cards: gen.PaperCards(), Seed: seed}
+}
+
+// runParallel distributes the spec's data over p processors and builds
+// the cube.
+func runParallel(spec gen.Spec, p int, cfg core.Config) core.Metrics {
+	g := gen.New(spec)
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	return core.BuildCube(m, "raw", cfg)
+}
+
+// runSeq builds the baseline cube sequentially.
+func runSeq(spec gen.Spec, cfg seq.Config) seq.Metrics {
+	_, met := seq.BuildCube(gen.New(spec).All(), cfg)
+	return met
+}
+
+// SpeedupPoint is one (p, time) measurement with its relative speedup
+// against the sequential baseline.
+type SpeedupPoint struct {
+	P       int
+	Seconds float64
+	Speedup float64
+}
+
+func speedupSeries(seqSeconds float64, procs []int, run func(p int) core.Metrics) []SpeedupPoint {
+	out := make([]SpeedupPoint, 0, len(procs))
+	for _, p := range procs {
+		met := run(p)
+		out = append(out, SpeedupPoint{P: p, Seconds: met.SimSeconds, Speedup: seqSeconds / met.SimSeconds})
+	}
+	return out
+}
+
+func printSpeedupTable(w io.Writer, title string, labels []string, seqSecs []float64, series [][]SpeedupPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-6s", "p")
+	for _, l := range labels {
+		fmt.Fprintf(w, " | %22s", l)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0] {
+		fmt.Fprintf(w, "%-6d", series[0][i].P)
+		for s := range series {
+			pt := series[s][i]
+			fmt.Fprintf(w, " | %10.1fs  %7.2fx", pt.Seconds, pt.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-6s", "seq")
+	for _, s := range seqSecs {
+		fmt.Fprintf(w, " | %10.1fs  %8s", s, "")
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------- Fig 5
+
+// Fig5Series is one data-set size of Figure 5.
+type Fig5Series struct {
+	N          int
+	SeqSeconds float64
+	Points     []SpeedupPoint
+	OutputRows int64
+}
+
+// Fig5Result reproduces Figure 5: full-cube wall time and relative
+// speedup vs processor count for two data-set sizes.
+type Fig5Result struct {
+	Series []Fig5Series
+}
+
+// Fig5 runs the Figure 5 sweep.
+func Fig5(sc Scale) Fig5Result {
+	var res Fig5Result
+	for _, n := range []int{sc.N1M, sc.N2M} {
+		spec := paperSpec(n, sc.Seed)
+		sq := runSeq(spec, seq.Config{D: spec.D})
+		s := Fig5Series{N: n, SeqSeconds: sq.SimSeconds}
+		var rows int64
+		s.Points = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+			met := runParallel(spec, p, core.Config{D: spec.D})
+			rows = met.OutputRows
+			return met
+		})
+		s.OutputRows = rows
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig5Result) Print(w io.Writer) {
+	labels := make([]string, len(r.Series))
+	seqs := make([]float64, len(r.Series))
+	pts := make([][]SpeedupPoint, len(r.Series))
+	for i, s := range r.Series {
+		labels[i] = fmt.Sprintf("n=%d", s.N)
+		seqs[i] = s.SeqSeconds
+		pts[i] = s.Points
+	}
+	printSpeedupTable(w, "Figure 5: full-cube time and relative speedup vs processors", labels, seqs, pts)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  n=%d -> cube of %d rows\n", s.N, s.OutputRows)
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+// Fig6Series is one selected-percentage curve of Figure 6.
+type Fig6Series struct {
+	Percent    int
+	SeqSeconds float64
+	Points     []SpeedupPoint
+}
+
+// Fig6Result reproduces Figure 6: partial-cube time and speedup for
+// 25/50/75/100% selected views.
+type Fig6Result struct {
+	Series []Fig6Series
+}
+
+// Fig6 runs the Figure 6 sweep.
+func Fig6(sc Scale) Fig6Result {
+	spec := paperSpec(sc.N2M, sc.Seed)
+	var res Fig6Result
+	for _, pct := range []int{25, 50, 75, 100} {
+		sel := partialcube.SelectPercent(spec.D, pct, sc.Seed)
+		sq := runSeq(spec, seq.Config{D: spec.D, Selected: sel})
+		s := Fig6Series{Percent: pct, SeqSeconds: sq.SimSeconds}
+		s.Points = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+			return runParallel(spec, p, core.Config{D: spec.D, Selected: sel})
+		})
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig6Result) Print(w io.Writer) {
+	labels := make([]string, len(r.Series))
+	seqs := make([]float64, len(r.Series))
+	pts := make([][]SpeedupPoint, len(r.Series))
+	for i, s := range r.Series {
+		labels[i] = fmt.Sprintf("%d%% selected", s.Percent)
+		seqs[i] = s.SeqSeconds
+		pts[i] = s.Points
+	}
+	printSpeedupTable(w, "Figure 6: partial-cube time and relative speedup vs processors", labels, seqs, pts)
+}
+
+// ---------------------------------------------------------------- Fig 7
+
+// Fig7Result reproduces Figure 7: global vs local schedule trees.
+type Fig7Result struct {
+	SeqSeconds float64
+	Global     []SpeedupPoint
+	Local      []SpeedupPoint
+	// Resorts counts merge-time re-sorts in local-tree mode per p.
+	Resorts []int
+}
+
+// Fig7 runs the Figure 7 sweep.
+func Fig7(sc Scale) Fig7Result {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	sq := runSeq(spec, seq.Config{D: spec.D})
+	res := Fig7Result{SeqSeconds: sq.SimSeconds}
+	res.Global = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+		return runParallel(spec, p, core.Config{D: spec.D, Schedule: core.GlobalTree, Estimator: core.FMEstimator})
+	})
+	res.Local = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+		met := runParallel(spec, p, core.Config{D: spec.D, Schedule: core.LocalTree, Estimator: core.FMEstimator})
+		res.Resorts = append(res.Resorts, met.Resorts)
+		return met
+	})
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig7Result) Print(w io.Writer) {
+	printSpeedupTable(w, "Figure 7: global vs local schedule trees",
+		[]string{"global tree", "local tree"},
+		[]float64{r.SeqSeconds, r.SeqSeconds},
+		[][]SpeedupPoint{r.Global, r.Local})
+	fmt.Fprintf(w, "  local-tree merge re-sorts per p: %v\n", r.Resorts)
+}
+
+// ---------------------------------------------------------------- Fig 8
+
+// Fig8Point is one skew level of Figure 8.
+type Fig8Point struct {
+	Alpha     float64
+	Seconds   float64
+	MergeMB   float64
+	TotalRows int64
+}
+
+// Fig8Result reproduces Figure 8: time and merge-phase communication
+// volume vs Zipf skew, at the maximum processor count.
+type Fig8Result struct {
+	P      int
+	Points []Fig8Point
+}
+
+// Fig8 runs the Figure 8 sweep.
+func Fig8(sc Scale) Fig8Result {
+	res := Fig8Result{P: sc.MaxP}
+	for _, alpha := range []float64{0, 1, 2, 3} {
+		spec := paperSpec(sc.N1M, sc.Seed)
+		spec.Skews = []float64{alpha, alpha, alpha, alpha, alpha, alpha, alpha, alpha}
+		met := runParallel(spec, sc.MaxP, core.Config{D: spec.D})
+		res.Points = append(res.Points, Fig8Point{
+			Alpha:     alpha,
+			Seconds:   met.SimSeconds,
+			MergeMB:   float64(met.BytesByPhase["merge"]) / 1e6,
+			TotalRows: met.OutputRows,
+		})
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig8Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8: skew vs time and merge communication (p=%d)\n", r.P)
+	fmt.Fprintf(w, "%-6s | %10s | %12s | %12s\n", "alpha", "seconds", "merge MB", "cube rows")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-6.1f | %10.1f | %12.1f | %12d\n", pt.Alpha, pt.Seconds, pt.MergeMB, pt.TotalRows)
+	}
+}
+
+// ---------------------------------------------------------------- Fig 9
+
+// Fig9Series is one cardinality mix of Figure 9.
+type Fig9Series struct {
+	Label      string
+	SeqSeconds float64
+	Points     []SpeedupPoint
+}
+
+// Fig9Result reproduces Figure 9: cardinality mixes A-D.
+type Fig9Result struct {
+	Series []Fig9Series
+}
+
+// Fig9 runs the Figure 9 sweep: (A) all 256, (B) the paper mix,
+// (C) all 16, (D) the paper mix with alpha0 = 3.
+func Fig9(sc Scale) Fig9Result {
+	mixes := []struct {
+		label string
+		cards []int
+		skews []float64
+	}{
+		{"A: |Di|=256", []int{256, 256, 256, 256, 256, 256, 256, 256}, nil},
+		{"B: paper mix", gen.PaperCards(), nil},
+		{"C: |Di|=16", []int{16, 16, 16, 16, 16, 16, 16, 16}, nil},
+		{"D: B + a0=3", gen.PaperCards(), []float64{3, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	var res Fig9Result
+	for _, mix := range mixes {
+		spec := gen.Spec{N: sc.N1M, D: 8, Cards: mix.cards, Skews: mix.skews, Seed: sc.Seed}
+		sq := runSeq(spec, seq.Config{D: spec.D})
+		s := Fig9Series{Label: mix.label, SeqSeconds: sq.SimSeconds}
+		s.Points = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+			return runParallel(spec, p, core.Config{D: spec.D})
+		})
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig9Result) Print(w io.Writer) {
+	labels := make([]string, len(r.Series))
+	seqs := make([]float64, len(r.Series))
+	pts := make([][]SpeedupPoint, len(r.Series))
+	for i, s := range r.Series {
+		labels[i] = s.Label
+		seqs[i] = s.SeqSeconds
+		pts[i] = s.Points
+	}
+	printSpeedupTable(w, "Figure 9: cardinality mixes", labels, seqs, pts)
+}
+
+// --------------------------------------------------------------- Fig 10
+
+// Fig10Point is one dimensionality of Figure 10.
+type Fig10Point struct {
+	D         int
+	Seconds   float64
+	Views     int
+	TotalRows int64
+}
+
+// Fig10Result reproduces Figure 10: time vs dimensionality.
+type Fig10Result struct {
+	P      int
+	Points []Fig10Point
+}
+
+// Fig10 runs the Figure 10 sweep: d = 6..10, all cardinalities 256.
+func Fig10(sc Scale) Fig10Result {
+	res := Fig10Result{P: sc.MaxP}
+	for d := 6; d <= 10; d++ {
+		cards := make([]int, d)
+		for i := range cards {
+			cards[i] = 256
+		}
+		spec := gen.Spec{N: sc.N1M, D: d, Cards: cards, Seed: sc.Seed}
+		met := runParallel(spec, sc.MaxP, core.Config{D: d})
+		res.Points = append(res.Points, Fig10Point{
+			D: d, Seconds: met.SimSeconds, Views: 1 << uint(d), TotalRows: met.OutputRows,
+		})
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig10Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: dimensionality vs time (p=%d)\n", r.P)
+	fmt.Fprintf(w, "%-4s | %8s | %10s | %12s\n", "d", "views", "seconds", "cube rows")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-4d | %8d | %10.1f | %12d\n", pt.D, pt.Views, pt.Seconds, pt.TotalRows)
+	}
+}
+
+// --------------------------------------------------------------- Fig 11
+
+// Fig11Series is one balance threshold of Figure 11.
+type Fig11Series struct {
+	GammaPct   float64
+	SeqSeconds float64
+	Points     []SpeedupPoint
+}
+
+// Fig11Result reproduces Figure 11: balance threshold tradeoffs.
+type Fig11Result struct {
+	Series []Fig11Series
+}
+
+// Fig11 runs the Figure 11 sweep: merge balance thresholds 3/5/7%.
+func Fig11(sc Scale) Fig11Result {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	sq := runSeq(spec, seq.Config{D: spec.D})
+	var res Fig11Result
+	for _, pct := range []float64{3, 5, 7} {
+		s := Fig11Series{GammaPct: pct, SeqSeconds: sq.SimSeconds}
+		s.Points = speedupSeries(sq.SimSeconds, sc.Procs, func(p int) core.Metrics {
+			return runParallel(spec, p, core.Config{D: spec.D, MergeGamma: pct / 100})
+		})
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Print writes the figure's table.
+func (r Fig11Result) Print(w io.Writer) {
+	labels := make([]string, len(r.Series))
+	seqs := make([]float64, len(r.Series))
+	pts := make([][]SpeedupPoint, len(r.Series))
+	for i, s := range r.Series {
+		labels[i] = fmt.Sprintf("gamma=%.0f%%", s.GammaPct)
+		seqs[i] = s.SeqSeconds
+		pts[i] = s.Points
+	}
+	printSpeedupTable(w, "Figure 11: balance threshold tradeoffs", labels, seqs, pts)
+}
+
+// -------------------------------------------------------------- Headline
+
+// HeadlineResult reproduces the paper's §1/§4.1 end-to-end claims:
+// input size vs cube size and build time on the full machine.
+type HeadlineResult struct {
+	P       int
+	Entries []HeadlineEntry
+}
+
+// HeadlineEntry is one input size.
+type HeadlineEntry struct {
+	N          int
+	Seconds    float64
+	CubeRows   int64
+	CubeGB     float64
+	InputMB    float64
+	Expansion  float64 // cube rows / input rows
+	CaseCounts map[mergepart.Case]int
+}
+
+// Headline runs the two headline builds (the paper's 2M- and 10M-row
+// data sets, scaled).
+func Headline(sc Scale) HeadlineResult {
+	res := HeadlineResult{P: sc.MaxP}
+	for _, n := range []int{sc.N2M, sc.N10M} {
+		spec := paperSpec(n, sc.Seed)
+		met := runParallel(spec, sc.MaxP, core.Config{D: spec.D})
+		res.Entries = append(res.Entries, HeadlineEntry{
+			N:          n,
+			Seconds:    met.SimSeconds,
+			CubeRows:   met.OutputRows,
+			CubeGB:     float64(met.OutputBytes) / 1e9,
+			InputMB:    float64(n*36) / 1e6,
+			Expansion:  float64(met.OutputRows) / float64(n),
+			CaseCounts: met.CaseCounts,
+		})
+	}
+	return res
+}
+
+// Print writes the headline table.
+func (r HeadlineResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Headline: end-to-end cube builds (p=%d)\n", r.P)
+	fmt.Fprintf(w, "%-10s | %10s | %12s | %8s | %10s\n", "n", "input MB", "cube rows", "cube GB", "seconds")
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "%-10d | %10.1f | %12d | %8.2f | %10.1f\n", e.N, e.InputMB, e.CubeRows, e.CubeGB, e.Seconds)
+	}
+}
+
+// viewCount is a small helper used by tests.
+func viewCount(d int) int { return len(lattice.AllViews(d)) }
+
+// ------------------------------------------------------------ Baseline
+
+// BaselinePoint compares the two architectures at one processor count.
+type BaselinePoint struct {
+	P                    int
+	WorkPartSeconds      float64
+	WorkPartSpeedup      float64
+	SharedNothingSeconds float64
+	SharedNothingSpeedup float64
+	WorkPartImbalance    float64
+}
+
+// BaselineResult compares the paper's shared-nothing data-partitioning
+// algorithm against the shared-disk work-partitioning family its
+// introduction contrasts (not a figure in the paper; our reproduction
+// of its architectural argument).
+type BaselineResult struct {
+	SeqSeconds float64
+	Points     []BaselinePoint
+}
+
+// Baseline runs the architecture comparison on the Figure 5 workload.
+func Baseline(sc Scale) BaselineResult {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	raw := gen.New(spec).All()
+	sq := runSeq(spec, seq.Config{D: spec.D})
+	res := BaselineResult{SeqSeconds: sq.SimSeconds}
+	for _, p := range sc.Procs {
+		_, wm := workpart.BuildCube(raw, workpart.Config{D: spec.D, P: p})
+		sn := runParallel(spec, p, core.Config{D: spec.D})
+		res.Points = append(res.Points, BaselinePoint{
+			P:                    p,
+			WorkPartSeconds:      wm.SimSeconds,
+			WorkPartSpeedup:      sq.SimSeconds / wm.SimSeconds,
+			SharedNothingSeconds: sn.SimSeconds,
+			SharedNothingSpeedup: sq.SimSeconds / sn.SimSeconds,
+			WorkPartImbalance:    wm.Imbalance,
+		})
+	}
+	return res
+}
+
+// Print writes the comparison table.
+func (r BaselineResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Baseline: shared-nothing data partitioning vs shared-disk work partitioning")
+	fmt.Fprintf(w, "%-6s | %24s | %24s | %10s\n", "p", "work partitioning", "shared-nothing (paper)", "wp imbal")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-6d | %12.1fs  %7.2fx | %12.1fs  %7.2fx | %10.2f\n",
+			pt.P, pt.WorkPartSeconds, pt.WorkPartSpeedup,
+			pt.SharedNothingSeconds, pt.SharedNothingSpeedup, pt.WorkPartImbalance)
+	}
+	fmt.Fprintf(w, "%-6s | %12.1fs\n", "seq", r.SeqSeconds)
+}

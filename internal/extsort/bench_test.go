@@ -1,0 +1,46 @@
+package extsort
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+func BenchmarkExternalSort(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d := simdisk.New(costmodel.NewClock(costmodel.Default()))
+				d.Put("f", randomTable(int64(i), n, 4, 1000))
+				rowBytes := record.RowBytes(4)
+				b.StartTimer()
+				SortBudget(d, "f", 1000*rowBytes, 100*rowBytes)
+			}
+			b.ReportMetric(float64(n), "rows")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1000 {
+		return itoa(n/1000) + "k"
+	}
+	return itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,208 @@
+// Package extsort implements the external-memory sort used by every
+// processor of the shared-nothing machine (the paper's second basic
+// local disk operation, per Vitter [22]): sorted runs are formed under
+// the memory budget m, then merged with a multi-way merge whose fan-in
+// is bounded by m/B, giving the O((n/B) log_{m/B} (n/B)) block-transfer
+// behaviour the paper cites.
+//
+// The sort operates on files of a simdisk.Disk and charges the owning
+// processor's clock for both the block transfers (via the disk) and the
+// comparison work (via costmodel.SortOps / MergeOps).
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+// Sort sorts the named file on disk d lexicographically over all its
+// columns, replacing its contents, using at most the clock's configured
+// memory budget for run formation and merge fan-in. It returns the
+// number of merge passes performed (0 when the file fits in memory).
+func Sort(d *simdisk.Disk, name string) int {
+	return SortBudget(d, name, d.Clock().Params().MemoryBytes, d.Clock().Params().BlockSize)
+}
+
+// SortBudget is Sort with an explicit memory budget and block size in
+// bytes, for tests and ablations.
+func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
+	n := d.Len(name)
+	if n < 0 {
+		panic(fmt.Sprintf("extsort: file %q does not exist", name))
+	}
+	if n <= 1 {
+		return 0
+	}
+	cols := d.Cols(name)
+	rowBytes := record.RowBytes(cols)
+	memRows := memBytes / rowBytes
+	if memRows < 2 {
+		memRows = 2
+	}
+	blockRows := blockBytes / rowBytes
+	if blockRows < 1 {
+		blockRows = 1
+	}
+	clk := d.Clock()
+
+	if n <= memRows {
+		// Fits in memory: one read, in-memory sort, one write.
+		t := d.ReadRange(name, 0, n)
+		clk.AddCompute(costmodel.SortOps(n))
+		t.Sort()
+		d.Remove(name)
+		d.Put(name, t)
+		return 0
+	}
+
+	// Run formation.
+	var runs []string
+	for lo, i := 0, 0; lo < n; lo, i = lo+memRows, i+1 {
+		hi := lo + memRows
+		if hi > n {
+			hi = n
+		}
+		run := d.ReadRange(name, lo, hi)
+		clk.AddCompute(costmodel.SortOps(run.Len()))
+		run.Sort()
+		rn := fmt.Sprintf("%s.run%d", name, i)
+		d.Put(rn, run)
+		runs = append(runs, rn)
+	}
+	d.Remove(name)
+
+	// Multi-way merge passes. Fan-in is bounded by the number of block
+	// buffers that fit in memory, reserving one buffer for output.
+	fanIn := memBytes/blockBytes - 1
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	passes := 0
+	gen := 0
+	for len(runs) > 1 {
+		passes++
+		var next []string
+		for g := 0; g*fanIn < len(runs); g++ {
+			lo := g * fanIn
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			out := fmt.Sprintf("%s.merge%d.%d", name, gen, g)
+			mergeRuns(d, runs[lo:hi], out, blockRows)
+			next = append(next, out)
+		}
+		runs = next
+		gen++
+	}
+	d.Rename(runs[0], name)
+	return passes
+}
+
+// cursor streams one sorted run from disk, blockRows rows at a time.
+type cursor struct {
+	d         *simdisk.Disk
+	name      string
+	pos, end  int
+	buf       *record.Table
+	bufPos    int
+	blockRows int
+	src       int
+}
+
+func newCursor(d *simdisk.Disk, name string, blockRows, src int) *cursor {
+	c := &cursor{d: d, name: name, end: d.Len(name), blockRows: blockRows, src: src}
+	c.fill()
+	return c
+}
+
+func (c *cursor) fill() {
+	if c.pos >= c.end {
+		c.buf = nil
+		return
+	}
+	hi := c.pos + c.blockRows
+	if hi > c.end {
+		hi = c.end
+	}
+	c.buf = c.d.ReadRange(c.name, c.pos, hi)
+	c.bufPos = 0
+	c.pos = hi
+}
+
+func (c *cursor) exhausted() bool { return c.buf == nil }
+
+// advance moves past the current row, refilling the buffer as needed.
+func (c *cursor) advance() {
+	c.bufPos++
+	if c.bufPos >= c.buf.Len() {
+		c.fill()
+	}
+}
+
+type cursorHeap []*cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	c := record.CompareTables(h[i].buf, h[i].bufPos, h[j].buf, h[j].bufPos, h[i].buf.D)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*cursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRuns merges the sorted run files into out, deleting the runs.
+func mergeRuns(d *simdisk.Disk, runs []string, out string, blockRows int) {
+	cols := d.Cols(runs[0])
+	clk := d.Clock()
+	h := make(cursorHeap, 0, len(runs))
+	total := 0
+	for i, r := range runs {
+		total += d.Len(r)
+		c := newCursor(d, r, blockRows, i)
+		if !c.exhausted() {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	clk.AddCompute(costmodel.MergeOps(total, len(runs)))
+
+	outBuf := record.New(cols, blockRows)
+	d.Put(out, record.New(cols, 0))
+	flush := func() {
+		if outBuf.Len() > 0 {
+			d.Append(out, outBuf)
+			outBuf = record.New(cols, blockRows)
+		}
+	}
+	for len(h) > 0 {
+		c := h[0]
+		outBuf.AppendFrom(c.buf, c.bufPos)
+		if outBuf.Len() >= blockRows {
+			flush()
+		}
+		c.advance()
+		if c.exhausted() {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	flush()
+	for _, r := range runs {
+		d.Remove(r)
+	}
+}

@@ -1,0 +1,160 @@
+// Package gen generates the synthetic data sets of the paper's
+// evaluation (§4): n records over d dimensions with per-dimension
+// cardinality |Di| and per-dimension Zipf skew αi (Zipf [26]; α = 0 is
+// uniform, α = 3 is highly skewed).
+//
+// Rows are produced by a counter-based generator: row i's values are a
+// pure function of (seed, i), so the data set is identical no matter
+// how many processors it is split across — exactly what speedup
+// experiments require — and each processor can generate its slice
+// independently without communication.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Spec describes a synthetic data set.
+type Spec struct {
+	N     int       // number of rows
+	D     int       // number of dimensions
+	Cards []int     // Cards[i] = |Di|; must be non-increasing (paper's w.l.o.g.)
+	Skews []float64 // Skews[i] = Zipf alpha for Di; nil means all zero
+	Seed  int64
+}
+
+// PaperCards is the cardinality mix used throughout the paper's d=8
+// experiments: 256, 128, 64, 32, 16, 8, 6, 6.
+func PaperCards() []int { return []int{256, 128, 64, 32, 16, 8, 6, 6} }
+
+// Validate checks the spec's internal consistency.
+func (s Spec) Validate() error {
+	if s.N < 0 {
+		return fmt.Errorf("gen: negative row count %d", s.N)
+	}
+	if s.D < 1 {
+		return fmt.Errorf("gen: need at least one dimension, got %d", s.D)
+	}
+	if len(s.Cards) != s.D {
+		return fmt.Errorf("gen: %d cardinalities for %d dimensions", len(s.Cards), s.D)
+	}
+	for i, c := range s.Cards {
+		if c < 1 {
+			return fmt.Errorf("gen: dimension %d has cardinality %d", i, c)
+		}
+		if i > 0 && c > s.Cards[i-1] {
+			return fmt.Errorf("gen: cardinalities must be non-increasing (|D%d|=%d > |D%d|=%d)", i, c, i-1, s.Cards[i-1])
+		}
+	}
+	if s.Skews != nil {
+		if len(s.Skews) != s.D {
+			return fmt.Errorf("gen: %d skews for %d dimensions", len(s.Skews), s.D)
+		}
+		for i, a := range s.Skews {
+			if a < 0 {
+				return fmt.Errorf("gen: dimension %d has negative skew %v", i, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Generator produces rows of a Spec.
+type Generator struct {
+	spec Spec
+	cdfs [][]float64 // per dimension, cumulative Zipf distribution
+}
+
+// New builds a generator, precomputing the per-dimension Zipf CDFs.
+// It panics on an invalid spec (specs are code, not user input).
+func New(spec Spec) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{spec: spec, cdfs: make([][]float64, spec.D)}
+	for i := 0; i < spec.D; i++ {
+		alpha := 0.0
+		if spec.Skews != nil {
+			alpha = spec.Skews[i]
+		}
+		g.cdfs[i] = zipfCDF(spec.Cards[i], alpha)
+	}
+	return g
+}
+
+// Spec returns the generator's spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// zipfCDF returns the cumulative distribution over {0..card-1} with
+// P(k) proportional to 1/(k+1)^alpha.
+func zipfCDF(card int, alpha float64) []float64 {
+	cdf := make([]float64, card)
+	sum := 0.0
+	for k := 0; k < card; k++ {
+		sum += math.Pow(float64(k+1), -alpha)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[card-1] = 1 // guard against rounding
+	return cdf
+}
+
+// splitmix64 is the counter-based PRNG core.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Row writes row i's dimension values into buf (length >= D).
+func (g *Generator) Row(i int, buf []uint32) {
+	for dim := 0; dim < g.spec.D; dim++ {
+		h := splitmix64(uint64(g.spec.Seed)<<20 ^ uint64(i)*0x9e3779b97f4a7c15 ^ uint64(dim)<<48)
+		u := float64(h>>11) / float64(1<<53)
+		cdf := g.cdfs[dim]
+		buf[dim] = uint32(sort.SearchFloat64s(cdf, u))
+		if int(buf[dim]) >= len(cdf) {
+			buf[dim] = uint32(len(cdf) - 1)
+		}
+	}
+}
+
+// Table materializes rows [lo, hi) with unit measures (so every view
+// aggregates to counts).
+func (g *Generator) Table(lo, hi int) *record.Table {
+	if lo < 0 || hi > g.spec.N || lo > hi {
+		panic(fmt.Sprintf("gen: range [%d,%d) out of bounds for n=%d", lo, hi, g.spec.N))
+	}
+	t := record.New(g.spec.D, hi-lo)
+	buf := make([]uint32, g.spec.D)
+	for i := lo; i < hi; i++ {
+		g.Row(i, buf)
+		t.Append(buf, 1)
+	}
+	return t
+}
+
+// All materializes the full data set.
+func (g *Generator) All() *record.Table { return g.Table(0, g.spec.N) }
+
+// Slice materializes processor rank's share of an even split across p
+// processors (Figure 2b's input distribution). The union of all slices
+// is exactly All(), independent of p.
+func (g *Generator) Slice(rank, p int) *record.Table {
+	if p < 1 || rank < 0 || rank >= p {
+		panic(fmt.Sprintf("gen: bad slice rank %d of %d", rank, p))
+	}
+	lo := rank * g.spec.N / p
+	hi := (rank + 1) * g.spec.N / p
+	return g.Table(lo, hi)
+}

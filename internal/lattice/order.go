@@ -1,0 +1,130 @@
+package lattice
+
+import "fmt"
+
+// Order is the attribute order of a materialized view: the sequence of
+// dimension indices its table columns follow. A view computed by a
+// linear scan of its parent must have an Order that is a prefix of the
+// parent's Order (bold edges in Figure 1b); otherwise the parent must
+// be re-sorted first.
+type Order []int
+
+// Canonical returns the canonical order of a view: dimensions in
+// decreasing cardinality (ascending index), the order used by view
+// identifiers.
+func Canonical(v ViewID) Order { return Order(v.Dims()) }
+
+// OrderOf builds an Order from explicit dimension indices, validating
+// that they form a permutation of v's dimensions.
+func OrderOf(v ViewID, dims []int) Order {
+	if len(dims) != v.Count() {
+		panic(fmt.Sprintf("lattice: order %v has %d dims, view %v has %d", dims, len(dims), v, v.Count()))
+	}
+	var seen ViewID
+	for _, i := range dims {
+		if !v.Has(i) || seen.Has(i) {
+			panic(fmt.Sprintf("lattice: order %v is not a permutation of view %v", dims, v))
+		}
+		seen = seen.Add(i)
+	}
+	return Order(append([]int(nil), dims...))
+}
+
+// View returns the view this order spans.
+func (o Order) View() ViewID {
+	var v ViewID
+	for _, i := range o {
+		v = v.Add(i)
+	}
+	return v
+}
+
+// Prefix returns a copy of the first k attributes as an Order.
+func (o Order) Prefix(k int) Order { return Order(append([]int(nil), o[:k]...)) }
+
+// IsPrefixOf reports whether o is a prefix of q.
+func (o Order) IsPrefixOf(q Order) bool {
+	if len(o) > len(q) {
+		return false
+	}
+	for i, v := range o {
+		if q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixView reports whether view v equals the set of the first
+// v.Count() attributes of q — i.e. a table ordered by q, aggregated to
+// v, stays sorted (the paper's prefix-view test, §2.4).
+func PrefixView(v ViewID, q Order) bool {
+	k := v.Count()
+	if k > len(q) {
+		return false
+	}
+	var set ViewID
+	for _, i := range q[:k] {
+		set = set.Add(i)
+	}
+	return set == v
+}
+
+// Extend returns o followed by the dimensions of v not already in o,
+// in canonical order. It derives a parent's order from its scan
+// child's order in Pipesort.
+func (o Order) Extend(v ViewID) Order {
+	out := Order(append([]int(nil), o...))
+	have := o.View()
+	for _, i := range v.Dims() {
+		if !have.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two orders are identical.
+func (o Order) Equal(q Order) bool {
+	if len(o) != len(q) {
+		return false
+	}
+	for i := range o {
+		if o[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the order as dimension letters, e.g. "CAB".
+func (o Order) String() string {
+	if len(o) == 0 {
+		return "all"
+	}
+	b := make([]byte, len(o))
+	for i, d := range o {
+		b[i] = byte('A' + d)
+	}
+	return string(b)
+}
+
+// ProjectionFrom returns, for each attribute of o, its column index in
+// parent order q. It panics if an attribute of o is missing from q.
+// The result drives record.Table.Project when deriving a child view's
+// layout from its parent's.
+func (o Order) ProjectionFrom(q Order) []int {
+	pos := map[int]int{}
+	for c, dim := range q {
+		pos[dim] = c
+	}
+	out := make([]int, len(o))
+	for i, dim := range o {
+		c, ok := pos[dim]
+		if !ok {
+			panic(fmt.Sprintf("lattice: attribute %c of %v not in parent order %v", 'A'+dim, o, q))
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeKind labels how a schedule-tree node's view is created from its
+// parent.
+type EdgeKind int
+
+const (
+	// EdgeRoot marks the tree root, created from raw (or globally
+	// sorted) data rather than from another view.
+	EdgeRoot EdgeKind = iota
+	// EdgeScan means the view is aggregated during a linear scan of
+	// its parent (the parent's order has the child as a prefix); bold
+	// edges in Figure 1b.
+	EdgeScan
+	// EdgeSort means the parent must be re-sorted into the child's
+	// order before the aggregating scan.
+	EdgeSort
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeRoot:
+		return "root"
+	case EdgeScan:
+		return "scan"
+	case EdgeSort:
+		return "sort"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Node is one view in a schedule tree.
+type Node struct {
+	View     ViewID
+	Order    Order // attribute order in which the view is materialized
+	Edge     EdgeKind
+	Parent   *Node
+	Children []*Node
+	// EstRows is the planner's estimated row count, retained for
+	// inspection and cost ablations.
+	EstRows float64
+	// Wanted marks views the user selected (always true for full
+	// cubes). Unwanted nodes are intermediate views a partial-cube
+	// plan materializes only to cheapen descendants (Figure 1c).
+	Wanted bool
+}
+
+// Tree is a schedule tree (Figure 1b,c): a subgraph of the lattice
+// rooted at the partition root, giving the order and method (scan or
+// sort) by which each view is created.
+type Tree struct {
+	D     int // cube dimensionality (for rendering and validation)
+	Root  *Node
+	nodes map[ViewID]*Node
+}
+
+// NewTree creates a schedule tree with the given root view and order.
+func NewTree(d int, rootView ViewID, rootOrder Order) *Tree {
+	checkDims(d)
+	root := &Node{View: rootView, Order: OrderOf(rootView, rootOrder), Edge: EdgeRoot, Wanted: true}
+	return &Tree{D: d, Root: root, nodes: map[ViewID]*Node{rootView: root}}
+}
+
+// AddChild inserts child under parent with the given materialization
+// order and edge kind, returning the new node. Each view may appear at
+// most once in a tree.
+func (t *Tree) AddChild(parent ViewID, child ViewID, order Order, kind EdgeKind) *Node {
+	p, ok := t.nodes[parent]
+	if !ok {
+		panic(fmt.Sprintf("lattice: parent %v not in tree", parent))
+	}
+	if _, dup := t.nodes[child]; dup {
+		panic(fmt.Sprintf("lattice: view %v already in tree", child))
+	}
+	if kind != EdgeScan && kind != EdgeSort {
+		panic(fmt.Sprintf("lattice: child edge must be scan or sort, got %v", kind))
+	}
+	n := &Node{View: child, Order: OrderOf(child, order), Edge: kind, Parent: p, Wanted: true}
+	p.Children = append(p.Children, n)
+	t.nodes[child] = n
+	return n
+}
+
+// Node returns the node for view v, or nil.
+func (t *Tree) Node(v ViewID) *Node { return t.nodes[v] }
+
+// Len returns the number of views in the tree.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Views returns the views in the tree in ascending ViewID order.
+func (t *Tree) Views() []ViewID {
+	out := make([]ViewID, 0, len(t.nodes))
+	for v := range t.nodes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Walk visits nodes in depth-first preorder (parents before children,
+// children in insertion order).
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// ScanChain returns the maximal chain of scan edges starting at n:
+// n itself followed by its scan child, that child's scan child, and so
+// on. These views are all produced in the single linear scan that
+// materializes n (a Pipesort pipeline).
+func ScanChain(n *Node) []*Node {
+	chain := []*Node{n}
+	for {
+		var next *Node
+		for _, c := range chain[len(chain)-1].Children {
+			if c.Edge == EdgeScan {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return chain
+		}
+		chain = append(chain, next)
+	}
+}
+
+// Validate checks the structural invariants of a schedule tree:
+// every child's view is a strict subset of its parent's; scan children
+// have orders that are prefixes of their parent's order; each node has
+// at most one scan child; and all nodes are reachable from the root.
+func (t *Tree) Validate() error {
+	reached := 0
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		reached++
+		if t.nodes[n.View] != n {
+			err = fmt.Errorf("lattice: node %v not indexed", n.View)
+			return
+		}
+		scans := 0
+		for _, c := range n.Children {
+			if !c.View.SubsetOf(n.View) || c.View == n.View {
+				err = fmt.Errorf("lattice: child %v is not a strict subset of parent %v", c.View, n.View)
+				return
+			}
+			if c.Parent != n {
+				err = fmt.Errorf("lattice: child %v has wrong parent pointer", c.View)
+				return
+			}
+			if c.Edge == EdgeScan {
+				scans++
+				if !c.Order.IsPrefixOf(n.Order) {
+					err = fmt.Errorf("lattice: scan child %v order %v is not a prefix of parent order %v",
+						c.View, c.Order, n.Order)
+					return
+				}
+			}
+		}
+		if scans > 1 {
+			err = fmt.Errorf("lattice: node %v has %d scan children", n.View, scans)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if reached != len(t.nodes) {
+		return fmt.Errorf("lattice: %d nodes indexed but %d reachable", len(t.nodes), reached)
+	}
+	return nil
+}
+
+// EncodedBytes models the wire size of broadcasting the tree (Step 2b
+// of Procedure 1): per node, the view id, parent id, edge kind, and
+// attribute order.
+func (t *Tree) EncodedBytes() int {
+	total := 0
+	t.Walk(func(n *Node) { total += 4 + 4 + 1 + len(n.Order) })
+	return total
+}
+
+// String renders the tree with indentation, e.g. for test failures.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		mark := ""
+		if !n.Wanted {
+			mark = " (intermediate)"
+		}
+		fmt.Fprintf(&sb, "%s[%s] order=%s%s\n", n.View, n.Edge, n.Order, mark)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}

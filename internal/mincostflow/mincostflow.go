@@ -1,0 +1,198 @@
+// Package mincostflow implements minimum-cost maximum-flow via
+// successive shortest augmenting paths. It stands in for the LEDA graph
+// and matching routines the paper's implementation used [13]: Pipesort's
+// per-level schedule construction reduces to a minimum-cost bipartite
+// assignment, which package pipesort expresses as a flow network over
+// this package.
+//
+// Capacities are integers; costs are non-negative float64 per unit of
+// flow. Graph sizes here are small (lattice levels have at most a few
+// hundred views), so the simple SPFA-based search is more than fast
+// enough and exact.
+package mincostflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a flow network under construction. Nodes are dense integers
+// [0, n).
+type Graph struct {
+	n     int
+	head  []int // head[v] = first edge index of v's adjacency list, -1 if none
+	next  []int // next[e] = next edge in the same list
+	to    []int
+	cap   []int
+	cost  []float64
+	flows []int
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("mincostflow: negative node count %d", n))
+	}
+	head := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Graph{n: n, head: head}
+}
+
+// AddEdge adds a directed edge from->to with the given capacity and
+// per-unit cost, returning an edge handle usable with Flow after
+// solving. The reverse (residual) edge is added automatically.
+func (g *Graph) AddEdge(from, to, capacity int, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mincostflow: edge %d->%d out of range (n=%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("mincostflow: negative capacity %d", capacity))
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("mincostflow: negative cost %v", cost))
+	}
+	id := len(g.to)
+	g.addHalf(from, to, capacity, cost)
+	g.addHalf(to, from, 0, -cost)
+	return id
+}
+
+func (g *Graph) addHalf(from, to, capacity int, cost float64) {
+	g.to = append(g.to, to)
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.flows = append(g.flows, 0)
+	g.next = append(g.next, g.head[from])
+	g.head[from] = len(g.to) - 1
+}
+
+// Flow returns the flow pushed through the edge with the given handle.
+func (g *Graph) Flow(edge int) int { return g.flows[edge] }
+
+// Solve computes a minimum-cost maximum flow from s to t and returns
+// the total flow and its total cost.
+func (g *Graph) Solve(s, t int) (flow int, cost float64) {
+	if s == t {
+		panic("mincostflow: source equals sink")
+	}
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+	for {
+		// SPFA shortest path on residual costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for e := g.head[u]; e != -1; e = g.next[e] {
+				if g.cap[e] <= 0 {
+					continue
+				}
+				v := g.to[e]
+				if nd := dist[u] + g.cost[e]; nd < dist[v]-1e-12 {
+					dist[v] = nd
+					prevEdge[v] = e
+					if !inQueue[v] {
+						queue = append(queue, v)
+						inQueue[v] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return flow, cost
+		}
+		// Bottleneck along the path.
+		push := math.MaxInt
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if g.cap[e] < push {
+				push = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		// Augment.
+		for v := t; v != s; {
+			e := prevEdge[v]
+			g.cap[e] -= push
+			g.cap[e^1] += push
+			g.flows[e] += push
+			g.flows[e^1] -= push
+			v = g.to[e^1]
+		}
+		flow += push
+		cost += float64(push) * dist[t]
+	}
+}
+
+// AssignmentEdge describes one admissible (agent, task) pair for
+// Assignment; each edge can carry one task.
+type AssignmentEdge struct {
+	Agent, Task int
+	Cost        float64
+}
+
+// Assignment solves a min-cost assignment of tasks to agents: every
+// task (0..len per agentCaps semantics) must be matched through exactly
+// one admissible edge. agentCaps[a] bounds how many tasks agent a may
+// take in total (0 or negative means unlimited). Pipesort uses one
+// capacity-1 "scan" agent and one unlimited "sort" agent per parent
+// view. It returns, for each task, the index into edges of the edge
+// that carried it, or an error if some task cannot be assigned.
+func Assignment(agentCaps []int, tasks int, edges []AssignmentEdge) ([]int, float64, error) {
+	agents := len(agentCaps)
+	// Node layout: 0 = source, 1..agents = agent nodes,
+	// agents+1..agents+tasks = task nodes, last = sink.
+	src := 0
+	sink := agents + tasks + 1
+	g := New(agents + tasks + 2)
+	handles := make([]int, len(edges))
+	demand := make([]int, agents) // number of admissible edges per agent
+	for i, e := range edges {
+		if e.Agent < 0 || e.Agent >= agents || e.Task < 0 || e.Task >= tasks {
+			return nil, 0, fmt.Errorf("mincostflow: edge %d out of range", i)
+		}
+		handles[i] = g.AddEdge(1+e.Agent, 1+agents+e.Task, 1, e.Cost)
+		demand[e.Agent]++
+	}
+	for a := 0; a < agents; a++ {
+		c := agentCaps[a]
+		if c <= 0 || c > demand[a] {
+			c = demand[a]
+		}
+		if c > 0 {
+			g.AddEdge(src, 1+a, c, 0)
+		}
+	}
+	for t := 0; t < tasks; t++ {
+		g.AddEdge(1+agents+t, sink, 1, 0)
+	}
+	flow, cost := g.Solve(src, sink)
+	if flow != tasks {
+		return nil, 0, fmt.Errorf("mincostflow: only %d of %d tasks assignable", flow, tasks)
+	}
+	pick := make([]int, tasks)
+	for i := range pick {
+		pick[i] = -1
+	}
+	for i := range edges {
+		if g.Flow(handles[i]) > 0 {
+			pick[edges[i].Task] = i
+		}
+	}
+	for t, p := range pick {
+		if p == -1 {
+			return nil, 0, fmt.Errorf("mincostflow: task %d unassigned despite full flow", t)
+		}
+	}
+	return pick, cost, nil
+}

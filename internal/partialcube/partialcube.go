@@ -1,0 +1,218 @@
+// Package partialcube plans schedule trees for partial data cubes
+// (§3 of the paper): only a user-selected subset S of views is
+// materialized. Following the paper's reference [4] (Dehne, Eavis,
+// Rau-Chaplin, "Computing partial data cubes"), two planners are
+// provided:
+//
+//   - Pruned: run Pipesort over the full lattice and prune the
+//     resulting tree to the subtree spanning the selected views. Nodes
+//     kept only to cheapen descendants are marked as intermediate
+//     (Wanted == false), matching Figure 1c where unselected views are
+//     materialized on the way to selected ones.
+//   - Greedy: build the tree directly from the lattice, attaching each
+//     selected view (largest first) to the cheapest already-planned
+//     superset via a scan edge when the attribute orders allow it and
+//     a sort edge otherwise.
+//
+// Both return trees whose root is the partition root; the root is
+// marked intermediate unless itself selected.
+package partialcube
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/estimate"
+	"repro/internal/lattice"
+	"repro/internal/pipesort"
+)
+
+// Kind selects the planning strategy.
+type Kind int
+
+const (
+	// Pruned derives the partial tree from a full Pipesort tree.
+	Pruned Kind = iota
+	// Greedy builds the partial tree directly from the lattice.
+	Greedy
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Pruned:
+		return "pruned"
+	case Greedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Plan builds a partial-cube schedule tree over the views of `all`
+// (the candidate lattice subset, e.g. a full Di-partition), keeping
+// only what is needed to produce `selected`. rootOrder pins the root's
+// materialization order when non-nil. selected must be a subset of
+// all; the root itself need not be selected.
+func Plan(kind Kind, d int, root lattice.ViewID, rootOrder lattice.Order, all, selected []lattice.ViewID, sizer estimate.Sizer) *lattice.Tree {
+	selSet := map[lattice.ViewID]bool{}
+	for _, v := range selected {
+		if !v.SubsetOf(root) {
+			panic(fmt.Sprintf("partialcube: selected view %v not a subset of root %v", v, root))
+		}
+		selSet[v] = true
+	}
+	var tree *lattice.Tree
+	switch kind {
+	case Pruned:
+		tree = planPruned(d, root, rootOrder, all, selSet, sizer)
+	case Greedy:
+		tree = planGreedy(d, root, rootOrder, selected, selSet, sizer)
+	default:
+		panic(fmt.Sprintf("partialcube: unknown planner %d", int(kind)))
+	}
+	// Mark wanted-ness.
+	tree.Walk(func(n *lattice.Node) { n.Wanted = selSet[n.View] })
+	return tree
+}
+
+// planPruned plans the full tree and keeps exactly the nodes with a
+// selected view in their subtree (selected nodes' ancestors are
+// automatically retained, so the result stays a tree).
+func planPruned(d int, root lattice.ViewID, rootOrder lattice.Order, all []lattice.ViewID, selSet map[lattice.ViewID]bool, sizer estimate.Sizer) *lattice.Tree {
+	full := pipesort.Plan(d, root, rootOrder, all, sizer)
+	keep := map[lattice.ViewID]bool{}
+	var mark func(n *lattice.Node) bool
+	mark = func(n *lattice.Node) bool {
+		need := selSet[n.View]
+		for _, c := range n.Children {
+			if mark(c) {
+				need = true
+			}
+		}
+		keep[n.View] = need
+		return need
+	}
+	mark(full.Root)
+
+	pruned := lattice.NewTree(d, root, full.Root.Order)
+	pruned.Root.EstRows = full.Root.EstRows
+	var copyKept func(n *lattice.Node)
+	copyKept = func(n *lattice.Node) {
+		for _, c := range n.Children {
+			if keep[c.View] {
+				nc := pruned.AddChild(n.View, c.View, c.Order, c.Edge)
+				nc.EstRows = c.EstRows
+				copyKept(c)
+			}
+		}
+	}
+	copyKept(full.Root)
+	return pruned
+}
+
+// planGreedy attaches selected views directly, largest level first.
+func planGreedy(d int, root lattice.ViewID, rootOrder lattice.Order, selected []lattice.ViewID, selSet map[lattice.ViewID]bool, sizer estimate.Sizer) *lattice.Tree {
+	if rootOrder == nil {
+		rootOrder = lattice.Canonical(root)
+	}
+	tree := lattice.NewTree(d, root, rootOrder)
+	tree.Root.EstRows = sizer.EstimateView(root)
+
+	todo := append([]lattice.ViewID(nil), selected...)
+	sort.Slice(todo, func(i, j int) bool {
+		if todo[i].Count() != todo[j].Count() {
+			return todo[i].Count() > todo[j].Count()
+		}
+		return todo[i] < todo[j]
+	})
+	for _, v := range todo {
+		if tree.Node(v) != nil {
+			continue
+		}
+		var bestParent *lattice.Node
+		bestKind := lattice.EdgeSort
+		bestCost := 0.0
+		tree.Walk(func(n *lattice.Node) {
+			if !v.SubsetOf(n.View) || v == n.View {
+				return
+			}
+			// A scan edge is feasible when v is exactly the prefix set
+			// of the parent's order and the scan slot is free.
+			kind := lattice.EdgeSort
+			cost := costmodel.SortOps(int(n.EstRows))
+			if lattice.PrefixView(v, n.Order) && !hasScanChild(n) {
+				kind = lattice.EdgeScan
+				cost = costmodel.ScanOps(int(n.EstRows))
+			}
+			if bestParent == nil || cost < bestCost {
+				bestParent, bestKind, bestCost = n, kind, cost
+			}
+		})
+		var order lattice.Order
+		if bestKind == lattice.EdgeScan {
+			order = bestParent.Order.Prefix(v.Count())
+		} else {
+			order = lattice.Canonical(v)
+		}
+		n := tree.AddChild(bestParent.View, v, order, bestKind)
+		n.EstRows = sizer.EstimateView(v)
+	}
+	return tree
+}
+
+func hasScanChild(n *lattice.Node) bool {
+	for _, c := range n.Children {
+		if c.Edge == lattice.EdgeScan {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectPercent deterministically selects approximately pct percent of
+// the views of a d-dimensional lattice, preferring low-dimensional
+// views (randomized within each level, seeded for reproducibility).
+// This models the paper's §3 motivation — users materialize the views
+// OLAP queries actually touch, typically those "with at most 5
+// dimensions" — and is the workload generator behind Figure 6's
+// 25/50/75/100% experiments. Selections are nested: a larger
+// percentage is a superset of a smaller one under the same seed.
+func SelectPercent(d int, pct int, seed int64) []lattice.ViewID {
+	if pct < 0 || pct > 100 {
+		panic(fmt.Sprintf("partialcube: percentage %d out of range", pct))
+	}
+	all := lattice.AllViews(d)
+	if pct == 100 {
+		return all
+	}
+	// Order by level (coarse views first), breaking ties with a seeded
+	// hash, then take a prefix.
+	type hv struct {
+		v lattice.ViewID
+		h uint64
+	}
+	hs := make([]hv, len(all))
+	for i, v := range all {
+		x := uint64(seed)<<32 ^ uint64(v)*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		hs[i] = hv{v, x}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].v.Count() != hs[j].v.Count() {
+			return hs[i].v.Count() < hs[j].v.Count()
+		}
+		return hs[i].h < hs[j].h
+	})
+	k := len(all) * pct / 100
+	if k < 1 {
+		k = 1
+	}
+	out := make([]lattice.ViewID, 0, k)
+	for _, e := range hs[:k] {
+		out = append(out, e.v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

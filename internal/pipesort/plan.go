@@ -1,0 +1,186 @@
+// Package pipesort implements the sequential top-down data cube method
+// the parallel algorithm uses as its building block (Sarawagi, Agrawal,
+// Gupta [20]): schedule-tree construction by level-wise minimum-cost
+// bipartite matching over the lattice, and the pipelined scan/sort
+// execution phase that materializes every view of the tree.
+//
+// The parallel algorithm (Procedure 1, Step 2) plans one tree per
+// Di-partition with the root's attribute order pinned to the global
+// sort order (Di,...,Dd-1), so that the partition's prefix views come
+// out in the global order and merge cheaply. The sequential baseline
+// plans over the whole lattice with a free root order.
+package pipesort
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/estimate"
+	"repro/internal/lattice"
+	"repro/internal/mincostflow"
+)
+
+// Plan builds a Pipesort schedule tree over the given views.
+//
+// root must be a member of views and a superset of all of them. If
+// rootOrder is non-nil the root is materialized in exactly that
+// attribute order (the parallel algorithm pins it to the global sort
+// order); if nil, the planner is free to choose the order that
+// cheapens the root's pipeline. sizer provides view-size estimates for
+// the scan/sort edge costs.
+//
+// Every view must be reachable through the next populated level: for
+// full partitions (lattice.Partition) this always holds. Plan panics
+// on malformed inputs; it is driven by code, not user data.
+func Plan(d int, root lattice.ViewID, rootOrder lattice.Order, views []lattice.ViewID, sizer estimate.Sizer) *lattice.Tree {
+	// Group views by level, validating along the way.
+	byLevel := make(map[int][]lattice.ViewID)
+	foundRoot := false
+	for _, v := range views {
+		if !v.SubsetOf(root) {
+			panic(fmt.Sprintf("pipesort: view %v is not a subset of root %v", v, root))
+		}
+		if v == root {
+			foundRoot = true
+			continue
+		}
+		byLevel[v.Count()] = append(byLevel[v.Count()], v)
+	}
+	if !foundRoot {
+		panic(fmt.Sprintf("pipesort: root %v not among the views", root))
+	}
+
+	type planNode struct {
+		view     lattice.ViewID
+		parent   lattice.ViewID
+		edge     lattice.EdgeKind
+		forced   lattice.Order // non-nil when the order is pinned from above
+		est      float64
+		children []*planNode
+		scan     *planNode // scan child, if any
+	}
+	nodes := map[lattice.ViewID]*planNode{}
+	rootNode := &planNode{view: root, edge: lattice.EdgeRoot, est: sizer.EstimateView(root)}
+	if rootOrder != nil {
+		rootNode.forced = lattice.OrderOf(root, rootOrder)
+	}
+	nodes[root] = rootNode
+
+	// Walk levels top-down. Parents of level k are the views of the
+	// smallest populated level above k (the root's level acts as the
+	// top). For full partitions that is always k+1.
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+
+	parents := []*planNode{rootNode}
+	for _, l := range levels {
+		children := byLevel[l]
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+
+		// Two agents per parent: a capacity-1 scan agent (even index)
+		// and an unlimited sort agent (odd index).
+		caps := make([]int, 2*len(parents))
+		for i := range parents {
+			caps[2*i] = 1
+			caps[2*i+1] = 0
+		}
+		var edges []mincostflow.AssignmentEdge
+		for pi, p := range parents {
+			scanCost := costmodel.ScanOps(int(p.est))
+			sortCost := costmodel.SortOps(int(p.est))
+			for ci, c := range children {
+				if !c.SubsetOf(p.view) {
+					continue
+				}
+				edges = append(edges, mincostflow.AssignmentEdge{Agent: 2*pi + 1, Task: ci, Cost: sortCost})
+				// A scan edge is admissible unless the parent's order is
+				// already pinned and the child is not the corresponding
+				// prefix set.
+				if p.forced == nil || lattice.PrefixView(c, p.forced) {
+					edges = append(edges, mincostflow.AssignmentEdge{Agent: 2 * pi, Task: ci, Cost: scanCost})
+				}
+			}
+		}
+		pick, _, err := mincostflow.Assignment(caps, len(children), edges)
+		if err != nil {
+			panic(fmt.Sprintf("pipesort: level %d unmatchable: %v", l, err))
+		}
+
+		next := make([]*planNode, 0, len(children))
+		for ci, c := range children {
+			e := edges[pick[ci]]
+			p := parents[e.Agent/2]
+			kind := lattice.EdgeSort
+			if e.Agent%2 == 0 {
+				kind = lattice.EdgeScan
+			}
+			n := &planNode{view: c, parent: p.view, edge: kind, est: sizer.EstimateView(c)}
+			if kind == lattice.EdgeScan {
+				p.scan = n
+				if p.forced != nil {
+					n.forced = p.forced.Prefix(c.Count())
+				}
+			}
+			p.children = append(p.children, n)
+			nodes[c] = n
+			next = append(next, n)
+		}
+		parents = next
+	}
+
+	// Derive materialization orders. Forced orders win; otherwise a
+	// node's order is its scan child's order extended by its remaining
+	// attributes (so scan children are prefixes by construction),
+	// bottoming out at the canonical order.
+	var orderOf func(n *planNode) lattice.Order
+	memo := map[lattice.ViewID]lattice.Order{}
+	orderOf = func(n *planNode) lattice.Order {
+		if o, ok := memo[n.view]; ok {
+			return o
+		}
+		var o lattice.Order
+		switch {
+		case n.forced != nil:
+			o = n.forced
+		case n.scan != nil:
+			o = orderOf(n.scan).Extend(n.view)
+		default:
+			o = lattice.Canonical(n.view)
+		}
+		memo[n.view] = o
+		return o
+	}
+
+	tree := lattice.NewTree(d, root, orderOf(rootNode))
+	tree.Root.EstRows = rootNode.est
+	var build func(p *planNode)
+	build = func(p *planNode) {
+		// Deterministic child order: scan child first, then by view id.
+		sort.Slice(p.children, func(i, j int) bool {
+			ci, cj := p.children[i], p.children[j]
+			if (ci.edge == lattice.EdgeScan) != (cj.edge == lattice.EdgeScan) {
+				return ci.edge == lattice.EdgeScan
+			}
+			return ci.view < cj.view
+		})
+		for _, c := range p.children {
+			n := tree.AddChild(p.view, c.view, orderOf(c), c.edge)
+			n.EstRows = c.est
+			build(c)
+		}
+	}
+	build(rootNode)
+	return tree
+}
+
+// PlanPartition plans the schedule tree for the full Di-partition of a
+// d-dimensional cube with the root order pinned to the global sort
+// order (Di,...,Dd-1), as Procedure 1 Step 2a requires.
+func PlanPartition(i, d int, sizer estimate.Sizer) *lattice.Tree {
+	root := lattice.Root(i, d)
+	return Plan(d, root, lattice.Canonical(root), lattice.Partition(i, d), sizer)
+}

@@ -1,0 +1,97 @@
+package record
+
+import "fmt"
+
+// AggOp is the aggregate operator applied to measures when rows with
+// equal keys are combined. All operators are associative and
+// commutative, which the distributed merge relies on: partial
+// aggregates computed on different processors combine in any order.
+// (COUNT is OpSum over unit measures; AVG is derivable from a SUM cube
+// plus a COUNT cube, per Gray et al.'s algebraic-aggregate
+// classification.)
+type AggOp int
+
+const (
+	// OpSum adds measures (the default; also COUNT with measure 1).
+	OpSum AggOp = iota
+	// OpMin keeps the minimum measure.
+	OpMin
+	// OpMax keeps the maximum measure.
+	OpMax
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggOp(%d)", int(op))
+}
+
+// Combine merges two partial aggregates.
+func (op AggOp) Combine(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("record: unknown aggregate operator %d", int(op)))
+}
+
+// AggregateSortedOpInto is AggregateSortedInto with an explicit
+// operator.
+func AggregateSortedOpInto(t *Table, k int, out *Table, op AggOp) {
+	if out.D != k {
+		panic(fmt.Sprintf("record: aggregate output has %d columns, want %d", out.D, k))
+	}
+	n := t.Len()
+	if n == 0 {
+		return
+	}
+	runStart := 0
+	acc := t.meas[0]
+	for i := 1; i < n; i++ {
+		if t.Compare(runStart, i, k) == 0 {
+			acc = op.Combine(acc, t.meas[i])
+			continue
+		}
+		out.dims = append(out.dims, t.dims[runStart*t.D:runStart*t.D+k]...)
+		out.meas = append(out.meas, acc)
+		runStart = i
+		acc = t.meas[i]
+	}
+	out.dims = append(out.dims, t.dims[runStart*t.D:runStart*t.D+k]...)
+	out.meas = append(out.meas, acc)
+}
+
+// AggregateSortedOp is AggregateSortedOpInto with a fresh output.
+func AggregateSortedOp(t *Table, k int, op AggOp) *Table {
+	out := New(k, 0)
+	AggregateSortedOpInto(t, k, out, op)
+	return out
+}
+
+// SortAggregateOp sorts t and collapses full-row duplicates with op.
+func SortAggregateOp(t *Table, op AggOp) *Table {
+	t.Sort()
+	return AggregateSortedOp(t, t.D, op)
+}
+
+// MergeSortedAggregateOp merges sorted tables collapsing duplicates
+// with op.
+func MergeSortedAggregateOp(tables []*Table, op AggOp) *Table {
+	return mergeSortedOp(tables, true, op)
+}

@@ -1,0 +1,95 @@
+package record
+
+import "container/heap"
+
+// mergeItem is a cursor into one sorted input run.
+type mergeItem struct {
+	t   *Table
+	pos int
+	src int // input index, used to break ties deterministically
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := CompareTables(h[i].t, h[i].pos, h[j].t, h[j].pos, h[i].t.D)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)      { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any        { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h mergeHeap) peek() *mergeItem { return &h[0] }
+func (h mergeHeap) empty() bool      { return len(h) == 0 }
+
+// MergeSorted merges sorted tables (all with the same column count,
+// each sorted over all columns) into one sorted table. Ties are broken
+// by input index, making the merge deterministic.
+func MergeSorted(tables []*Table) *Table {
+	return mergeSorted(tables, false)
+}
+
+// MergeSortedAggregate merges sorted tables and collapses full-row
+// duplicates, summing measures. Each input must already be sorted; the
+// inputs may contain rows equal to rows of other inputs (but are not
+// required to be internally duplicate-free). Use
+// MergeSortedAggregateOp for other aggregate operators.
+func MergeSortedAggregate(tables []*Table) *Table {
+	return mergeSortedOp(tables, true, OpSum)
+}
+
+func mergeSorted(tables []*Table, aggregate bool) *Table {
+	return mergeSortedOp(tables, aggregate, OpSum)
+}
+
+func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
+	d := -1
+	total := 0
+	for _, t := range tables {
+		if t == nil || t.Len() == 0 {
+			continue
+		}
+		if d == -1 {
+			d = t.D
+		} else if t.D != d {
+			panic("record: merging tables with different column counts")
+		}
+		total += t.Len()
+	}
+	if d == -1 {
+		// All inputs empty: preserve column count if any input exists.
+		for _, t := range tables {
+			if t != nil {
+				return New(t.D, 0)
+			}
+		}
+		return New(0, 0)
+	}
+	out := New(d, total)
+	h := make(mergeHeap, 0, len(tables))
+	for i, t := range tables {
+		if t != nil && t.Len() > 0 {
+			h = append(h, mergeItem{t: t, pos: 0, src: i})
+		}
+	}
+	heap.Init(&h)
+	for !h.empty() {
+		it := h.peek()
+		row := it.t
+		pos := it.pos
+		if aggregate && out.Len() > 0 && CompareTables(out, out.Len()-1, row, pos, d) == 0 {
+			out.SetMeas(out.Len()-1, op.Combine(out.Meas(out.Len()-1), row.Meas(pos)))
+		} else {
+			out.AppendFrom(row, pos)
+		}
+		if it.pos++; it.pos >= it.t.Len() {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}

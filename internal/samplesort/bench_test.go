@@ -1,0 +1,39 @@
+package samplesort
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+)
+
+func BenchmarkAdaptiveSampleSort(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run("p"+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				parts, _ := randomParts(int64(i), p, 20_000, 3, 5000)
+				m := cluster.New(p, costmodel.Default())
+				for r, tb := range parts {
+					m.Proc(r).Disk().Put("f", tb)
+				}
+				b.StartTimer()
+				m.Run(func(pr *cluster.Proc) { Sort(pr, "f", 0.01) })
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

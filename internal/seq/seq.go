@@ -1,0 +1,125 @@
+// Package seq provides the sequential baselines of the paper's
+// evaluation: the single-machine Pipesort full-cube builder [3] and the
+// sequential partial-cube builder [4]. All speedup figures divide these
+// baselines' simulated times by the parallel times (§4.1: "sequential
+// times ... were measured on a single processor of our parallel machine
+// using our sequential implementations of Pipesort and Partial cube").
+//
+// The baseline runs on one simulated processor (one clock, one disk):
+// it plans a single schedule tree over the whole lattice with a free
+// root order — no data partitioning and no merging.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/estimate"
+	"repro/internal/extsort"
+	"repro/internal/lattice"
+	"repro/internal/partialcube"
+	"repro/internal/pipesort"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+// Config parameterizes a sequential build.
+type Config struct {
+	// D is the data dimensionality.
+	D int
+	// Selected lists the views to build; nil means the full cube.
+	Selected []lattice.ViewID
+	// Partial selects the partial-cube planner for proper subsets.
+	Partial partialcube.Kind
+	// Params is the machine cost model (defaults to costmodel.Default).
+	Params *costmodel.Params
+	// Agg is the aggregate operator (default record.OpSum).
+	Agg record.AggOp
+}
+
+// Metrics reports a sequential build.
+type Metrics struct {
+	SimSeconds  float64
+	OutputRows  int64
+	OutputBytes int64
+	Sorts       int
+	ViewRows    map[lattice.ViewID]int64
+}
+
+// ViewFile names the output file for a view on the baseline's disk.
+func ViewFile(v lattice.ViewID) string { return "cube." + v.String() }
+
+// BuildCube builds the (partial) cube of raw sequentially, returning
+// the disk holding every requested view and the metrics.
+func BuildCube(raw *record.Table, cfg Config) (*simdisk.Disk, Metrics) {
+	if cfg.D < 1 || raw.D != cfg.D {
+		panic(fmt.Sprintf("seq: table has %d columns, config says %d", raw.D, cfg.D))
+	}
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	clk := costmodel.NewClock(params)
+	disk := simdisk.New(clk)
+
+	// The raw data starts on disk, as in the paper's timing protocol
+	// ("all times include the time taken to read the input from
+	// files").
+	disk.Put("raw", raw.Clone())
+
+	sel := cfg.Selected
+	if sel == nil {
+		sel = lattice.AllViews(cfg.D)
+	}
+	full := len(sel) == 1<<uint(cfg.D)
+
+	// Plan from measured statistics, free root order.
+	input := disk.MustGet("raw")
+	clk.AddCompute(costmodel.ScanOps(input.Len()) * float64(cfg.D))
+	cards := estimate.MeasureCardinalities(input, lattice.Canonical(lattice.Full(cfg.D)))
+	sizer := estimate.NewCardenas(int64(input.Len()), cards)
+
+	root := lattice.Full(cfg.D)
+	var tree *lattice.Tree
+	if full {
+		tree = pipesort.Plan(cfg.D, root, nil, lattice.AllViews(cfg.D), sizer)
+	} else {
+		tree = partialcube.Plan(cfg.Partial, cfg.D, root, nil, lattice.AllViews(cfg.D), sel, sizer)
+	}
+
+	// Materialize the root: project the raw data into the root order,
+	// external sort, aggregate.
+	clk.AddCompute(costmodel.ScanOps(input.Len()))
+	disk.Put(ViewFile(root), input.Project([]int(tree.Root.Order)))
+	extsort.Sort(disk, ViewFile(root))
+	t := disk.MustTake(ViewFile(root))
+	clk.AddCompute(costmodel.ScanOps(t.Len()))
+	disk.Put(ViewFile(root), record.AggregateSortedOp(t, t.D, cfg.Agg))
+
+	st := pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{Op: cfg.Agg})
+
+	// Drop intermediates not selected.
+	selSet := map[lattice.ViewID]bool{}
+	for _, v := range sel {
+		selSet[v] = true
+	}
+	tree.Walk(func(n *lattice.Node) {
+		if !selSet[n.View] {
+			disk.Remove(ViewFile(n.View))
+		}
+	})
+
+	met := Metrics{
+		SimSeconds: clk.Seconds(),
+		Sorts:      st.Sorts,
+		ViewRows:   map[lattice.ViewID]int64{},
+	}
+	for _, v := range sel {
+		if n := disk.Len(ViewFile(v)); n > 0 {
+			met.ViewRows[v] = int64(n)
+			met.OutputRows += int64(n)
+			met.OutputBytes += int64(n * record.RowBytes(v.Count()))
+		}
+	}
+	return disk, met
+}

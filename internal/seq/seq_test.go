@@ -1,0 +1,129 @@
+package seq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/partialcube"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+func spec() gen.Spec {
+	return gen.Spec{N: 3000, D: 4, Cards: []int{12, 8, 5, 3}, Seed: 7}
+}
+
+func TestSequentialFullCubeCorrect(t *testing.T) {
+	raw := gen.New(spec()).All()
+	disk, met, err := buildChecked(raw, Config{D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.OutputRows == 0 || met.SimSeconds <= 0 {
+		t.Fatalf("metrics empty: %+v", met)
+	}
+	for _, v := range lattice.AllViews(4) {
+		tb := disk.MustGet(ViewFile(v))
+		groups := map[string]int64{}
+		for i := 0; i < raw.Len(); i++ {
+			key := ""
+			for _, dim := range v.Dims() {
+				key += fmt.Sprintf("%d,", raw.Dim(i, dim))
+			}
+			groups[key] += raw.Meas(i)
+		}
+		if tb.Len() != len(groups) {
+			t.Fatalf("view %v: %d rows, want %d", v, tb.Len(), len(groups))
+		}
+		if tb.TotalMeasure() != raw.TotalMeasure() {
+			t.Fatalf("view %v measure mass wrong", v)
+		}
+	}
+}
+
+func buildChecked(raw *record.Table, cfg Config) (d *simdisk.Disk, m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	dd, mm := BuildCube(raw, cfg)
+	return dd, mm, nil
+}
+
+func TestSequentialPartialCube(t *testing.T) {
+	raw := gen.New(spec()).All()
+	sel := partialcube.SelectPercent(4, 50, 3)
+	disk, met, err := buildChecked(raw, Config{D: 4, Selected: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selSet := map[lattice.ViewID]bool{}
+	for _, v := range sel {
+		selSet[v] = true
+	}
+	for _, v := range lattice.AllViews(4) {
+		if selSet[v] != disk.Has(ViewFile(v)) {
+			t.Fatalf("view %v presence wrong", v)
+		}
+	}
+	if met.OutputRows == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestSequentialMatchesParallelOutput(t *testing.T) {
+	// The baseline and the parallel algorithm must agree exactly on
+	// every view's global size (they compute the same cube).
+	g := gen.New(spec())
+	raw := g.All()
+	_, seqMet := BuildCube(raw, Config{D: 4})
+
+	p := 4
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	parMet := core.BuildCube(m, "raw", core.Config{D: 4})
+
+	if seqMet.OutputRows != parMet.OutputRows {
+		t.Fatalf("output rows: seq %d, parallel %d", seqMet.OutputRows, parMet.OutputRows)
+	}
+	for v, rows := range seqMet.ViewRows {
+		if parMet.ViewRows[v] != rows {
+			t.Fatalf("view %v: seq %d rows, parallel %d", v, rows, parMet.ViewRows[v])
+		}
+	}
+}
+
+func TestSequentialTimeScalesWithInput(t *testing.T) {
+	small := gen.New(gen.Spec{N: 1000, D: 4, Cards: []int{12, 8, 5, 3}, Seed: 1}).All()
+	large := gen.New(gen.Spec{N: 8000, D: 4, Cards: []int{12, 8, 5, 3}, Seed: 1}).All()
+	_, ms := BuildCube(small, Config{D: 4})
+	_, ml := BuildCube(large, Config{D: 4})
+	if ml.SimSeconds <= ms.SimSeconds {
+		t.Fatalf("larger input not slower: %v vs %v", ml.SimSeconds, ms.SimSeconds)
+	}
+}
+
+func TestSequentialModernParamsFaster(t *testing.T) {
+	raw := gen.New(spec()).All()
+	_, slow := BuildCube(raw, Config{D: 4})
+	modern := costmodel.Modern()
+	_, fast := BuildCube(raw, Config{D: 4, Params: &modern})
+	if fast.SimSeconds >= slow.SimSeconds {
+		t.Fatalf("modern hardware not faster: %v vs %v", fast.SimSeconds, slow.SimSeconds)
+	}
+}
+
+func TestSequentialRejectsBadConfig(t *testing.T) {
+	raw := gen.New(spec()).All()
+	if _, _, err := buildChecked(raw, Config{D: 3}); err == nil {
+		t.Fatal("expected panic on dimension mismatch")
+	}
+}

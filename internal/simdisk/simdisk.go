@@ -1,0 +1,250 @@
+// Package simdisk models the private local disk of one shared-nothing
+// processor. The paper's algorithm is an external-memory algorithm:
+// every view is read from and written to local disk, and the two basic
+// disk operations are the linear scan and the external-memory sort
+// (Vitter [22]). This package provides the storage substrate with
+// block-granular transfer accounting; package extsort builds the
+// external sort on top of it.
+//
+// A Disk owns the tables stored on it. Take transfers ownership out
+// (removing the file); Put transfers ownership in. Get grants shared
+// read-only access: callers must not mutate a table obtained from Get.
+// All data-moving operations charge the owning processor's simulated
+// clock with access latency plus block-rounded transfer time, and are
+// tallied in Stats.
+package simdisk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+)
+
+// Stats aggregates the I/O activity of one disk.
+type Stats struct {
+	Reads        int // file-level read operations
+	Writes       int // file-level write/append operations
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// BlockTransfers returns the total number of block transfers implied by
+// the byte counts, using block size b.
+func (s Stats) BlockTransfers(b int) int64 {
+	return (s.BytesRead+int64(b)-1)/int64(b) + (s.BytesWritten+int64(b)-1)/int64(b)
+}
+
+// file is one stored table plus its uncharged metadata (e.g. the
+// online spaced sample captured while the file was written, §2.4).
+type file struct {
+	t    *record.Table
+	meta any
+}
+
+// Disk is the private simulated disk of one processor.
+type Disk struct {
+	clock *costmodel.Clock
+	files map[string]*file
+	stats Stats
+}
+
+// New returns an empty disk charging the given clock.
+func New(clock *costmodel.Clock) *Disk {
+	return &Disk{clock: clock, files: make(map[string]*file)}
+}
+
+// Clock returns the clock this disk charges.
+func (d *Disk) Clock() *costmodel.Clock { return d.clock }
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+func (d *Disk) chargeRead(bytes int) {
+	d.clock.AddDisk(bytes)
+	d.stats.Reads++
+	d.stats.BytesRead += int64(bytes)
+}
+
+func (d *Disk) chargeWrite(bytes int) {
+	d.clock.AddDisk(bytes)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(bytes)
+}
+
+// Put stores t under name, replacing any existing file, and charges a
+// sequential write of the table. The disk takes ownership of t.
+func (d *Disk) Put(name string, t *record.Table) {
+	d.chargeWrite(t.Bytes())
+	d.files[name] = &file{t: t}
+}
+
+// Append appends the rows of t to the named file, creating it if
+// absent, and charges a sequential write of the appended rows. The
+// existing file's column count must match.
+func (d *Disk) Append(name string, t *record.Table) {
+	d.chargeWrite(t.Bytes())
+	if f, ok := d.files[name]; ok {
+		f.t.AppendTable(t)
+		return
+	}
+	d.files[name] = &file{t: t.Clone()}
+}
+
+// Take removes the named file and returns its table, charging a full
+// sequential read. Ownership transfers to the caller.
+func (d *Disk) Take(name string) (*record.Table, bool) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, false
+	}
+	d.chargeRead(f.t.Bytes())
+	delete(d.files, name)
+	return f.t, true
+}
+
+// MustTake is Take but panics if the file does not exist. It is used
+// where a missing file indicates a bug in the algorithm's phase
+// sequencing rather than a recoverable condition.
+func (d *Disk) MustTake(name string) *record.Table {
+	t, ok := d.Take(name)
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	return t
+}
+
+// Get returns shared read-only access to the named file, charging a
+// full sequential read. The caller must not mutate the returned table.
+func (d *Disk) Get(name string) (*record.Table, bool) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, false
+	}
+	d.chargeRead(f.t.Bytes())
+	return f.t, true
+}
+
+// MustGet is Get but panics if the file does not exist.
+func (d *Disk) MustGet(name string) *record.Table {
+	t, ok := d.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	return t
+}
+
+// ReadRange returns a copy of rows [lo,hi) of the named file, charging
+// a read of just those rows (one access plus their bytes). It is the
+// block-granular read primitive used by the external sort.
+func (d *Disk) ReadRange(name string, lo, hi int) *record.Table {
+	f, ok := d.files[name]
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	if lo < 0 || hi > f.t.Len() || lo > hi {
+		panic(fmt.Sprintf("simdisk: range [%d,%d) out of bounds for %q (%d rows)", lo, hi, name, f.t.Len()))
+	}
+	d.chargeRead((hi - lo) * record.RowBytes(f.t.D))
+	return f.t.Sub(lo, hi)
+}
+
+// Has reports whether the named file exists.
+func (d *Disk) Has(name string) bool {
+	_, ok := d.files[name]
+	return ok
+}
+
+// Len returns the row count of the named file without charging I/O
+// (metadata access), or -1 if it does not exist.
+func (d *Disk) Len(name string) int {
+	f, ok := d.files[name]
+	if !ok {
+		return -1
+	}
+	return f.t.Len()
+}
+
+// Cols returns the column count of the named file without charging I/O
+// (metadata access), or -1 if it does not exist.
+func (d *Disk) Cols(name string) int {
+	f, ok := d.files[name]
+	if !ok {
+		return -1
+	}
+	return f.t.D
+}
+
+// Rename renames a file without charging I/O (metadata operation),
+// replacing any existing file of the new name. It panics if the source
+// does not exist.
+func (d *Disk) Rename(from, to string) {
+	f, ok := d.files[from]
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", from))
+	}
+	delete(d.files, from)
+	d.files[to] = f
+}
+
+// Mutate applies fn to the named file's table in place, charging
+// touchedBytes of I/O (an in-place update of a few records, e.g. the
+// boundary-item agglomeration of Merge–Partitions, rather than a full
+// rewrite). fn may return the same table or a replacement; metadata is
+// preserved.
+func (d *Disk) Mutate(name string, touchedBytes int, fn func(*record.Table) *record.Table) {
+	f, ok := d.files[name]
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	d.chargeWrite(touchedBytes)
+	f.t = fn(f.t)
+}
+
+// SetMeta attaches uncharged metadata to an existing file (for
+// example, the online spaced sample built while the file was written).
+// Metadata is discarded when the file is replaced, taken, or removed.
+func (d *Disk) SetMeta(name string, v any) {
+	f, ok := d.files[name]
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	f.meta = v
+}
+
+// Meta returns the metadata attached to the named file, or nil.
+func (d *Disk) Meta(name string) any {
+	f, ok := d.files[name]
+	if !ok {
+		return nil
+	}
+	return f.meta
+}
+
+// Remove deletes the named file without charging I/O (metadata
+// operation). It reports whether the file existed.
+func (d *Disk) Remove(name string) bool {
+	_, ok := d.files[name]
+	delete(d.files, name)
+	return ok
+}
+
+// Files returns the sorted list of file names on the disk.
+func (d *Disk) Files() []string {
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the total modelled size of all files on the disk.
+func (d *Disk) TotalBytes() int64 {
+	var s int64
+	for _, f := range d.files {
+		s += int64(f.t.Bytes())
+	}
+	return s
+}

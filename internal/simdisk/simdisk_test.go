@@ -1,0 +1,277 @@
+package simdisk
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/record"
+)
+
+func newDisk() *Disk { return New(costmodel.NewClock(costmodel.Default())) }
+
+func table(n int) *record.Table {
+	t := record.New(2, n)
+	for i := 0; i < n; i++ {
+		t.Append([]uint32{uint32(i), uint32(i * 2)}, int64(i))
+	}
+	return t
+}
+
+func TestPutTakeRoundTrip(t *testing.T) {
+	d := newDisk()
+	in := table(10)
+	want := in.Clone()
+	d.Put("f", in)
+	if !d.Has("f") || d.Len("f") != 10 || d.Cols("f") != 2 {
+		t.Fatal("metadata wrong after Put")
+	}
+	got, ok := d.Take("f")
+	if !ok || !record.Equal(got, want) {
+		t.Fatal("Take returned wrong table")
+	}
+	if d.Has("f") {
+		t.Fatal("Take did not remove file")
+	}
+	if _, ok := d.Take("f"); ok {
+		t.Fatal("Take of missing file succeeded")
+	}
+}
+
+func TestGetDoesNotRemove(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(5))
+	if _, ok := d.Get("f"); !ok {
+		t.Fatal("Get failed")
+	}
+	if !d.Has("f") {
+		t.Fatal("Get removed the file")
+	}
+}
+
+func TestAppendCreatesAndExtends(t *testing.T) {
+	d := newDisk()
+	d.Append("f", table(3))
+	d.Append("f", table(2))
+	if d.Len("f") != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len("f"))
+	}
+}
+
+func TestAppendClonesOnCreate(t *testing.T) {
+	d := newDisk()
+	src := table(3)
+	d.Append("f", src)
+	src.SetMeas(0, 999)
+	got := d.MustGet("f")
+	if got.Meas(0) == 999 {
+		t.Fatal("Append aliased caller's table on create")
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(10))
+	sub := d.ReadRange("f", 3, 6)
+	if sub.Len() != 3 || sub.Dim(0, 0) != 3 {
+		t.Fatalf("ReadRange wrong: %v", sub)
+	}
+	// Charged only the range, not the file.
+	st := d.Stats()
+	if st.BytesRead != int64(3*record.RowBytes(2)) {
+		t.Fatalf("BytesRead = %d, want %d", st.BytesRead, 3*record.RowBytes(2))
+	}
+}
+
+func TestReadRangePanicsOutOfBounds(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.ReadRange("f", 2, 9)
+}
+
+func TestRenameAndRemove(t *testing.T) {
+	d := newDisk()
+	d.Put("a", table(4))
+	d.Rename("a", "b")
+	if d.Has("a") || !d.Has("b") {
+		t.Fatal("Rename failed")
+	}
+	if !d.Remove("b") || d.Remove("b") {
+		t.Fatal("Remove semantics wrong")
+	}
+}
+
+func TestStatsAndClockCharging(t *testing.T) {
+	clk := costmodel.NewClock(costmodel.Default())
+	d := New(clk)
+	tb := table(100)
+	bytes := tb.Bytes()
+	d.Put("f", tb)
+	st := d.Stats()
+	if st.Writes != 1 || st.BytesWritten != int64(bytes) {
+		t.Fatalf("write stats wrong: %+v", st)
+	}
+	if clk.DiskSeconds() <= 0 {
+		t.Fatal("Put did not charge disk time")
+	}
+	before := clk.DiskSeconds()
+	d.MustGet("f")
+	if clk.DiskSeconds() <= before {
+		t.Fatal("Get did not charge disk time")
+	}
+	st = d.Stats()
+	if st.Reads != 1 || st.BytesRead != int64(bytes) {
+		t.Fatalf("read stats wrong: %+v", st)
+	}
+	if st.BlockTransfers(64<<10) < 2 {
+		t.Fatalf("BlockTransfers = %d, want >= 2", st.BlockTransfers(64<<10))
+	}
+}
+
+func TestMetadataOpsAreFree(t *testing.T) {
+	clk := costmodel.NewClock(costmodel.Default())
+	d := New(clk)
+	d.Put("f", table(10))
+	before := clk.Seconds()
+	d.Has("f")
+	d.Len("f")
+	d.Cols("f")
+	d.Files()
+	d.Rename("f", "g")
+	d.Remove("g")
+	if clk.Seconds() != before {
+		t.Fatal("metadata operations charged I/O time")
+	}
+}
+
+func TestFilesSortedAndTotalBytes(t *testing.T) {
+	d := newDisk()
+	d.Put("b", table(2))
+	d.Put("a", table(3))
+	fs := d.Files()
+	if len(fs) != 2 || fs[0] != "a" || fs[1] != "b" {
+		t.Fatalf("Files = %v", fs)
+	}
+	if d.TotalBytes() != int64(5*record.RowBytes(2)) {
+		t.Fatalf("TotalBytes = %d", d.TotalBytes())
+	}
+}
+
+func TestMustTakePanicsOnMissing(t *testing.T) {
+	d := newDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.MustTake("nope")
+}
+
+func TestMutateChargesDeclaredBytes(t *testing.T) {
+	clk := costmodel.NewClock(costmodel.Default())
+	d := New(clk)
+	d.Put("f", table(100))
+	before := d.Stats()
+	d.Mutate("f", 36, func(tb *record.Table) *record.Table {
+		tb.AddMeas(0, 5)
+		return tb
+	})
+	st := d.Stats()
+	if st.BytesWritten-before.BytesWritten != 36 {
+		t.Fatalf("Mutate charged %d bytes, want 36", st.BytesWritten-before.BytesWritten)
+	}
+	if d.MustGet("f").Meas(0) != 5 {
+		t.Fatal("mutation lost")
+	}
+}
+
+func TestMutateReplacement(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(10))
+	d.SetMeta("f", "sample")
+	d.Mutate("f", 1, func(tb *record.Table) *record.Table {
+		return tb.Sub(5, 10)
+	})
+	if d.Len("f") != 5 {
+		t.Fatalf("Len = %d after replacing mutation", d.Len("f"))
+	}
+	if d.Meta("f") != "sample" {
+		t.Fatal("Mutate dropped metadata")
+	}
+}
+
+func TestMutateMissingPanics(t *testing.T) {
+	d := newDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Mutate("nope", 1, func(tb *record.Table) *record.Table { return tb })
+}
+
+func TestMetaLifecycle(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(3))
+	if d.Meta("f") != nil {
+		t.Fatal("fresh file has metadata")
+	}
+	d.SetMeta("f", 42)
+	if d.Meta("f") != 42 {
+		t.Fatal("SetMeta lost")
+	}
+	// Metadata follows renames...
+	d.Rename("f", "g")
+	if d.Meta("g") != 42 {
+		t.Fatal("metadata lost on rename")
+	}
+	// ...but not replacement.
+	d.Put("g", table(3))
+	if d.Meta("g") != nil {
+		t.Fatal("metadata survived Put")
+	}
+	if d.Meta("missing") != nil {
+		t.Fatal("missing file has metadata")
+	}
+}
+
+func TestSetMetaMissingPanics(t *testing.T) {
+	d := newDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.SetMeta("nope", 1)
+}
+
+func TestMustGetPanicsOnMissing(t *testing.T) {
+	d := newDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.MustGet("nope")
+}
+
+func TestRenamePanicsOnMissing(t *testing.T) {
+	d := newDisk()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Rename("a", "b")
+}
+
+func TestLenColsOnMissing(t *testing.T) {
+	d := newDisk()
+	if d.Len("x") != -1 || d.Cols("x") != -1 {
+		t.Fatal("missing file metadata should be -1")
+	}
+}

@@ -1,0 +1,177 @@
+// Package workpart implements the competing approach the paper's
+// introduction describes: *work partitioning* on a shared-disk
+// machine. The lattice's views are partitioned into groups, each group
+// is assigned to one processor, and every processor computes its
+// groups from the full raw data set — which therefore must be readable
+// by all processors simultaneously, "usually provided through the use
+// of a shared disk system". No merge phase is needed (each view is
+// computed entirely by one processor), but the shared disk serializes
+// the raw-data scans and per-view loads balance poorly; the paper
+// cites load balancing and scalability as this family's main
+// challenges, and this implementation exists to reproduce that
+// comparison against the shared-nothing algorithm.
+//
+// Concretely (following the structure of Dehne et al. [3]): a Pipesort
+// schedule tree is planned over the full lattice; its pipelines
+// (maximal scan chains) become the work units; units are assigned to
+// processors with LPT greedy balancing on estimated cost; each
+// processor materializes its pipelines by sorting the raw data into
+// the pipeline head's order on local scratch and aggregating down the
+// chain. Raw-data reads and view writes go through the shared disk,
+// whose bandwidth is divided among the processors.
+package workpart
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/costmodel"
+	"repro/internal/estimate"
+	"repro/internal/extsort"
+	"repro/internal/lattice"
+	"repro/internal/pipesort"
+	"repro/internal/record"
+	"repro/internal/simdisk"
+)
+
+// Config parameterizes a work-partitioned build.
+type Config struct {
+	D int
+	P int // number of processors sharing the disk
+	// Params is the machine cost model (defaults to costmodel.Default).
+	Params *costmodel.Params
+	// Agg is the aggregate operator (default record.OpSum).
+	Agg record.AggOp
+}
+
+// Metrics reports a work-partitioned build.
+type Metrics struct {
+	SimSeconds  float64   // makespan: the slowest processor
+	WorkerSecs  []float64 // per-processor time
+	Pipelines   int       // work units
+	OutputRows  int64
+	OutputBytes int64
+	// Imbalance is the relative imbalance of the per-worker times, the
+	// load-balancing quality of the assignment.
+	Imbalance float64
+}
+
+// pipeline is one work unit: a maximal scan chain of the schedule
+// tree, created by one sort of the raw data.
+type pipeline struct {
+	chain []*lattice.Node
+	cost  float64
+}
+
+// BuildCube materializes the full cube of raw with work partitioning
+// over p processors sharing one disk, returning the shared output disk
+// (one file per view, named cube.<view>) and metrics.
+func BuildCube(raw *record.Table, cfg Config) (*simdisk.Disk, Metrics) {
+	if cfg.D < 1 || raw.D != cfg.D {
+		panic(fmt.Sprintf("workpart: table has %d columns, config says %d", raw.D, cfg.D))
+	}
+	if cfg.P < 1 {
+		panic(fmt.Sprintf("workpart: bad processor count %d", cfg.P))
+	}
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+
+	// Plan once (on processor 0's clock).
+	clocks := make([]*costmodel.Clock, cfg.P)
+	for i := range clocks {
+		clocks[i] = costmodel.NewClock(params)
+	}
+	clocks[0].AddCompute(costmodel.ScanOps(raw.Len()) * float64(cfg.D))
+	cards := estimate.MeasureCardinalities(raw, lattice.Canonical(lattice.Full(cfg.D)))
+	sizer := estimate.NewCardenas(int64(raw.Len()), cards)
+	tree := pipesort.Plan(cfg.D, lattice.Full(cfg.D), nil, lattice.AllViews(cfg.D), sizer)
+
+	// Decompose into pipelines: the root chain plus one chain per sort
+	// edge. Every pipeline re-sorts the raw data into its head order.
+	var units []pipeline
+	var collect func(head *lattice.Node)
+	collect = func(head *lattice.Node) {
+		chain := lattice.ScanChain(head)
+		cost := costmodel.SortOps(raw.Len())
+		for _, n := range chain {
+			cost += costmodel.ScanOps(int(n.EstRows))
+		}
+		units = append(units, pipeline{chain: chain, cost: cost})
+		for _, m := range chain {
+			for _, w := range m.Children {
+				if w.Edge == lattice.EdgeSort {
+					collect(w)
+				}
+			}
+		}
+	}
+	collect(tree.Root)
+
+	// LPT assignment: largest unit first onto the least-loaded worker.
+	sort.Slice(units, func(i, j int) bool { return units[i].cost > units[j].cost })
+	loads := make([]float64, cfg.P)
+	assigned := make([][]pipeline, cfg.P)
+	for _, u := range units {
+		best := 0
+		for w := 1; w < cfg.P; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		loads[best] += u.cost
+		assigned[best] = append(assigned[best], u)
+	}
+
+	// Shared output disk; charged on a dedicated clock that we do not
+	// use for timing (each worker separately pays contention below).
+	out := simdisk.New(costmodel.NewClock(params))
+
+	rawBytes := raw.Bytes()
+	for w := 0; w < cfg.P; w++ {
+		clk := clocks[w]
+		scratch := simdisk.New(clk) // local scratch disk, uncontended
+		for ui, u := range assigned[w] {
+			// Read the raw data from the shared disk: bandwidth divided
+			// by the processors streaming concurrently.
+			clk.AddDisk(rawBytes * cfg.P)
+			head := u.chain[0]
+			cols := []int(head.Order)
+			clk.AddCompute(costmodel.ScanOps(raw.Len()))
+			proj := raw.Project(cols)
+			name := fmt.Sprintf("scratch.%d", ui)
+			scratch.Put(name, proj)
+			extsort.Sort(scratch, name)
+			data := scratch.MustTake(name)
+			// Aggregate down the chain; each level from the previous.
+			for _, n := range u.chain {
+				k := len(n.Order)
+				clk.AddCompute(costmodel.ScanOps(data.Len()))
+				data = record.AggregateSortedOp(data, k, cfg.Agg)
+				// Write the view to the shared disk, with contention.
+				clk.AddDisk(data.Bytes() * cfg.P)
+				out.Put("cube."+n.View.String(), data.Clone())
+			}
+		}
+	}
+
+	met := Metrics{Pipelines: len(units), WorkerSecs: make([]float64, cfg.P)}
+	intLoads := make([]int, cfg.P)
+	for w, clk := range clocks {
+		met.WorkerSecs[w] = clk.Seconds()
+		intLoads[w] = int(clk.Seconds() * 1000)
+		if clk.Seconds() > met.SimSeconds {
+			met.SimSeconds = clk.Seconds()
+		}
+	}
+	met.Imbalance = balance.Imbalance(intLoads)
+	for _, v := range lattice.AllViews(cfg.D) {
+		if n := out.Len("cube." + v.String()); n > 0 {
+			met.OutputRows += int64(n)
+			met.OutputBytes += int64(n * record.RowBytes(v.Count()))
+		}
+	}
+	return out, met
+}

@@ -1,0 +1,60 @@
+package rolap
+
+import "repro/internal/core"
+
+// Metrics summarizes a cube build on the simulated cluster. Simulated
+// seconds are in the selected Hardware's cost model (they reproduce
+// the paper's 2003 Beowulf timings by default), independent of the
+// host machine.
+type Metrics struct {
+	// Processors is the shared-nothing machine size.
+	Processors int
+	// SimSeconds is the simulated parallel wall-clock time.
+	SimSeconds float64
+	// PhaseSeconds breaks the makespan into the algorithm's phases:
+	// "partition", "plan", "build", "merge".
+	PhaseSeconds map[string]float64
+	// BytesMoved is the total network volume.
+	BytesMoved int64
+	// MergeBytes is the network volume of the Merge–Partitions phase
+	// (the paper's Figure 8b metric).
+	MergeBytes int64
+	// OutputRows and OutputBytes size the materialized cube.
+	OutputRows  int64
+	OutputBytes int64
+	// CommSeconds is the communication component of the makespan;
+	// MaskableCommFraction bounds the §4.1 overlap optimization.
+	CommSeconds          float64
+	MaskableCommFraction float64
+	// Shifts counts sample-sort global shifts; Resorts counts merge
+	// re-sorts (non-zero only with local schedule trees).
+	Shifts  int
+	Resorts int
+	// ViewRows maps each view (comma-joined sorted dimension names,
+	// "" for the grand total) to its global row count.
+	ViewRows map[string]int64
+}
+
+// Metrics returns the build's metrics.
+func (c *Cube) Metrics() Metrics { return c.metrics }
+
+func publicMetrics(in *Input, met core.Metrics) Metrics {
+	m := Metrics{
+		Processors:           met.P,
+		SimSeconds:           met.SimSeconds,
+		PhaseSeconds:         met.PhaseSeconds,
+		BytesMoved:           met.BytesMoved,
+		MergeBytes:           met.BytesByPhase["merge"],
+		OutputRows:           met.OutputRows,
+		OutputBytes:          met.OutputBytes,
+		CommSeconds:          met.CommSeconds,
+		MaskableCommFraction: met.MaskableCommFraction(),
+		Shifts:               met.Shifts,
+		Resorts:              met.Resorts,
+		ViewRows:             make(map[string]int64, len(met.ViewRows)),
+	}
+	for v, rows := range met.ViewRows {
+		m.ViewRows[viewName(in, v)] = rows
+	}
+	return m
+}

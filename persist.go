@@ -1,0 +1,100 @@
+package rolap
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// savedCube is the gob-serialized form of a cube: the schema, the
+// dictionaries, and every materialized view gathered into flat arrays.
+// This is the "pre-computation" deployment the paper motivates: build
+// the cube once on the cluster, persist it, and serve OLAP queries
+// from the loaded copy.
+type savedCube struct {
+	Version    int
+	Dimensions []Dimension
+	Dicts      [][]string
+	Op         int
+	Metrics    Metrics
+	Views      []savedView
+}
+
+type savedView struct {
+	View  uint32
+	Order []int
+	Dims  []uint32
+	Meas  []int64
+}
+
+const savedCubeVersion = 1
+
+// Save serializes the cube (schema, dictionaries, metrics, and every
+// materialized view) so it can be reloaded with LoadCube and queried
+// without rebuilding.
+func (c *Cube) Save(w io.Writer) error {
+	sc := savedCube{
+		Version:    savedCubeVersion,
+		Dimensions: c.in.schema.Dimensions,
+		Dicts:      c.in.dicts,
+		Op:         int(c.op),
+		Metrics:    c.metrics,
+	}
+	for _, v := range c.views {
+		vw := c.gather(v)
+		sv := savedView{View: uint32(v), Order: c.orders[v]}
+		n := vw.rows.Len()
+		sv.Dims = make([]uint32, 0, n*vw.rows.D)
+		sv.Meas = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			sv.Dims = append(sv.Dims, vw.rows.Row(i)...)
+			sv.Meas = append(sv.Meas, vw.rows.Meas(i))
+		}
+		sc.Views = append(sc.Views, sv)
+	}
+	return gob.NewEncoder(w).Encode(sc)
+}
+
+// LoadCube deserializes a cube written by Save. The result answers
+// View, Aggregate, GroupBy and RangeAggregate queries exactly like the
+// original; it has no backing cluster (Processors reports the build's
+// machine size from the saved metrics).
+func LoadCube(r io.Reader) (*Cube, error) {
+	var sc savedCube
+	if err := gob.NewDecoder(r).Decode(&sc); err != nil {
+		return nil, fmt.Errorf("rolap: loading cube: %w", err)
+	}
+	if sc.Version != savedCubeVersion {
+		return nil, fmt.Errorf("rolap: unsupported cube version %d", sc.Version)
+	}
+	in, err := NewInput(Schema{Dimensions: sc.Dimensions})
+	if err != nil {
+		return nil, err
+	}
+	in.dicts = sc.Dicts
+	c := &Cube{
+		in:      in,
+		orders:  map[lattice.ViewID]lattice.Order{},
+		metrics: sc.Metrics,
+		op:      record.AggOp(sc.Op),
+		cache:   map[lattice.ViewID]*record.Table{},
+	}
+	for _, sv := range sc.Views {
+		v := lattice.ViewID(sv.View)
+		d := len(sv.Order)
+		if d > 0 && len(sv.Dims) != len(sv.Meas)*d {
+			return nil, fmt.Errorf("rolap: corrupt saved view %v", v)
+		}
+		t := record.New(d, len(sv.Meas))
+		for i := range sv.Meas {
+			t.Append(sv.Dims[i*d:(i+1)*d], sv.Meas[i])
+		}
+		c.views = append(c.views, v)
+		c.orders[v] = lattice.Order(sv.Order)
+		c.cache[v] = t
+	}
+	return c, nil
+}

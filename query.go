@@ -1,0 +1,187 @@
+package rolap
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// GroupBy computes an ad-hoc OLAP query against the cube: group by the
+// given dimensions, restricted by equality filters on other
+// dimensions, aggregating with the cube's operator. The query is
+// answered from the smallest materialized view containing all
+// referenced dimensions — the standard ROLAP rewrite. Roll-up and
+// drill-down are GroupBy with fewer or more dimensions.
+//
+// The result is a computed View (not materialized on the cluster):
+// Attributes follow the order of dims, rows are sorted.
+func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) {
+	if _, err := c.in.viewOf(dims); err != nil {
+		return nil, err
+	}
+	filterDims := make([]string, 0, len(filters))
+	for name := range filters {
+		filterDims = append(filterDims, name)
+	}
+	need, err := c.in.viewOf(append(append([]string{}, dims...), filterDims...))
+	if err != nil {
+		return nil, err // repeated or unknown dimension
+	}
+
+	src, err := c.smallestSuperset(need)
+	if err != nil {
+		return nil, err
+	}
+	vw := c.gather(src)
+
+	// Column bookkeeping in the source view's layout.
+	srcOrder := c.orders[src]
+	filterCol := map[int]uint32{} // column -> required value
+	for name, val := range filters {
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return nil, err
+		}
+		dim := one.Dims()[0]
+		for col, d := range srcOrder {
+			if d == dim {
+				filterCol[col] = val
+			}
+		}
+	}
+	outCols := make([]int, len(dims)) // result column -> source column
+	for k, name := range dims {
+		one, _ := c.in.viewOf([]string{name})
+		dim := one.Dims()[0]
+		for col, d := range srcOrder {
+			if d == dim {
+				outCols[k] = col
+			}
+		}
+	}
+
+	// Filter + project + re-aggregate.
+	proj := record.New(len(dims), 0)
+	key := make([]uint32, len(dims))
+	for i := 0; i < vw.rows.Len(); i++ {
+		match := true
+		for col, val := range filterCol {
+			if vw.rows.Dim(i, col) != val {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for k, col := range outCols {
+			key[k] = vw.rows.Dim(i, col)
+		}
+		proj.Append(key, vw.rows.Meas(i))
+	}
+	agg := record.SortAggregateOp(proj, c.op)
+	return &View{
+		Attributes: append([]string(nil), dims...),
+		order:      queryOrder(c, dims),
+		rows:       agg,
+	}, nil
+}
+
+// queryOrder builds the internal order matching the user's dims
+// sequence (for Decode-style helpers on computed views).
+func queryOrder(c *Cube, dims []string) lattice.Order {
+	o := make(lattice.Order, len(dims))
+	for k, name := range dims {
+		v, _ := c.in.viewOf([]string{name})
+		o[k] = v.Dims()[0]
+	}
+	return o
+}
+
+// smallestSuperset returns the materialized view with the fewest rows
+// containing all of need's dimensions.
+func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
+	best := lattice.ViewID(0)
+	bestRows := int64(-1)
+	for v := range c.orders {
+		if !need.SubsetOf(v) {
+			continue
+		}
+		rows := c.metrics.ViewRows[viewName(c.in, v)]
+		if bestRows == -1 || rows < bestRows {
+			best, bestRows = v, rows
+		}
+	}
+	if bestRows == -1 {
+		return 0, fmt.Errorf("rolap: no materialized view covers the queried dimensions")
+	}
+	return best, nil
+}
+
+// RangeAggregate aggregates all groups of the named view whose
+// attribute values fall within [lo[k], hi[k]] for every dimension
+// (inclusive on both ends). It is answered from the exact materialized
+// view when available, else the smallest superset. Only meaningful for
+// Sum cubes when ranges span groups; for Min/Max cubes it returns the
+// min/max over the range.
+func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
+	if len(dims) != len(lo) || len(dims) != len(hi) {
+		return 0, fmt.Errorf("rolap: dims/lo/hi length mismatch")
+	}
+	for k := range lo {
+		if lo[k] > hi[k] {
+			return 0, fmt.Errorf("rolap: empty range on %q", dims[k])
+		}
+	}
+	want, err := c.in.viewOf(dims)
+	if err != nil {
+		return 0, err
+	}
+	src, err := c.smallestSuperset(want)
+	if err != nil {
+		return 0, err
+	}
+	vw := c.gather(src)
+	srcOrder := c.orders[src]
+	// Map each queried dim to its source column and bounds.
+	type bound struct {
+		col    int
+		lo, hi uint32
+	}
+	bounds := make([]bound, len(dims))
+	for k, name := range dims {
+		one, _ := c.in.viewOf([]string{name})
+		dim := one.Dims()[0]
+		for col, d := range srcOrder {
+			if d == dim {
+				bounds[k] = bound{col: col, lo: lo[k], hi: hi[k]}
+			}
+		}
+	}
+	var acc int64
+	first := true
+	for i := 0; i < vw.rows.Len(); i++ {
+		ok := true
+		for _, b := range bounds {
+			v := vw.rows.Dim(i, b.col)
+			if v < b.lo || v > b.hi {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if first {
+			acc = vw.rows.Meas(i)
+			first = false
+		} else {
+			acc = c.op.Combine(acc, vw.rows.Meas(i))
+		}
+	}
+	if first {
+		return 0, nil
+	}
+	return acc, nil
+}

@@ -1,0 +1,327 @@
+// Package rolap is a parallel ROLAP data-cube construction library for
+// shared-nothing clusters, reproducing Chen, Dehne, Eavis and
+// Rau-Chaplin, "Parallel ROLAP Data Cube Construction On Shared-Nothing
+// Multiprocessors" (IPDPS 2003).
+//
+// The library materializes all 2^d group-by views of a d-dimensional
+// fact table (or a selected subset — a partial cube) as relational
+// tables distributed over the local disks of a simulated shared-nothing
+// multiprocessor. The algorithm partitions the lattice into
+// Di-partitions, globally sorts each partition root with an adaptive
+// parallel sample sort, builds every partition locally with Pipesort,
+// and merges the per-processor view slices with the three-case
+// Merge–Partitions procedure. See DESIGN.md for the full system map.
+//
+// Quick start:
+//
+//	schema := rolap.Schema{Dimensions: []rolap.Dimension{
+//		{Name: "store", Cardinality: 64},
+//		{Name: "product", Cardinality: 32},
+//		{Name: "month", Cardinality: 12},
+//	}}
+//	in, _ := rolap.NewInput(schema)
+//	in.AddRow([]uint32{3, 17, 5}, 120) // store 3 sold product 17 in June for $120
+//	cube, _ := rolap.Build(in, rolap.Options{Processors: 4})
+//	total, _ := cube.Aggregate([]string{"store", "month"}, []uint32{3, 5})
+package rolap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/lattice"
+	"repro/internal/partialcube"
+	"repro/internal/record"
+)
+
+// Dimension is one dimension of the fact table. Values of the
+// dimension must be dense codes in [0, Cardinality).
+type Dimension struct {
+	Name        string
+	Cardinality int
+}
+
+// Schema describes the fact table's dimensions, in the user's
+// preferred order. Internally the library re-orders dimensions by
+// decreasing cardinality (the paper's w.l.o.g. assumption); all public
+// APIs speak in dimension names, so callers never see the internal
+// order.
+type Schema struct {
+	Dimensions []Dimension
+}
+
+// validate checks the schema and returns the canonical permutation:
+// perm[i] is the user-dimension index of internal dimension i.
+func (s Schema) validate() ([]int, error) {
+	d := len(s.Dimensions)
+	if d < 1 || d > lattice.MaxDims {
+		return nil, fmt.Errorf("rolap: schema needs 1..%d dimensions, has %d", lattice.MaxDims, d)
+	}
+	seen := map[string]bool{}
+	for _, dim := range s.Dimensions {
+		if dim.Name == "" {
+			return nil, fmt.Errorf("rolap: dimension with empty name")
+		}
+		if dim.Cardinality < 1 {
+			return nil, fmt.Errorf("rolap: dimension %q has cardinality %d", dim.Name, dim.Cardinality)
+		}
+		if seen[dim.Name] {
+			return nil, fmt.Errorf("rolap: duplicate dimension %q", dim.Name)
+		}
+		seen[dim.Name] = true
+	}
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return s.Dimensions[perm[a]].Cardinality > s.Dimensions[perm[b]].Cardinality
+	})
+	return perm, nil
+}
+
+// Input is a fact table being loaded. Rows are given in schema order;
+// the measure is any additive int64 (use 1 for COUNT semantics).
+type Input struct {
+	schema Schema
+	perm   []int // internal dim i -> user dim perm[i]
+	inv    []int // user dim u -> internal dim inv[u]
+	table  *record.Table
+	// dicts, when non-nil, maps each user dimension's codes back to
+	// the original string values (populated by LoadCSV).
+	dicts [][]string
+}
+
+// NewInput returns an empty fact table for the schema.
+func NewInput(schema Schema) (*Input, error) {
+	perm, err := schema.validate()
+	if err != nil {
+		return nil, err
+	}
+	inv := make([]int, len(perm))
+	for i, u := range perm {
+		inv[u] = i
+	}
+	return &Input{
+		schema: schema,
+		perm:   perm,
+		inv:    inv,
+		table:  record.New(len(schema.Dimensions), 0),
+	}, nil
+}
+
+// AddRow appends one fact. values are dimension codes in schema order.
+func (in *Input) AddRow(values []uint32, measure int64) error {
+	if len(values) != len(in.schema.Dimensions) {
+		return fmt.Errorf("rolap: row has %d values, schema has %d dimensions",
+			len(values), len(in.schema.Dimensions))
+	}
+	row := make([]uint32, len(values))
+	for i, u := range in.perm {
+		v := values[u]
+		if int(v) >= in.schema.Dimensions[u].Cardinality {
+			return fmt.Errorf("rolap: value %d out of range for dimension %q (cardinality %d)",
+				v, in.schema.Dimensions[u].Name, in.schema.Dimensions[u].Cardinality)
+		}
+		row[i] = v
+	}
+	in.table.Append(row, measure)
+	return nil
+}
+
+// Len returns the number of loaded facts.
+func (in *Input) Len() int { return in.table.Len() }
+
+// Schema returns the input's schema.
+func (in *Input) Schema() Schema { return in.schema }
+
+// Aggregate selects how measures of equal group keys combine.
+type Aggregate int
+
+const (
+	// Sum adds measures (COUNT is Sum over unit measures; AVG is a Sum
+	// cube divided by a COUNT cube).
+	Sum Aggregate = iota
+	// Min keeps the smallest measure per group.
+	Min
+	// Max keeps the largest measure per group.
+	Max
+)
+
+func (a Aggregate) op() record.AggOp {
+	switch a {
+	case Min:
+		return record.OpMin
+	case Max:
+		return record.OpMax
+	default:
+		return record.OpSum
+	}
+}
+
+// Hardware selects the cost model of the simulated cluster.
+type Hardware int
+
+const (
+	// Beowulf2003 models the paper's platform: 1.8 GHz Xeons, IDE
+	// disks, 100 Mb/s Ethernet.
+	Beowulf2003 Hardware = iota
+	// ModernCluster models NVMe storage and 10 GbE.
+	ModernCluster
+)
+
+// Options configures a cube build.
+type Options struct {
+	// Processors is the shared-nothing machine size (default 4).
+	Processors int
+	// SelectedViews restricts materialization to the named views (each
+	// a set of dimension names); nil builds the full cube. The empty
+	// set (the grand total) is written as an empty name list.
+	SelectedViews [][]string
+	// Gamma is the sample-sort rebalance threshold (default 1%).
+	Gamma float64
+	// MergeGamma is the merge Case 2/3 threshold (default 3%).
+	MergeGamma float64
+	// LocalScheduleTrees switches to per-processor schedule trees (the
+	// paper's slower baseline; for experiments).
+	LocalScheduleTrees bool
+	// GreedyPartialPlanner switches the partial-cube planner from
+	// pruned-Pipesort to the direct greedy lattice planner.
+	GreedyPartialPlanner bool
+	// FlajoletMartin switches view-size estimation from the Cardenas
+	// formula to Flajolet–Martin sketches.
+	FlajoletMartin bool
+	// Aggregate selects the measure combiner (default Sum).
+	Aggregate Aggregate
+	// MinSupport, when > 0, builds an iceberg cube: only groups whose
+	// aggregate reaches the threshold are materialized.
+	MinSupport int64
+	// Hardware selects the simulated cluster's cost model.
+	Hardware Hardware
+}
+
+// Cube is a materialized (partial) data cube distributed over the
+// processors of a shared-nothing machine.
+type Cube struct {
+	in      *Input
+	machine *cluster.Machine // nil for cubes loaded from a snapshot
+	views   []lattice.ViewID
+	orders  map[lattice.ViewID]lattice.Order
+	metrics Metrics
+	op      record.AggOp
+	// cache holds gathered views for machine-less (loaded) cubes.
+	cache map[lattice.ViewID]*record.Table
+}
+
+// Build runs the parallel shared-nothing cube construction and returns
+// the distributed cube.
+func Build(in *Input, opts Options) (*Cube, error) {
+	if in == nil {
+		return nil, fmt.Errorf("rolap: nil input")
+	}
+	p := opts.Processors
+	if p == 0 {
+		p = 4
+	}
+	if p < 1 || p > 1024 {
+		return nil, fmt.Errorf("rolap: processor count %d out of range", p)
+	}
+	d := len(in.schema.Dimensions)
+
+	var selected []lattice.ViewID
+	if opts.SelectedViews != nil {
+		seen := map[lattice.ViewID]bool{}
+		for _, names := range opts.SelectedViews {
+			v, err := in.viewOf(names)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[v] {
+				seen[v] = true
+				selected = append(selected, v)
+			}
+		}
+		if len(selected) == 0 {
+			return nil, fmt.Errorf("rolap: empty view selection")
+		}
+	}
+
+	params := costmodel.Default()
+	if opts.Hardware == ModernCluster {
+		params = costmodel.Modern()
+	}
+	m := cluster.New(p, params)
+	// Distribute the fact table evenly (Figure 2b's input layout).
+	n := in.table.Len()
+	for r := 0; r < p; r++ {
+		lo, hi := r*n/p, (r+1)*n/p
+		m.Proc(r).Disk().Put("raw", in.table.Sub(lo, hi))
+	}
+
+	cfg := core.Config{
+		D:          d,
+		Selected:   selected,
+		Gamma:      opts.Gamma,
+		MergeGamma: opts.MergeGamma,
+		Agg:        opts.Aggregate.op(),
+		MinSupport: opts.MinSupport,
+	}
+	if opts.LocalScheduleTrees {
+		cfg.Schedule = core.LocalTree
+	}
+	if opts.GreedyPartialPlanner {
+		cfg.Partial = partialcube.Greedy
+	}
+	if opts.FlajoletMartin {
+		cfg.Estimator = core.FMEstimator
+	}
+	met := core.BuildCube(m, "raw", cfg)
+
+	views := selected
+	if views == nil {
+		views = lattice.AllViews(d)
+	}
+	return &Cube{
+		in:      in,
+		machine: m,
+		views:   views,
+		orders:  met.ViewOrders,
+		metrics: publicMetrics(in, met),
+		op:      opts.Aggregate.op(),
+	}, nil
+}
+
+// viewOf translates a set of user dimension names into a ViewID.
+func (in *Input) viewOf(names []string) (lattice.ViewID, error) {
+	v := lattice.Empty
+	for _, name := range names {
+		found := -1
+		for u, dim := range in.schema.Dimensions {
+			if dim.Name == name {
+				found = u
+				break
+			}
+		}
+		if found == -1 {
+			return 0, fmt.Errorf("rolap: unknown dimension %q", name)
+		}
+		i := in.inv[found]
+		if v.Has(i) {
+			return 0, fmt.Errorf("rolap: dimension %q repeated in view", name)
+		}
+		v = v.Add(i)
+	}
+	return v, nil
+}
+
+// namesOf renders an internal order as user dimension names.
+func (in *Input) namesOf(o lattice.Order) []string {
+	out := make([]string, len(o))
+	for k, i := range o {
+		out[k] = in.schema.Dimensions[in.perm[i]].Name
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package rolap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// View is one materialized group-by, gathered from the processors'
+// disks into a single sorted, duplicate-free relation.
+type View struct {
+	// Attributes lists the view's dimensions (user names) in the
+	// materialized column order.
+	Attributes []string
+	order      lattice.Order
+	rows       *record.Table
+}
+
+// Views returns the names of the materialized views, each a sorted
+// list of dimension names ("[]" is the grand total), in deterministic
+// order.
+func (c *Cube) Views() [][]string {
+	out := make([][]string, 0, len(c.views))
+	for _, v := range c.views {
+		names := c.in.namesOf(lattice.Canonical(v))
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// Processors returns the machine size the cube was built on (for
+// loaded snapshots, the size recorded in the metrics).
+func (c *Cube) Processors() int {
+	if c.machine == nil {
+		return c.metrics.Processors
+	}
+	return c.machine.P()
+}
+
+// lookup resolves a dimension-name set to a materialized ViewID.
+func (c *Cube) lookup(dims []string) (lattice.ViewID, error) {
+	v, err := c.in.viewOf(dims)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := c.orders[v]; !ok {
+		return 0, fmt.Errorf("rolap: view %v not materialized", dims)
+	}
+	return v, nil
+}
+
+// View gathers the named view (a set of dimension names; empty for the
+// grand total) from all processors into one relation.
+func (c *Cube) View(dims []string) (*View, error) {
+	v, err := c.lookup(dims)
+	if err != nil {
+		return nil, err
+	}
+	return c.gather(v), nil
+}
+
+func (c *Cube) gather(v lattice.ViewID) *View {
+	order := c.orders[v]
+	var rows *record.Table
+	if c.machine == nil {
+		rows = c.cache[v]
+		if rows == nil {
+			rows = record.New(v.Count(), 0)
+		}
+	} else {
+		rows = record.New(v.Count(), 0)
+		for r := 0; r < c.machine.P(); r++ {
+			if t, ok := c.machine.Proc(r).Disk().Get(core.ViewFile(v)); ok {
+				rows.AppendTable(t)
+			}
+		}
+	}
+	return &View{
+		Attributes: c.in.namesOf(order),
+		order:      order,
+		rows:       rows,
+	}
+}
+
+// Len returns the view's row (group) count.
+func (v *View) Len() int { return v.rows.Len() }
+
+// Row returns group i's attribute values (in Attributes order) and its
+// aggregated measure.
+func (v *View) Row(i int) ([]uint32, int64) {
+	return v.rows.RowCopy(i), v.rows.Meas(i)
+}
+
+// Aggregate returns the measure of the group with the given attribute
+// values (in Attributes order), and whether it exists.
+func (v *View) Aggregate(key []uint32) (int64, bool) {
+	if len(key) != v.rows.D {
+		return 0, false
+	}
+	i := record.LowerBound(v.rows, key)
+	if i < v.rows.Len() && record.CompareRowKey(v.rows, i, key) == 0 {
+		return v.rows.Meas(i), true
+	}
+	return 0, false
+}
+
+// Aggregate answers a point query: the total measure for the group
+// identified by the given dimension names and values. If the exact
+// view is materialized it is used directly; otherwise the query is
+// answered by scanning the smallest materialized superset view (the
+// standard ROLAP fallback).
+func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
+	if len(dims) != len(key) {
+		return 0, fmt.Errorf("rolap: %d dimensions but %d key values", len(dims), len(key))
+	}
+	want, err := c.in.viewOf(dims)
+	if err != nil {
+		return 0, err
+	}
+	if order, ok := c.orders[want]; ok {
+		vw := c.gather(want)
+		// Reorder the caller's key into the materialized order.
+		k := make([]uint32, len(key))
+		for col, dim := range order {
+			k[col] = key[indexOfDim(dims, c.in, dim)]
+		}
+		m, _ := vw.Aggregate(k)
+		return m, nil
+	}
+	// Fallback: smallest materialized superset, scanned with a filter.
+	best := lattice.ViewID(0)
+	bestRows := int64(-1)
+	for v := range c.orders {
+		if !want.SubsetOf(v) {
+			continue
+		}
+		rows := c.metrics.ViewRows[viewName(c.in, v)]
+		if bestRows == -1 || rows < bestRows {
+			best, bestRows = v, rows
+		}
+	}
+	if bestRows == -1 {
+		return 0, fmt.Errorf("rolap: no materialized view can answer %v", dims)
+	}
+	vw := c.gather(best)
+	var total int64
+	first := true
+	for i := 0; i < vw.rows.Len(); i++ {
+		match := true
+		for col, dim := range vw.order {
+			if !want.Has(dim) {
+				continue
+			}
+			if vw.rows.Dim(i, col) != key[indexOfDim(dims, c.in, dim)] {
+				match = false
+				break
+			}
+		}
+		if match {
+			if first {
+				total = vw.rows.Meas(i)
+				first = false
+			} else {
+				total = c.op.Combine(total, vw.rows.Meas(i))
+			}
+		}
+	}
+	return total, nil
+}
+
+// indexOfDim finds the position in dims of the user name for internal
+// dimension i.
+func indexOfDim(dims []string, in *Input, i int) int {
+	name := in.schema.Dimensions[in.perm[i]].Name
+	for k, d := range dims {
+		if d == name {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("rolap: dimension %q not in query", name))
+}
+
+// viewName renders a ViewID as the canonical sorted-name key used in
+// Metrics.ViewRows.
+func viewName(in *Input, v lattice.ViewID) string {
+	names := in.namesOf(lattice.Canonical(v))
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
