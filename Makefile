@@ -1,0 +1,29 @@
+# Tier-1 verification gate (see ROADMAP.md). `make tier1` is what CI
+# and pre-merge checks run: build + vet + full test suite, plus the
+# race detector on the packages that execute real goroutines (the
+# cluster's SPMD supersteps and samplesort's collective exchanges —
+# the right correctness tool for the overlapped-communication path).
+
+GO ?= go
+
+.PHONY: tier1 build vet test race bench experiments
+
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -fig all

@@ -16,6 +16,11 @@
 // machine's simulated wall-clock time is the maximum clock at the end,
 // exactly the paper's "wall clock time between the start of the first
 // process and the termination of the last process".
+//
+// In overlapped mode (Proc.SetOverlap, the paper's §4.1 optimization)
+// bulk h-relations are posted and the processor continues: the charge
+// runs concurrently with subsequent local CPU/disk work and the
+// unmasked remainder is settled at the next barrier.
 package cluster
 
 import (
@@ -58,11 +63,20 @@ type Stats struct {
 // private disk. SPMD bodies receive their Proc and must not touch any
 // other processor's state except through collectives.
 type Proc struct {
-	rank  int
-	m     *Machine
-	clock *costmodel.Clock
-	disk  *simdisk.Disk
-	phase string
+	rank    int
+	m       *Machine
+	clock   *costmodel.Clock
+	disk    *simdisk.Disk
+	phase   string
+	overlap bool
+}
+
+// slotMsg is a one-per-processor payload together with its modelled
+// wire size, so receivers are charged for what was actually posted
+// rather than what they guessed.
+type slotMsg struct {
+	val   any
+	bytes int
 }
 
 // New returns a machine with p processors using the given cost
@@ -143,6 +157,9 @@ func (m *Machine) Run(body func(*Proc)) {
 				}
 			}()
 			body(p)
+			// Communication still in flight when the body returns must
+			// complete before the machine's makespan is read.
+			p.clock.SettleComm()
 		}(m.procs[i])
 	}
 	wg.Wait()
@@ -168,6 +185,16 @@ func (p *Proc) Disk() *simdisk.Disk { return p.disk }
 // (e.g. the merge phase bytes of Figure 8b).
 func (p *Proc) SetPhase(name string) { p.phase = name }
 
+// SetOverlap switches this processor's bulk h-relations (AllToAll) to
+// overlapped mode, the paper's §4.1 communication–computation overlap:
+// the exchange is posted and the processor continues with local work;
+// the transfer runs concurrently with subsequent CPU/disk charges and
+// whatever has not been masked is settled at the next barrier. Control
+// collectives (Broadcast, Gather, AllGather) stay synchronous — their
+// results gate the computation that follows, so overlapping them would
+// be dishonest.
+func (p *Proc) SetOverlap(on bool) { p.overlap = on }
+
 // account records communication volume attributed to this processor's
 // sends.
 func (p *Proc) account(bytesSent int64, msgs int64) {
@@ -184,11 +211,19 @@ func (p *Proc) account(bytesSent int64, msgs int64) {
 // superstep performs the two-barrier BSP exchange protocol around a
 // collective. post must write this processor's payloads into the
 // exchange state; read must consume payloads destined to this
-// processor. sent and recv are this processor's byte counts for the
-// h-relation charge; msgs is its message count.
-func (p *Proc) superstep(post func(), read func(), sent, recv, msgs int) {
+// processor and return its received byte count, so the h-relation is
+// charged max(sent, recv) from what actually arrived — not from a
+// value guessed before the exchange. sent is this processor's outgoing
+// byte count and msgs its message count. overlappable marks bulk
+// exchanges whose charge may ride the clock's overlap lane when the
+// processor is in overlapped mode.
+func (p *Proc) superstep(post func(), read func() int, sent, msgs int, overlappable bool) {
 	m := p.m
 	post()
+	// Any communication still overlapping from an earlier superstep
+	// must complete before this barrier: its time is part of when this
+	// processor arrives.
+	p.clock.SettleComm()
 	m.times[p.rank] = p.clock.Seconds()
 	m.bar.wait()
 
@@ -200,13 +235,17 @@ func (p *Proc) superstep(post func(), read func(), sent, recv, msgs int) {
 			tmax = t
 		}
 	}
-	read()
+	recv := read()
 	p.clock.AdvanceTo(tmax)
 	h := sent
 	if recv > h {
 		h = recv
 	}
-	p.clock.AddComm(h, msgs)
+	if overlappable && p.overlap {
+		p.clock.AddCommOverlap(h, msgs)
+	} else {
+		p.clock.AddComm(h, msgs)
+	}
 	p.account(int64(sent), int64(msgs))
 	if p.rank == 0 {
 		m.mu.Lock()
@@ -222,74 +261,101 @@ func (p *Proc) superstep(post func(), read func(), sent, recv, msgs int) {
 // Barrier synchronizes all processors and their clocks without moving
 // data.
 func Barrier(p *Proc) {
-	p.superstep(func() {}, func() {}, 0, 0, 0)
+	p.superstep(func() {}, func() int { return 0 }, 0, 0, false)
 }
 
 // Broadcast sends root's value to every processor and returns it.
-// bytes is the modelled payload size; the root is charged for p-1
-// outgoing copies.
+// bytes is the modelled payload size as known at the root, which is
+// charged for p-1 outgoing copies; non-roots are charged for the size
+// the root actually posted (their own bytes argument is ignored, as in
+// MPI, where the root determines the message size).
 func Broadcast[T any](p *Proc, root int, val T, bytes int) T {
 	m := p.m
 	var out T
-	sent, recv, msgs := 0, 0, 0
-	if p.rank == root {
+	sent, msgs := 0, 0
+	if p.rank == root && bytes > 0 {
 		sent = bytes * (m.p - 1)
 		msgs = m.p - 1
-	} else {
-		recv = bytes
 	}
 	p.superstep(
 		func() {
 			if p.rank == root {
-				m.slot[root] = val
+				m.slot[root] = slotMsg{val: val, bytes: bytes}
 			}
 		},
-		func() { out = m.slot[root].(T) },
-		sent, recv, msgs,
+		func() int {
+			msg := m.slot[root].(slotMsg)
+			out = msg.val.(T)
+			if p.rank == root {
+				return 0
+			}
+			return msg.bytes
+		},
+		sent, msgs, false,
 	)
 	return out
 }
 
 // Gather collects one value from every processor at root. Only the
 // root receives the slice (indexed by rank); others get nil. bytes is
-// the per-processor payload size.
+// this processor's payload size; the root is charged the sum of the
+// sizes actually posted, so uneven contributions (e.g. pivot lists
+// from processors with few rows) are accounted honestly.
 func Gather[T any](p *Proc, root int, val T, bytes int) []T {
 	m := p.m
 	var out []T
-	sent, recv, msgs := 0, 0, 0
-	if p.rank == root {
-		recv = bytes * (m.p - 1)
-	} else {
+	sent, msgs := 0, 0
+	if p.rank != root && bytes > 0 {
 		sent = bytes
 		msgs = 1
 	}
 	p.superstep(
-		func() { m.slot[p.rank] = val },
-		func() {
-			if p.rank == root {
-				out = make([]T, m.p)
-				for i := 0; i < m.p; i++ {
-					out[i] = m.slot[i].(T)
+		func() { m.slot[p.rank] = slotMsg{val: val, bytes: bytes} },
+		func() int {
+			if p.rank != root {
+				return 0
+			}
+			out = make([]T, m.p)
+			recv := 0
+			for i := 0; i < m.p; i++ {
+				msg := m.slot[i].(slotMsg)
+				out[i] = msg.val.(T)
+				if i != root {
+					recv += msg.bytes
 				}
 			}
+			return recv
 		},
-		sent, recv, msgs,
+		sent, msgs, false,
 	)
 	return out
 }
 
-// AllGather collects one value from every processor at every processor.
+// AllGather collects one value from every processor at every
+// processor. bytes is this processor's payload size; each processor
+// receives the sum of the other processors' posted sizes.
 func AllGather[T any](p *Proc, val T, bytes int) []T {
 	m := p.m
 	out := make([]T, m.p)
+	sent, msgs := 0, 0
+	if bytes > 0 {
+		sent = bytes * (m.p - 1)
+		msgs = m.p - 1
+	}
 	p.superstep(
-		func() { m.slot[p.rank] = val },
-		func() {
+		func() { m.slot[p.rank] = slotMsg{val: val, bytes: bytes} },
+		func() int {
+			recv := 0
 			for i := 0; i < m.p; i++ {
-				out[i] = m.slot[i].(T)
+				msg := m.slot[i].(slotMsg)
+				out[i] = msg.val.(T)
+				if i != p.rank {
+					recv += msg.bytes
+				}
 			}
+			return recv
 		},
-		bytes*(m.p-1), bytes*(m.p-1), m.p-1,
+		sent, msgs, false,
 	)
 	return out
 }
@@ -298,7 +364,10 @@ func AllGather[T any](p *Proc, val T, bytes int) []T {
 // (MPI_Alltoallv): out[k] is this processor's payload for processor k;
 // the result's element j is the payload processor j addressed to this
 // processor. bytesOf models each payload's wire size; local delivery
-// (k == rank) is free.
+// (k == rank) is free. Each processor is charged max(sent, recv) — the
+// true h-relation, so receive-skewed processors pay for what arrives.
+// In overlapped mode (SetOverlap) the charge rides the clock's overlap
+// lane and may be masked by subsequent local work.
 func AllToAll[T any](p *Proc, out []T, bytesOf func(T) int) []T {
 	m := p.m
 	if len(out) != m.p {
@@ -314,22 +383,23 @@ func AllToAll[T any](p *Proc, out []T, bytesOf func(T) int) []T {
 		}
 	}
 	in := make([]T, m.p)
-	recv := 0
 	p.superstep(
 		func() {
 			for k, v := range out {
 				m.matrix[p.rank][k] = v
 			}
 		},
-		func() {
+		func() int {
+			recv := 0
 			for j := 0; j < m.p; j++ {
 				in[j] = m.matrix[j][p.rank].(T)
 				if j != p.rank {
 					recv += bytesOf(in[j])
 				}
 			}
+			return recv
 		},
-		sent, recv, msgs,
+		sent, msgs, true,
 	)
 	return in
 }

@@ -266,6 +266,221 @@ func TestProcDisksAreIndependent(t *testing.T) {
 	}
 }
 
+// TestAllToAllReceiveSkewCharge is the regression test for the
+// h-relation undercharge: a processor that sends nothing but receives
+// a large payload must be charged max(sent, recv) = recv, not 0.
+func TestAllToAllReceiveSkewCharge(t *testing.T) {
+	m := newMachine(2)
+	payload := 12_500_000 // 1 second at default 12.5 MB/s
+	m.Run(func(p *Proc) {
+		out := make([]int, 2)
+		if p.Rank() == 0 {
+			out[1] = payload
+		}
+		AllToAll(p, out, func(v int) int { return v })
+	})
+	// Processor 1 sent 0 bytes and received the full payload: its
+	// h-relation charge is the receive side.
+	if c := m.Proc(1).Clock().CommSeconds(); c < 0.9 {
+		t.Fatalf("receive-skewed processor charged %v comm seconds, want ~1 (max(sent, recv))", c)
+	}
+	if c := m.Proc(0).Clock().CommSeconds(); c < 0.9 {
+		t.Fatalf("sender charged %v comm seconds, want ~1", c)
+	}
+}
+
+// TestCollectiveAccounting checks every collective's h-relation charge
+// against hand-computed per-processor sent/recv byte counts.
+func TestCollectiveAccounting(t *testing.T) {
+	type charge struct{ sent, recv, msgs int }
+	cases := []struct {
+		name string
+		p    int
+		body func(p *Proc)
+		want []charge // indexed by rank
+	}{
+		{
+			name: "Broadcast",
+			p:    3,
+			body: func(p *Proc) {
+				v := 0
+				if p.Rank() == 1 {
+					v = 7
+				}
+				Broadcast(p, 1, v, 1000)
+			},
+			want: []charge{{0, 1000, 0}, {2000, 0, 2}, {0, 1000, 0}},
+		},
+		{
+			name: "BroadcastEmptyPayload",
+			p:    3,
+			body: func(p *Proc) {
+				// Degenerate pivot broadcast: the root posts 0 bytes, so
+				// nobody is charged, whatever non-roots guessed.
+				bytes := 0
+				if p.Rank() != 0 {
+					bytes = 999
+				}
+				Broadcast(p, 0, []int(nil), bytes)
+			},
+			want: []charge{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+		},
+		{
+			name: "GatherUnevenSizes",
+			p:    3,
+			body: func(p *Proc) {
+				// Sender j contributes 100*(j+1) bytes; the root's receive
+				// charge is the sum actually posted, not a guess.
+				Gather(p, 0, p.Rank(), 100*(p.Rank()+1))
+			},
+			want: []charge{{0, 500, 0}, {200, 0, 1}, {300, 0, 1}},
+		},
+		{
+			name: "AllGather",
+			p:    4,
+			body: func(p *Proc) {
+				AllGather(p, p.Rank(), 50)
+			},
+			want: []charge{{150, 150, 3}, {150, 150, 3}, {150, 150, 3}, {150, 150, 3}},
+		},
+		{
+			name: "AllToAll",
+			p:    3,
+			body: func(p *Proc) {
+				// Wire sizes b[src][dst]; bytesOf is the payload itself.
+				b := [3][3]int{
+					{0, 100, 200},
+					{0, 0, 0},
+					{50, 0, 0},
+				}
+				AllToAll(p, b[p.Rank()][:], func(v int) int { return v })
+			},
+			want: []charge{{300, 50, 2}, {0, 100, 0}, {50, 200, 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMachine(tc.p)
+			m.Run(tc.body)
+			params := m.Params()
+			var wantMoved int64
+			for r, w := range tc.want {
+				h := w.sent
+				if w.recv > h {
+					h = w.recv
+				}
+				want := float64(h)/params.NetBandwidth + float64(w.msgs)*params.NetLatency
+				got := m.Proc(r).Clock().CommSeconds()
+				if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+					t.Errorf("proc %d comm seconds = %v, want %v (h=%d msgs=%d)", r, got, want, h, w.msgs)
+				}
+				wantMoved += int64(w.sent)
+			}
+			if st := m.Stats(); st.BytesMoved != wantMoved {
+				t.Errorf("BytesMoved = %d, want %d", st.BytesMoved, wantMoved)
+			}
+		})
+	}
+}
+
+// TestOverlapMasksCommBehindCompute checks the §4.1 post-then-continue
+// semantics: with overlap enabled, an AllToAll charge is absorbed by
+// subsequent compute, and only the unmasked remainder reaches the
+// makespan.
+func TestOverlapMasksCommBehindCompute(t *testing.T) {
+	run := func(overlap bool) *Machine {
+		m := newMachine(2)
+		payload := 12_500_000 // 1 second of comm
+		m.Run(func(p *Proc) {
+			p.SetOverlap(overlap)
+			out := make([]int, 2)
+			out[1-p.Rank()] = payload
+			AllToAll(p, out, func(v int) int { return v })
+			p.Clock().AddCompute(2e6) // 2 seconds of local work
+			Barrier(p)
+		})
+		return m
+	}
+	base, ov := run(false), run(true)
+	// Baseline: 1s comm + 2s compute. Overlapped: the transfer hides
+	// entirely behind the compute, so ~1s is saved.
+	if d := base.SimSeconds() - ov.SimSeconds(); d < 0.9 {
+		t.Fatalf("overlap saved %v seconds, want ~1 (base %v, overlap %v)",
+			d, base.SimSeconds(), ov.SimSeconds())
+	}
+	clk := ov.Proc(0).Clock()
+	if o := clk.OverlappedCommSeconds(); o < 0.9 {
+		t.Fatalf("OverlappedCommSeconds = %v, want ~1", o)
+	}
+	// The comm component still records the full transfer.
+	if c := clk.CommSeconds(); c < 0.9 {
+		t.Fatalf("CommSeconds = %v, want ~1 even when masked", c)
+	}
+	if p := clk.PendingCommSeconds(); p != 0 {
+		t.Fatalf("pending comm %v after run, want 0", p)
+	}
+}
+
+// TestOverlapSettlesAtBarrier: with no local work between the exchange
+// and the next barrier there is nothing to hide behind, so overlap mode
+// must cost the same as synchronous mode.
+func TestOverlapSettlesAtBarrier(t *testing.T) {
+	run := func(overlap bool) *Machine {
+		m := newMachine(2)
+		payload := 12_500_000
+		m.Run(func(p *Proc) {
+			p.SetOverlap(overlap)
+			out := make([]int, 2)
+			out[1-p.Rank()] = payload
+			AllToAll(p, out, func(v int) int { return v })
+			Barrier(p)
+		})
+		return m
+	}
+	base, ov := run(false), run(true)
+	if d := base.SimSeconds() - ov.SimSeconds(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("no local work, yet overlap changed the makespan by %v", d)
+	}
+	if o := ov.Proc(0).Clock().OverlappedCommSeconds(); o != 0 {
+		t.Fatalf("OverlappedCommSeconds = %v with nothing to overlap", o)
+	}
+}
+
+// TestOverlapSettledAtRunEnd: in-flight communication when the SPMD
+// body returns must still reach the makespan.
+func TestOverlapSettledAtRunEnd(t *testing.T) {
+	m := newMachine(2)
+	payload := 12_500_000
+	m.Run(func(p *Proc) {
+		p.SetOverlap(true)
+		out := make([]int, 2)
+		out[1-p.Rank()] = payload
+		AllToAll(p, out, func(v int) int { return v })
+		// Body ends with the transfer still pending.
+	})
+	if s := m.SimSeconds(); s < 0.9 {
+		t.Fatalf("SimSeconds = %v, want ~1: pending comm must settle at run end", s)
+	}
+}
+
+// TestOverlapDoesNotApplyToControlCollectives: Broadcast/Gather/
+// AllGather results gate the computation that follows, so they stay
+// synchronous even in overlapped mode.
+func TestOverlapDoesNotApplyToControlCollectives(t *testing.T) {
+	m := newMachine(2)
+	m.Run(func(p *Proc) {
+		p.SetOverlap(true)
+		Broadcast(p, 0, 1, 12_500_000)
+		AllGather(p, p.Rank(), 12_500_000)
+		p.Clock().AddCompute(10e6)
+	})
+	for r := 0; r < 2; r++ {
+		if o := m.Proc(r).Clock().OverlappedCommSeconds(); o != 0 {
+			t.Fatalf("proc %d overlapped %v seconds of control-collective comm", r, o)
+		}
+	}
+}
+
 func TestManySuperstepsStress(t *testing.T) {
 	m := newMachine(8)
 	m.Run(func(p *Proc) {

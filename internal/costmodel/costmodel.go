@@ -115,6 +115,18 @@ func ScanOps(n int) float64 { return float64(n) }
 // zero value is a clock at time zero. Clock is not safe for concurrent
 // use; each simulated processor owns its clock exclusively and the
 // cluster package synchronizes them only at collectives.
+//
+// Besides the synchronous AddComm charge, the clock has an
+// overlappable-communication lane implementing the paper's §4.1
+// optimization: AddCommOverlap posts communication time that runs
+// concurrently with subsequent CPU and disk work. Each later
+// AddCompute/AddDisk drains the pending transfer at the rate of the
+// work performed, and the drained portion never reaches the elapsed
+// time — it is masked, and recorded in OverlappedCommSeconds. Whatever
+// is still in flight when SettleComm is called (the next barrier) is
+// charged as ordinary elapsed time. commSeconds always records the
+// full transfer time, masked or not, so CommSeconds remains the upper
+// bound of the optimization.
 type Clock struct {
 	p       Params
 	seconds float64
@@ -124,6 +136,10 @@ type Clock struct {
 	cpuSeconds  float64
 	diskSeconds float64
 	commSeconds float64
+
+	// Overlappable-communication lane state.
+	pendingComm    float64
+	overlappedComm float64
 }
 
 // NewClock returns a clock at time zero using the given machine
@@ -142,14 +158,39 @@ func (c *Clock) CPUSeconds() float64 { return c.cpuSeconds }
 // DiskSeconds returns the accumulated disk component.
 func (c *Clock) DiskSeconds() float64 { return c.diskSeconds }
 
-// CommSeconds returns the accumulated communication component.
+// CommSeconds returns the accumulated communication component,
+// including any communication that was overlapped with computation.
 func (c *Clock) CommSeconds() float64 { return c.commSeconds }
+
+// OverlappedCommSeconds returns the communication time that was masked
+// by concurrent CPU or disk work via the overlap lane.
+func (c *Clock) OverlappedCommSeconds() float64 { return c.overlappedComm }
+
+// PendingCommSeconds returns the in-flight overlappable communication
+// not yet drained or settled.
+func (c *Clock) PendingCommSeconds() float64 { return c.pendingComm }
+
+// drain overlaps dt seconds of local work with any in-flight
+// communication: up to dt seconds of the pending transfer complete
+// concurrently and are masked.
+func (c *Clock) drain(dt float64) {
+	if c.pendingComm <= 0 {
+		return
+	}
+	ov := dt
+	if c.pendingComm < ov {
+		ov = c.pendingComm
+	}
+	c.pendingComm -= ov
+	c.overlappedComm += ov
+}
 
 // AddCompute charges ops abstract record operations of CPU time.
 func (c *Clock) AddCompute(ops float64) {
 	dt := ops / c.p.CPURate
 	c.seconds += dt
 	c.cpuSeconds += dt
+	c.drain(dt)
 }
 
 // AddDisk charges a sequential transfer of the given number of bytes,
@@ -162,6 +203,7 @@ func (c *Clock) AddDisk(bytes int) {
 	dt := c.p.DiskAccessTime + float64(blocks*c.p.BlockSize)/c.p.DiskBandwidth
 	c.seconds += dt
 	c.diskSeconds += dt
+	c.drain(dt)
 }
 
 // AddComm charges h-relation communication time for a superstep in
@@ -171,6 +213,24 @@ func (c *Clock) AddComm(h int, msgs int) {
 	dt := float64(h)/c.p.NetBandwidth + float64(msgs)*c.p.NetLatency
 	c.seconds += dt
 	c.commSeconds += dt
+}
+
+// AddCommOverlap posts the same charge as AddComm on the overlap lane:
+// the transfer proceeds concurrently with subsequent AddCompute and
+// AddDisk work until SettleComm.
+func (c *Clock) AddCommOverlap(h int, msgs int) {
+	dt := float64(h)/c.p.NetBandwidth + float64(msgs)*c.p.NetLatency
+	c.commSeconds += dt
+	c.pendingComm += dt
+}
+
+// SettleComm blocks on any in-flight overlappable communication,
+// charging the unmasked remainder as elapsed time. Collectives call it
+// before every barrier: data posted in a superstep must have fully
+// arrived before the next superstep can proceed.
+func (c *Clock) SettleComm() {
+	c.seconds += c.pendingComm
+	c.pendingComm = 0
 }
 
 // AdvanceTo moves the clock forward to time t (a barrier

@@ -58,6 +58,51 @@ func TestClockComponents(t *testing.T) {
 	}
 }
 
+func TestOverlapLaneMasksCommBehindWork(t *testing.T) {
+	p := Default()
+	c := NewClock(p)
+	c.AddCommOverlap(int(p.NetBandwidth), 0) // 1 second posted, in flight
+	if c.Seconds() != 0 {
+		t.Fatalf("posted comm advanced the clock to %v", c.Seconds())
+	}
+	if math.Abs(c.CommSeconds()-1) > 1e-12 {
+		t.Fatalf("CommSeconds = %v, want full 1s even while pending", c.CommSeconds())
+	}
+	c.AddCompute(p.CPURate / 4) // 0.25 s of work drains 0.25 s of comm
+	if math.Abs(c.OverlappedCommSeconds()-0.25) > 1e-12 {
+		t.Fatalf("OverlappedCommSeconds = %v, want 0.25", c.OverlappedCommSeconds())
+	}
+	if math.Abs(c.PendingCommSeconds()-0.75) > 1e-12 {
+		t.Fatalf("PendingCommSeconds = %v, want 0.75", c.PendingCommSeconds())
+	}
+	c.SettleComm()                         // residual 0.75 s becomes elapsed time
+	if math.Abs(c.Seconds()-1.0) > 1e-12 { // 0.25 compute + 0.75 residual
+		t.Fatalf("Seconds = %v, want 1.0", c.Seconds())
+	}
+	if c.PendingCommSeconds() != 0 {
+		t.Fatalf("pending %v after settle", c.PendingCommSeconds())
+	}
+	// Total elapsed is 0.25 s cheaper than the synchronous 1.25 s.
+	if math.Abs(c.OverlappedCommSeconds()-0.25) > 1e-12 {
+		t.Fatalf("settle changed the overlapped total to %v", c.OverlappedCommSeconds())
+	}
+}
+
+func TestOverlapLaneFullyMasked(t *testing.T) {
+	p := Default()
+	c := NewClock(p)
+	c.AddCommOverlap(int(p.NetBandwidth)/2, 0) // 0.5 s in flight
+	c.AddDisk(64 << 20)                        // plenty of disk time
+	c.SettleComm()
+	if math.Abs(c.OverlappedCommSeconds()-0.5) > 1e-12 {
+		t.Fatalf("OverlappedCommSeconds = %v, want 0.5", c.OverlappedCommSeconds())
+	}
+	// Fully masked: elapsed time is the disk time alone.
+	if math.Abs(c.Seconds()-c.DiskSeconds()) > 1e-12 {
+		t.Fatalf("Seconds = %v, want disk-only %v", c.Seconds(), c.DiskSeconds())
+	}
+}
+
 func TestClockDiskRoundsUpToBlocks(t *testing.T) {
 	p := Default()
 	c := NewClock(p)

@@ -441,6 +441,96 @@ func (r Fig11Result) Print(w io.Writer) {
 	printSpeedupTable(w, "Figure 11: balance threshold tradeoffs", labels, seqs, pts)
 }
 
+// -------------------------------------------------------------- Overlap
+
+// OverlapPoint compares one processor count with the §4.1
+// communication–computation overlap off and on.
+type OverlapPoint struct {
+	P              int
+	BaseSeconds    float64
+	OverlapSeconds float64
+	// MaskedSeconds is the communication the makespan processor hid
+	// behind local work in the overlapped run.
+	MaskedSeconds float64
+	// Improvement is (base - overlap) / base; it can never exceed
+	// MaskableFraction, the baseline's CommSeconds / SimSeconds bound.
+	Improvement      float64
+	MaskableFraction float64
+}
+
+// OverlapSkewPoint is one Zipf skew level of the Figure 8 workload at
+// the full machine, overlap off and on.
+type OverlapSkewPoint struct {
+	Alpha            float64
+	BaseSeconds      float64
+	OverlapSeconds   float64
+	Improvement      float64
+	MaskableFraction float64
+}
+
+// OverlapResult turns the paper's §4.1 overlap observation into a
+// figure-style table: the Figure 5 processor sweep and the Figure 8
+// skew sweep, each built with the communication–computation overlap
+// disabled and enabled.
+type OverlapResult struct {
+	N      int
+	Points []OverlapPoint
+	SkewP  int
+	Skew   []OverlapSkewPoint
+}
+
+// Overlap runs the overlap on/off comparison.
+func Overlap(sc Scale) OverlapResult {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	res := OverlapResult{N: sc.N1M, SkewP: sc.MaxP}
+	for _, p := range sc.Procs {
+		base := runParallel(spec, p, core.Config{D: spec.D})
+		ov := runParallel(spec, p, core.Config{D: spec.D, OverlapComm: true})
+		res.Points = append(res.Points, OverlapPoint{
+			P:                p,
+			BaseSeconds:      base.SimSeconds,
+			OverlapSeconds:   ov.SimSeconds,
+			MaskedSeconds:    ov.OverlappedCommSeconds,
+			Improvement:      (base.SimSeconds - ov.SimSeconds) / base.SimSeconds,
+			MaskableFraction: base.MaskableCommFraction(),
+		})
+	}
+	for _, alpha := range []float64{0, 1, 2, 3} {
+		skewed := paperSpec(sc.N1M, sc.Seed)
+		skewed.Skews = []float64{alpha, alpha, alpha, alpha, alpha, alpha, alpha, alpha}
+		base := runParallel(skewed, sc.MaxP, core.Config{D: skewed.D})
+		ov := runParallel(skewed, sc.MaxP, core.Config{D: skewed.D, OverlapComm: true})
+		res.Skew = append(res.Skew, OverlapSkewPoint{
+			Alpha:            alpha,
+			BaseSeconds:      base.SimSeconds,
+			OverlapSeconds:   ov.SimSeconds,
+			Improvement:      (base.SimSeconds - ov.SimSeconds) / base.SimSeconds,
+			MaskableFraction: base.MaskableCommFraction(),
+		})
+	}
+	return res
+}
+
+// Print writes the overlap comparison tables.
+func (r OverlapResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Overlap: §4.1 communication–computation overlap off/on (n=%d)\n", r.N)
+	fmt.Fprintf(w, "%-6s | %10s | %10s | %10s | %9s | %9s\n",
+		"p", "base s", "overlap s", "masked s", "improv", "bound")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-6d | %10.1f | %10.1f | %10.1f | %8.1f%% | %8.1f%%\n",
+			pt.P, pt.BaseSeconds, pt.OverlapSeconds, pt.MaskedSeconds,
+			100*pt.Improvement, 100*pt.MaskableFraction)
+	}
+	fmt.Fprintf(w, "Overlap under skew (p=%d)\n", r.SkewP)
+	fmt.Fprintf(w, "%-6s | %10s | %10s | %9s | %9s\n",
+		"alpha", "base s", "overlap s", "improv", "bound")
+	for _, pt := range r.Skew {
+		fmt.Fprintf(w, "%-6.1f | %10.1f | %10.1f | %8.1f%% | %8.1f%%\n",
+			pt.Alpha, pt.BaseSeconds, pt.OverlapSeconds,
+			100*pt.Improvement, 100*pt.MaskableFraction)
+	}
+}
+
 // -------------------------------------------------------------- Headline
 
 // HeadlineResult reproduces the paper's §1/§4.1 end-to-end claims:

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -279,6 +280,51 @@ func TestScales(t *testing.T) {
 	}
 	if viewCount(4) != 16 {
 		t.Fatal("viewCount helper broken")
+	}
+}
+
+// TestOverlapImprovesWithinBound is the acceptance check of the §4.1
+// overlap: enabling OverlapComm must reduce SimSeconds on the default
+// experiment config, and the improvement can never exceed the
+// corrected MaskableCommFraction bound.
+func TestOverlapImprovesWithinBound(t *testing.T) {
+	res := Overlap(testScale())
+	if len(res.Points) == 0 || len(res.Skew) == 0 {
+		t.Fatalf("overlap result malformed: %+v", res)
+	}
+	anyGain := false
+	check := func(label string, base, overlap, improvement, bound float64) {
+		t.Helper()
+		if overlap > base*(1+1e-9) {
+			t.Errorf("%s: overlap run slower (%.3f > %.3f)", label, overlap, base)
+		}
+		if improvement > bound+1e-9 {
+			t.Errorf("%s: improvement %.4f exceeds maskable bound %.4f", label, improvement, bound)
+		}
+	}
+	for _, pt := range res.Points {
+		check(fmt.Sprintf("p=%d", pt.P), pt.BaseSeconds, pt.OverlapSeconds, pt.Improvement, pt.MaskableFraction)
+		if pt.P > 1 {
+			if pt.Improvement > 0.005 {
+				anyGain = true
+			}
+			if pt.MaskedSeconds <= 0 {
+				t.Errorf("p=%d: nothing masked despite overlap mode", pt.P)
+			}
+		} else if pt.MaskableFraction > 1e-9 {
+			t.Errorf("p=1 has comm to mask: %v", pt.MaskableFraction)
+		}
+	}
+	for _, pt := range res.Skew {
+		check(fmt.Sprintf("alpha=%.1f", pt.Alpha), pt.BaseSeconds, pt.OverlapSeconds, pt.Improvement, pt.MaskableFraction)
+	}
+	if !anyGain {
+		t.Fatal("overlap produced no measurable improvement at any p > 1")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Overlap") {
+		t.Fatal("Print malformed")
 	}
 }
 

@@ -8,6 +8,8 @@
 package samplesort
 
 import (
+	"sort"
+
 	"repro/internal/balance"
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
@@ -93,7 +95,10 @@ func sortImpl(p *cluster.Proc, file string, gamma float64, presorted bool, op re
 			}
 		}
 	}
-	global = cluster.Broadcast(p, 0, global, keyBytes(cols)*(np-1))
+	// The root's actual pivot count governs the charge (fewer than p-1
+	// global pivots exist on degenerate/small inputs); non-roots learn
+	// the posted size from the broadcast itself.
+	global = cluster.Broadcast(p, 0, global, keyBytes(cols)*len(global))
 
 	// Step 3: partition the locally sorted data by the global pivots.
 	out := make([]*record.Table, np)
@@ -198,12 +203,10 @@ func globalShift(p *cluster.Proc, local *record.Table, sizes []int) *record.Tabl
 	return merged
 }
 
-// sortKeys sorts pivot keys lexicographically (insertion sort; at most
-// p^2 keys).
+// sortKeys sorts pivot keys lexicographically. Comparison-sorting the
+// up to p^2 keys matches the SortOps(n log n) charge in Step 2.
 func sortKeys(keys [][]uint32) {
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && record.CompareKeys(keys[j], keys[j-1]) < 0; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Slice(keys, func(a, b int) bool {
+		return record.CompareKeys(keys[a], keys[b]) < 0
+	})
 }

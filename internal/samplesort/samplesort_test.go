@@ -230,6 +230,84 @@ func TestQuickSortRandomConfigurations(t *testing.T) {
 	}
 }
 
+// TestSortNearEmptyInput exercises the degenerate path where fewer
+// rows than processors exist: the pivot machinery sees tiny samples
+// and most processors end up empty, but the global order must hold.
+func TestSortNearEmptyInput(t *testing.T) {
+	p := 4
+	parts := make([]*record.Table, p)
+	for i := range parts {
+		parts[i] = record.New(2, 0)
+	}
+	parts[2].Append([]uint32{9, 1}, 5)
+	parts[2].Append([]uint32{3, 7}, 2)
+	all := record.New(2, 0)
+	all.AppendTable(parts[2])
+	out, res := runSort(t, parts, 0.01)
+	checkGloballySorted(t, out, all)
+	total := 0
+	for i, r := range res {
+		if r.Rows != out[i].Len() {
+			t.Fatalf("proc %d reports %d rows, holds %d", i, r.Rows, out[i].Len())
+		}
+		total += r.Rows
+	}
+	if total != 2 {
+		t.Fatalf("rows lost: %d of 2 survive", total)
+	}
+}
+
+// TestSortEmptyInputChargesNoPivotBroadcast is the regression test for
+// the degenerate pivot-broadcast charge: with no data there are no
+// global pivots, so the broadcast must move keyBytes*len(global) = 0
+// bytes, not keyBytes*(p-1). Only the row-count AllGather of Step 6
+// touches the wire.
+func TestSortEmptyInputChargesNoPivotBroadcast(t *testing.T) {
+	p := 3
+	m := cluster.New(p, costmodel.Default())
+	for i := 0; i < p; i++ {
+		m.Proc(i).Disk().Put("data", record.New(2, 0))
+	}
+	m.Run(func(pr *cluster.Proc) {
+		Sort(pr, "data", 0.01)
+	})
+	// Step 6's AllGather of local sizes: every processor sends its
+	// 8-byte count to the p-1 others.
+	want := int64(p * 8 * (p - 1))
+	if st := m.Stats(); st.BytesMoved != want {
+		t.Fatalf("empty input moved %d bytes, want %d (sizes AllGather only)", st.BytesMoved, want)
+	}
+}
+
+// TestSortSingleProcessorNoComm: p=1 must sort locally and touch the
+// network not at all.
+func TestSortSingleProcessorNoComm(t *testing.T) {
+	m := cluster.New(1, costmodel.Default())
+	tb := record.New(2, 0)
+	for i := 0; i < 100; i++ {
+		tb.Append([]uint32{uint32(99 - i), uint32(i)}, 1)
+	}
+	m.Proc(0).Disk().Put("data", tb)
+	m.Run(func(pr *cluster.Proc) {
+		r := Sort(pr, "data", 0.01)
+		if r.Shifted {
+			t.Error("p=1 must never shift")
+		}
+		if r.Rows != 100 {
+			t.Errorf("p=1 kept %d rows, want 100", r.Rows)
+		}
+	})
+	if !m.Proc(0).Disk().MustGet("data").IsSorted() {
+		t.Fatal("p=1 output not sorted")
+	}
+	if st := m.Stats(); st.BytesMoved != 0 {
+		t.Fatalf("p=1 moved %d bytes", st.BytesMoved)
+	}
+	if c := m.Proc(0).Clock().CommSeconds(); c != 0 {
+		t.Fatalf("p=1 charged %v comm seconds", c)
+	}
+}
+
 func TestSortMovesBytesAccounted(t *testing.T) {
 	parts, _ := randomParts(9, 4, 1000, 3, 50)
 	p := len(parts)

@@ -24,8 +24,11 @@ type Metrics struct {
 	OutputBytes int64
 	// CommSeconds is the communication component of the makespan;
 	// MaskableCommFraction bounds the §4.1 overlap optimization.
-	CommSeconds          float64
-	MaskableCommFraction float64
+	// OverlappedCommSeconds is the communication actually masked behind
+	// local work (non-zero only with Options.OverlapComm).
+	CommSeconds           float64
+	MaskableCommFraction  float64
+	OverlappedCommSeconds float64
 	// Shifts counts sample-sort global shifts; Resorts counts merge
 	// re-sorts (non-zero only with local schedule trees).
 	Shifts  int
@@ -40,18 +43,19 @@ func (c *Cube) Metrics() Metrics { return c.metrics }
 
 func publicMetrics(in *Input, met core.Metrics) Metrics {
 	m := Metrics{
-		Processors:           met.P,
-		SimSeconds:           met.SimSeconds,
-		PhaseSeconds:         met.PhaseSeconds,
-		BytesMoved:           met.BytesMoved,
-		MergeBytes:           met.BytesByPhase["merge"],
-		OutputRows:           met.OutputRows,
-		OutputBytes:          met.OutputBytes,
-		CommSeconds:          met.CommSeconds,
-		MaskableCommFraction: met.MaskableCommFraction(),
-		Shifts:               met.Shifts,
-		Resorts:              met.Resorts,
-		ViewRows:             make(map[string]int64, len(met.ViewRows)),
+		Processors:            met.P,
+		SimSeconds:            met.SimSeconds,
+		PhaseSeconds:          met.PhaseSeconds,
+		BytesMoved:            met.BytesMoved,
+		MergeBytes:            met.BytesByPhase["merge"],
+		OutputRows:            met.OutputRows,
+		OutputBytes:           met.OutputBytes,
+		CommSeconds:           met.CommSeconds,
+		MaskableCommFraction:  met.MaskableCommFraction(),
+		OverlappedCommSeconds: met.OverlappedCommSeconds,
+		Shifts:                met.Shifts,
+		Resorts:               met.Resorts,
+		ViewRows:              make(map[string]int64, len(met.ViewRows)),
 	}
 	for v, rows := range met.ViewRows {
 		m.ViewRows[viewName(in, v)] = rows

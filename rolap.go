@@ -10,7 +10,10 @@
 // Di-partitions, globally sorts each partition root with an adaptive
 // parallel sample sort, builds every partition locally with Pipesort,
 // and merges the per-processor view slices with the three-case
-// Merge–Partitions procedure. See DESIGN.md for the full system map.
+// Merge–Partitions procedure. Options.OverlapComm additionally enables
+// the paper's §4.1 communication–computation overlap, masking part of
+// the h-relation cost behind the local work that follows each
+// exchange. See DESIGN.md for the full system map.
 //
 // Quick start:
 //
@@ -201,6 +204,15 @@ type Options struct {
 	MinSupport int64
 	// Hardware selects the simulated cluster's cost model.
 	Hardware Hardware
+	// OverlapComm enables the paper's §4.1 communication–computation
+	// overlap: the bulk h-relations of the partition and merge phases
+	// are posted asynchronously and run concurrently with the local
+	// sort/merge/disk work that follows, with the unmasked remainder
+	// settled at the next barrier. The build's result is bit-identical;
+	// only the simulated timing changes, by at most the build's
+	// Metrics.MaskableCommFraction. Metrics.OverlappedCommSeconds
+	// reports how much communication was actually masked.
+	OverlapComm bool
 }
 
 // Cube is a materialized (partial) data cube distributed over the
@@ -262,12 +274,13 @@ func Build(in *Input, opts Options) (*Cube, error) {
 	}
 
 	cfg := core.Config{
-		D:          d,
-		Selected:   selected,
-		Gamma:      opts.Gamma,
-		MergeGamma: opts.MergeGamma,
-		Agg:        opts.Aggregate.op(),
-		MinSupport: opts.MinSupport,
+		D:           d,
+		Selected:    selected,
+		Gamma:       opts.Gamma,
+		MergeGamma:  opts.MergeGamma,
+		Agg:         opts.Aggregate.op(),
+		MinSupport:  opts.MinSupport,
+		OverlapComm: opts.OverlapComm,
 	}
 	if opts.LocalScheduleTrees {
 		cfg.Schedule = core.LocalTree

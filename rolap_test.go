@@ -279,6 +279,45 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestOverlapCommOption checks the public plumbing of the §4.1
+// overlap: same cube, lower simulated time, improvement within the
+// maskable bound, and the masked seconds surfaced in Metrics.
+func TestOverlapCommOption(t *testing.T) {
+	in, oracle := loadRandom(t, 3000, 8)
+	base, err := Build(in, Options{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := Build(in, Options{Processors: 4, OverlapComm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, om := base.Metrics(), ov.Metrics()
+	if om.SimSeconds >= bm.SimSeconds {
+		t.Fatalf("overlap not faster: %.3f vs %.3f", om.SimSeconds, bm.SimSeconds)
+	}
+	if imp := (bm.SimSeconds - om.SimSeconds) / bm.SimSeconds; imp > bm.MaskableCommFraction+1e-9 {
+		t.Fatalf("improvement %.4f exceeds maskable bound %.4f", imp, bm.MaskableCommFraction)
+	}
+	if bm.OverlappedCommSeconds != 0 {
+		t.Fatalf("baseline masked %v seconds without OverlapComm", bm.OverlappedCommSeconds)
+	}
+	if om.OverlappedCommSeconds <= 0 {
+		t.Fatal("overlap build masked nothing")
+	}
+	// The build itself is unchanged: same cube, same answers.
+	if bm.OutputRows != om.OutputRows {
+		t.Fatalf("overlap changed the cube: %d vs %d rows", om.OutputRows, bm.OutputRows)
+	}
+	got, err := ov.Aggregate([]string{"store", "month"}, []uint32{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle([]string{"store", "month"}, []uint32{3, 5}); got != want {
+		t.Fatalf("overlapped cube answers %d, want %d", got, want)
+	}
+}
+
 func TestModernHardwareFaster(t *testing.T) {
 	in, _ := loadRandom(t, 2000, 7)
 	old, err := Build(in, Options{Processors: 4})
