@@ -2,7 +2,9 @@
 # and pre-merge checks run: build + vet + full test suite, plus the
 # race detector on the packages that execute real goroutines (the
 # cluster's SPMD supersteps and samplesort's collective exchanges —
-# the right correctness tool for the overlapped-communication path).
+# the right correctness tool for the overlapped-communication path —
+# and, since the fault/recovery work, core's crash-recovery restarts
+# and mergepart's collective merge).
 
 GO ?= go
 
@@ -20,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/...
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -29,7 +29,11 @@ func runAblation(b *testing.B, params costmodel.Params, cfg core.Config) core.Me
 	for r := 0; r < p; r++ {
 		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
 	}
-	return core.BuildCube(m, "raw", cfg)
+	met, err := core.BuildCube(m, "raw", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return met
 }
 
 // BenchmarkAblationEstimators compares Cardenas-formula against
@@ -96,7 +100,10 @@ func BenchmarkBaselineWorkPartitioning(b *testing.B) {
 		for r := 0; r < 16; r++ {
 			m.Proc(r).Disk().Put("raw", g.Slice(r, 16))
 		}
-		sn := core.BuildCube(m, "raw", core.Config{D: 8})
+		sn, err := core.BuildCube(m, "raw", core.Config{D: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(wm.SimSeconds, "workpart-sim-sec")
 		b.ReportMetric(sn.SimSeconds, "sharednothing-sim-sec")
 	}

@@ -74,7 +74,10 @@ func main() {
 	for r := 0; r < *p; r++ {
 		m.Proc(r).Disk().Put("raw", g.Slice(r, *p))
 	}
-	met := core.BuildCube(m, "raw", cfg)
+	met, err := core.BuildCube(m, "raw", cfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("input: n=%d d=%d cards=%v skew=%v seed=%d\n", *n, *d, cards, skews, *seed)
 	fmt.Printf("machine: p=%d  gamma=%.1f%%  merge-gamma=%.1f%%  trees=%s\n",

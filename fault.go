@@ -1,0 +1,133 @@
+package rolap
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// FaultPlan is a deterministic, seeded fault-injection plan for a
+// build (Options.Faults). It models the failures a shared-nothing
+// cluster actually sees: processor crashes, h-relation payloads lost
+// or corrupted in transit (detected by a wire-image checksum and
+// repaired by charged, exponentially backed-off retransmissions), and
+// straggling nodes. Two builds of the same input with the same plan
+// produce byte-identical cubes and identical metrics.
+//
+// Processors are addressed by their rank in the machine as built; a
+// plan outlives recovery-driven shrinking, still addressing original
+// ranks.
+type FaultPlan struct {
+	// Seed drives the deterministic corruption bit patterns.
+	Seed int64
+	// Crashes kill processors at chosen execution points.
+	Crashes []Crash
+	// Drops lose h-relation payloads in transit.
+	Drops []PayloadFault
+	// Corruptions flip bits in h-relation payloads in transit.
+	Corruptions []PayloadFault
+	// Stragglers slow processors' local CPU and disk work.
+	Stragglers []Straggler
+	// RetryBackoff overrides the base retransmission backoff in
+	// seconds (default 0.05; attempt k waits RetryBackoff * 2^(k-1)).
+	RetryBackoff float64
+}
+
+// Crash kills one processor at a chosen execution point: either its
+// Superstep-th collective superstep (when Superstep > 0), or on
+// entering Phase of the Dimension-th dimension iteration of the build
+// (0-based, in the library's internal decreasing-cardinality order),
+// where Phase "" means the dimension boundary itself and Dimension -1
+// matches any dimension.
+type Crash struct {
+	Processor int
+	Dimension int
+	Phase     string
+	Superstep int64
+}
+
+// PayloadFault damages the payload processor From addresses to
+// processor To in From's Exchange-th bulk table exchange. Times is the
+// number of consecutive delivery attempts that fail before the retry
+// succeeds (default 1).
+type PayloadFault struct {
+	From, To int
+	Exchange int64
+	Times    int
+}
+
+// Straggler slows one processor's local CPU and disk work by Factor
+// (>= 1); communication is unaffected.
+type Straggler struct {
+	Processor int
+	Factor    float64
+}
+
+// Checkpoint configures per-dimension checkpointing and crash
+// recovery (Options.Checkpoint). When enabled, each processor
+// replicates its raw share up front and its completed view slices
+// every Interval dimension iterations to its ring neighbor's disk
+// (charged on the simulated clock). A crashed build then continues
+// degraded on p-1 processors from the last checkpointed boundary;
+// without checkpointing a crash fails the build with a
+// *FailedBuildError.
+type Checkpoint struct {
+	// Enabled turns checkpointing on.
+	Enabled bool
+	// Interval is the number of dimension iterations per checkpoint
+	// (default 1).
+	Interval int
+	// DetectSeconds is the failure-detection timeout charged before
+	// recovery begins (default 0.25s).
+	DetectSeconds float64
+}
+
+// internal converts the public plan to the internal representation.
+func (f *FaultPlan) internal() *faults.Plan {
+	if f == nil {
+		return nil
+	}
+	p := &faults.Plan{Seed: f.Seed, RetryBackoff: f.RetryBackoff}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, faults.Crash{
+			Rank: c.Processor, Dimension: c.Dimension, Phase: c.Phase, Superstep: c.Superstep,
+		})
+	}
+	for _, d := range f.Drops {
+		p.Drops = append(p.Drops, faults.PayloadFault{Src: d.From, Dst: d.To, Exchange: d.Exchange, Times: d.Times})
+	}
+	for _, c := range f.Corruptions {
+		p.Corruptions = append(p.Corruptions, faults.PayloadFault{Src: c.From, Dst: c.To, Exchange: c.Exchange, Times: c.Times})
+	}
+	for _, s := range f.Stragglers {
+		p.Stragglers = append(p.Stragglers, faults.Straggler{Rank: s.Processor, Factor: s.Factor})
+	}
+	return p
+}
+
+// FailedBuildError reports a build killed by a processor crash that
+// could not be recovered (no checkpointing enabled, a single-processor
+// machine, or a crash outside the recoverable region). It names where
+// in the algorithm the processor died.
+type FailedBuildError struct {
+	// Processor is the crashed processor's original rank.
+	Processor int
+	// Dimension is the dimension iteration at the crash point (-1
+	// before the first).
+	Dimension int
+	// Phase is the algorithm phase at the crash point ("partition",
+	// "plan", "build", "merge", "checkpoint", "recover"; "" at a
+	// dimension boundary).
+	Phase string
+	// Superstep is the processor's collective superstep count at the
+	// crash point.
+	Superstep int64
+}
+
+func (e *FailedBuildError) Error() string {
+	where := fmt.Sprintf("dimension %d", e.Dimension)
+	if e.Phase != "" {
+		where += ", phase " + e.Phase
+	}
+	return fmt.Sprintf("rolap: build failed: processor %d crashed (%s, superstep %d)", e.Processor, where, e.Superstep)
+}

@@ -1,0 +1,100 @@
+package rolap
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuildCrashWithoutCheckpointFails(t *testing.T) {
+	in, _ := loadRandom(t, 2000, 9)
+	plan := &FaultPlan{Crashes: []Crash{{Processor: 1, Dimension: 2, Phase: "build"}}}
+	_, err := Build(in, Options{Processors: 4, Faults: plan})
+	var failed *FailedBuildError
+	if !errors.As(err, &failed) {
+		t.Fatalf("want *FailedBuildError, got %v", err)
+	}
+	if failed.Processor != 1 || failed.Dimension != 2 || failed.Phase != "build" {
+		t.Fatalf("error = %+v, want processor 1 dimension 2 phase build", failed)
+	}
+	for _, want := range []string{"processor 1", "dimension 2", "phase build"} {
+		if !strings.Contains(failed.Error(), want) {
+			t.Fatalf("error %q missing %q", failed.Error(), want)
+		}
+	}
+}
+
+func TestBuildRecoversFromCrashWithCheckpoint(t *testing.T) {
+	in, oracle := loadRandom(t, 2000, 9)
+	plan := &FaultPlan{Crashes: []Crash{{Processor: 2, Dimension: 1}}}
+	cube, err := Build(in, Options{
+		Processors: 4,
+		Faults:     plan,
+		Checkpoint: Checkpoint{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := cube.Metrics()
+	if !reflect.DeepEqual(met.FailedProcessors, []int{2}) {
+		t.Fatalf("FailedProcessors = %v, want [2]", met.FailedProcessors)
+	}
+	if met.RecoverySeconds <= 0 || met.CheckpointBytes <= 0 {
+		t.Fatalf("recovery not charged: RecoverySeconds=%v CheckpointBytes=%d",
+			met.RecoverySeconds, met.CheckpointBytes)
+	}
+	// The degraded cube still answers queries correctly.
+	for _, q := range []struct {
+		dims []string
+		key  []uint32
+	}{
+		{[]string{"store", "month"}, []uint32{3, 5}},
+		{[]string{"channel"}, []uint32{1}},
+		{nil, nil},
+	} {
+		got, err := cube.Aggregate(q.dims, q.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle(q.dims, q.key); got != want {
+			t.Fatalf("aggregate %v %v = %d, want %d", q.dims, q.key, got, want)
+		}
+	}
+}
+
+func TestBuildInvalidFaultPlanErrors(t *testing.T) {
+	in, _ := loadRandom(t, 200, 1)
+	plan := &FaultPlan{Crashes: []Crash{{Processor: 99}}}
+	if _, err := Build(in, Options{Processors: 4, Faults: plan}); err == nil {
+		t.Fatal("expected error for fault plan naming a processor outside the machine")
+	}
+}
+
+func TestBuildDeterministicUnderFaults(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:        5,
+		Crashes:     []Crash{{Processor: 0, Dimension: 2, Phase: "merge"}},
+		// Exchange 0 is the initial raw-share replication to the ring
+		// neighbor — a deterministic nonempty payload.
+		Drops:       []PayloadFault{{From: 1, To: 2, Exchange: 0}},
+		Corruptions: []PayloadFault{{From: 2, To: 3, Exchange: 0, Times: 2}},
+	}
+	opts := Options{Processors: 4, Faults: plan, Checkpoint: Checkpoint{Enabled: true}}
+	in1, _ := loadRandom(t, 1500, 3)
+	in2, _ := loadRandom(t, 1500, 3)
+	c1, err := Build(in1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(in2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1.Metrics(), c2.Metrics()) {
+		t.Fatalf("metrics differ between identical faulty builds:\n%+v\n%+v", c1.Metrics(), c2.Metrics())
+	}
+	if c1.Metrics().RetriedMessages == 0 {
+		t.Fatal("expected retried messages from the injected payload faults")
+	}
+}

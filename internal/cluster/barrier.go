@@ -43,7 +43,12 @@ func (b *barrier) wait() {
 	for b.gen == gen && b.err == nil {
 		b.cond.Wait()
 	}
-	if b.err != nil {
+	// Panic only if the abort arrived while this generation was still
+	// open. A waiter whose barrier completed returns normally even if an
+	// abort lands before it is scheduled again: its barrier did succeed,
+	// and unwinding here would make the survivor's progress — and its
+	// charged clock — depend on scheduling instead of on program order.
+	if b.gen == gen && b.err != nil {
 		panic(abortSignal{})
 	}
 }

@@ -47,6 +47,11 @@ type Machine struct {
 	slot   []any
 	times  []float64
 
+	// faults, when non-nil, is the installed fault-injection state
+	// (SetFaults). It survives Shrink so a recovered machine keeps the
+	// same plan.
+	faults *faultState
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -56,6 +61,7 @@ type Stats struct {
 	BytesMoved int64            // total bytes crossing the network
 	Messages   int64            // total point-to-point messages
 	Supersteps int64            // number of collective supersteps
+	Retried    int64            // retransmitted messages (fault repairs)
 	ByPhase    map[string]int64 // bytes moved per phase label
 }
 
@@ -64,11 +70,19 @@ type Stats struct {
 // other processor's state except through collectives.
 type Proc struct {
 	rank    int
+	orig    int // original rank, stable across Shrink
 	m       *Machine
 	clock   *costmodel.Clock
 	disk    *simdisk.Disk
 	phase   string
 	overlap bool
+
+	// Fault-injection execution point: the current dimension iteration
+	// (SetEpoch, -1 before the first), the processor's superstep count,
+	// and its bulk-table-exchange ordinal.
+	epoch     int
+	steps     int64
+	exchanges int64
 }
 
 // slotMsg is a one-per-processor payload together with its modelled
@@ -100,7 +114,7 @@ func New(p int, params costmodel.Params) *Machine {
 	m.procs = make([]*Proc, p)
 	for i := 0; i < p; i++ {
 		clk := costmodel.NewClock(params)
-		m.procs[i] = &Proc{rank: i, m: m, clock: clk, disk: simdisk.New(clk)}
+		m.procs[i] = &Proc{rank: i, orig: i, m: m, clock: clk, disk: simdisk.New(clk), epoch: -1}
 	}
 	return m
 }
@@ -140,20 +154,28 @@ func (m *Machine) SimSeconds() float64 {
 }
 
 // Run executes body on every processor concurrently and blocks until
-// all finish. If any processor panics, every other processor is
-// released from its barrier waits and Run re-panics with the first
-// failure.
-func (m *Machine) Run(body func(*Proc)) {
+// all finish. If any processor fails — an injected crash or an
+// unexpected panic — every other processor is released from its
+// barrier waits and Run returns the first failure as an error: a
+// *faults.CrashError for injected crashes, otherwise an error naming
+// the panicking rank. The machine is reusable after a failed run (the
+// barrier is reset and surviving clocks are settled), which is what
+// checkpoint recovery builds on.
+func (m *Machine) Run(body func(*Proc)) error {
 	var wg sync.WaitGroup
 	wg.Add(m.p)
 	for i := 0; i < m.p; i++ {
 		go func(p *Proc) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
-					if _, isAbort := r.(abortSignal); !isAbort {
-						m.bar.abort(fmt.Errorf("cluster: processor %d panicked: %v", p.rank, r))
-					}
+				switch r := recover().(type) {
+				case nil:
+				case abortSignal:
+					// Another processor failed first; just unwind.
+				case crashPanic:
+					m.bar.abort(r.err)
+				default:
+					m.bar.abort(fmt.Errorf("cluster: processor %d panicked: %v", p.rank, r))
 				}
 			}()
 			body(p)
@@ -164,13 +186,24 @@ func (m *Machine) Run(body func(*Proc)) {
 	}
 	wg.Wait()
 	if err := m.bar.abortErr(); err != nil {
+		// Unwound processors skipped their normal settle; their
+		// in-flight communication still completes on the wire.
+		for _, p := range m.procs {
+			p.clock.SettleComm()
+		}
 		m.bar.reset()
-		panic(err)
+		return err
 	}
+	return nil
 }
 
 // Rank returns the processor's rank in [0, P).
 func (p *Proc) Rank() int { return p.rank }
+
+// OrigRank returns the processor's rank in the machine as originally
+// built, stable across Shrink. Fault plans address processors by
+// original rank.
+func (p *Proc) OrigRank() int { return p.orig }
 
 // P returns the number of processors in the machine.
 func (p *Proc) P() int { return p.m.p }
@@ -182,8 +215,25 @@ func (p *Proc) Clock() *costmodel.Clock { return p.clock }
 func (p *Proc) Disk() *simdisk.Disk { return p.disk }
 
 // SetPhase labels subsequent communication for per-phase statistics
-// (e.g. the merge phase bytes of Figure 8b).
-func (p *Proc) SetPhase(name string) { p.phase = name }
+// (e.g. the merge phase bytes of Figure 8b). It is also a fault
+// injection point: a planned crash pinned to this phase fires here.
+func (p *Proc) SetPhase(name string) {
+	p.phase = name
+	p.maybeCrash()
+}
+
+// SetEpoch marks the start of a dimension iteration (the paper's Di
+// boundary) for fault targeting, clearing the phase label. A planned
+// crash pinned to this dimension boundary fires here.
+func (p *Proc) SetEpoch(e int) {
+	p.epoch = e
+	p.phase = ""
+	p.maybeCrash()
+}
+
+// Epoch returns the current dimension iteration set via SetEpoch (-1
+// before the first).
+func (p *Proc) Epoch() int { return p.epoch }
 
 // SetOverlap switches this processor's bulk h-relations (AllToAll) to
 // overlapped mode, the paper's §4.1 communication–computation overlap:
@@ -219,6 +269,11 @@ func (p *Proc) account(bytesSent int64, msgs int64) {
 // processor is in overlapped mode.
 func (p *Proc) superstep(post func(), read func() int, sent, msgs int, overlappable bool) {
 	m := p.m
+	// Superstep entry is a fault injection point: a crash fired here
+	// kills the processor before it posts anything, so its payloads for
+	// this exchange are lost — the failure mode a real MPI job sees.
+	p.steps++
+	p.maybeCrash()
 	post()
 	// Any communication still overlapping from an earlier superstep
 	// must complete before this barrier: its time is part of when this
@@ -404,15 +459,25 @@ func AllToAll[T any](p *Proc, out []T, bytesOf func(T) int) []T {
 	return in
 }
 
+// tableBytes is the modelled wire size of a payload table (nil means
+// empty).
+func tableBytes(t *record.Table) int {
+	if t == nil {
+		return 0
+	}
+	return t.Bytes()
+}
+
 // AllToAllTables is AllToAll for record tables, with byte accounting
 // from the tables' modelled sizes. nil entries are treated as empty.
+// When a fault plan is installed (SetFaults) each payload carries a
+// wire-image checksum; injected drops and corruptions are detected and
+// repaired by charged retransmissions with exponential backoff.
 func AllToAllTables(p *Proc, out []*record.Table) []*record.Table {
-	return AllToAll(p, out, func(t *record.Table) int {
-		if t == nil {
-			return 0
-		}
-		return t.Bytes()
-	})
+	if p.m.faults == nil {
+		return AllToAll(p, out, tableBytes)
+	}
+	return allToAllTablesChecked(p, out)
 }
 
 // Reduce combines one value per processor at root with a left fold over

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/record"
@@ -234,21 +235,63 @@ func TestLocalDeliveryIsFree(t *testing.T) {
 
 func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
 	m := newMachine(4)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected panic from Run")
-		}
-		if !strings.Contains(r.(error).Error(), "processor 2") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) {
+			if p.Rank() == 2 {
+				panic("boom")
+			}
+			Barrier(p) // others would deadlock here without abort support
+		})
 	}()
-	m.Run(func(p *Proc) {
-		if p.Rank() == 2 {
-			panic("boom")
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from Run")
 		}
-		Barrier(p) // others would deadlock here without abort support
-	})
+		if !strings.Contains(err.Error(), "processor 2") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after mid-superstep panic")
+	}
+}
+
+func TestPanicReleasesOverlappedCommWaiters(t *testing.T) {
+	// A processor dying while peers hold unsettled overlapped
+	// communication must still release every barrier waiter, and the
+	// machine must stay usable for a follow-up run.
+	m := newMachine(4)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(p *Proc) {
+			p.SetOverlap(true)
+			out := make([]int, 4)
+			for k := range out {
+				out[k] = p.Rank()
+			}
+			AllToAll(p, out, func(int) int { return 1 << 16 })
+			if p.Rank() == 1 {
+				panic("mid-overlap crash")
+			}
+			Barrier(p) // overlapped comm is still unsettled here
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from Run")
+		}
+		if !strings.Contains(err.Error(), "processor 1") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after panic with unsettled overlapped comm")
+	}
+	// The barrier must have been reset: a clean run still works.
+	if err := m.Run(func(p *Proc) { Barrier(p) }); err != nil {
+		t.Fatalf("machine unusable after aborted run: %v", err)
+	}
 }
 
 func TestProcDisksAreIndependent(t *testing.T) {

@@ -12,12 +12,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/estimate"
 	"repro/internal/extsort"
+	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/mergepart"
 	"repro/internal/partialcube"
@@ -95,6 +97,34 @@ type Config struct {
 	// the local work that follows them, with the unmasked remainder
 	// settled at the next barrier.
 	OverlapComm bool
+	// Faults, when non-nil, installs a deterministic fault-injection
+	// plan on the machine: crashes, dropped/corrupted h-relation
+	// payloads (repaired by charged retries), and stragglers.
+	Faults *faults.Plan
+	// Checkpoint configures per-dimension checkpointing and crash
+	// recovery.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig configures the fault-tolerance protocol: after
+// every Interval dimension iterations each processor replicates its
+// newly completed view slices (and, up front, its raw share) to its
+// ring neighbor's disk along with a completed-view manifest, all
+// charged on the simulated clock. When a processor crashes, the
+// survivors shrink to p-1, the dead rank's replicas are adopted by its
+// neighbor, the completed views are rebalanced with
+// Adaptive–Sample–Sort, and the build restarts from the last
+// checkpointed dimension boundary. Without checkpointing a crash
+// fails the build fast with a structured error.
+type CheckpointConfig struct {
+	// Enabled turns checkpointing (and crash recovery) on.
+	Enabled bool
+	// Interval is the number of dimension iterations per checkpoint
+	// (default 1: checkpoint at every Di boundary).
+	Interval int
+	// DetectSeconds is the failure-detection timeout survivors charge
+	// before starting recovery (default 0.25s, a heartbeat timeout).
+	DetectSeconds float64
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +137,64 @@ func (c Config) withDefaults() Config {
 	if c.FMBitmaps == 0 {
 		c.FMBitmaps = 64
 	}
+	if c.Checkpoint.Interval == 0 {
+		c.Checkpoint.Interval = 1
+	}
+	if c.Checkpoint.DetectSeconds == 0 {
+		c.Checkpoint.DetectSeconds = 0.25
+	}
 	return c
+}
+
+// validate checks the configuration and the machine's preloaded state
+// up front, so configuration mistakes surface as errors instead of
+// panics from deep inside the SPMD run.
+func (c Config) validate(m *cluster.Machine, rawFile string) error {
+	if c.D < 1 || c.D > lattice.MaxDims {
+		return fmt.Errorf("core: bad dimensionality %d (want 1..%d)", c.D, lattice.MaxDims)
+	}
+	if c.Gamma <= 0 || c.Gamma >= 1 {
+		return fmt.Errorf("core: gamma %v out of range (0,1)", c.Gamma)
+	}
+	if c.MergeGamma <= 0 || c.MergeGamma >= 1 {
+		return fmt.Errorf("core: merge gamma %v out of range (0,1)", c.MergeGamma)
+	}
+	if c.SampleCap < 0 {
+		return fmt.Errorf("core: negative sample cap %d", c.SampleCap)
+	}
+	if c.FMBitmaps < 1 {
+		return fmt.Errorf("core: bad FM bitmap count %d", c.FMBitmaps)
+	}
+	if c.MinSupport < 0 {
+		return fmt.Errorf("core: negative iceberg threshold %d", c.MinSupport)
+	}
+	full := lattice.Full(c.D)
+	for _, v := range c.Selected {
+		if !v.SubsetOf(full) {
+			return fmt.Errorf("core: selected view %#x outside the %d-dimensional lattice", uint32(v), c.D)
+		}
+	}
+	if c.Checkpoint.Interval < 1 {
+		return fmt.Errorf("core: checkpoint interval %d (want >= 1)", c.Checkpoint.Interval)
+	}
+	if c.Checkpoint.DetectSeconds < 0 {
+		return fmt.Errorf("core: negative failure-detection timeout %v", c.Checkpoint.DetectSeconds)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(m.P()); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < m.P(); r++ {
+		disk := m.Proc(r).Disk()
+		if !disk.Has(rawFile) {
+			return fmt.Errorf("core: processor %d has no raw file %q", r, rawFile)
+		}
+		if cols := disk.Cols(rawFile); cols != c.D {
+			return fmt.Errorf("core: processor %d raw file %q has %d columns, config says %d", r, rawFile, cols, c.D)
+		}
+	}
+	return nil
 }
 
 // ViewFile names the disk file holding a view's local slice.
@@ -146,15 +233,51 @@ type Metrics struct {
 	// ViewOrders records each selected view's materialized attribute
 	// order (the merge target order agreed by P0).
 	ViewOrders map[lattice.ViewID]lattice.Order
+	// RetriedMessages counts h-relation payloads retransmitted to
+	// repair injected drops and corruptions.
+	RetriedMessages int64
+	// CheckpointBytes is the total bytes written to checkpoint state
+	// (neighbor replicas and manifests) across all processors.
+	CheckpointBytes int64
+	// CheckpointSeconds is the checkpoint phase's makespan contribution
+	// (PhaseSeconds["checkpoint"]).
+	CheckpointSeconds float64
+	// RecoverySeconds is the time spent in crash recovery (failure
+	// detection, replica adoption, rebalance, re-replication), max over
+	// surviving processors.
+	RecoverySeconds float64
+	// FailedRanks lists the original ranks of crashed processors the
+	// build recovered from, in crash order.
+	FailedRanks []int
 }
 
-// procOut captures per-processor observations during the SPMD run.
-type procOut struct {
-	phase   map[string]float64
+// dimObs captures what one processor observed during one dimension
+// iteration. A restarted dimension replaces its observations wholesale
+// so aborted partial attempts are not double counted.
+type dimObs struct {
 	shifts  int
 	resorts int
 	cases   map[mergepart.Case]int
 	orders  map[lattice.ViewID]lattice.Order
+}
+
+func newDimObs() *dimObs {
+	return &dimObs{cases: map[mergepart.Case]int{}, orders: map[lattice.ViewID]lattice.Order{}}
+}
+
+// procOut captures per-processor observations during the SPMD run.
+// Observations tied to a dimension live in dims so a recovery restart
+// overwrites them instead of double counting; phase seconds accumulate
+// across restarts because the repeated work really happened.
+type procOut struct {
+	phase           map[string]float64
+	dims            map[int]*dimObs
+	ckptBytes       int64
+	recoverySeconds float64
+}
+
+func newProcOut() *procOut {
+	return &procOut{phase: map[string]float64{}, dims: map[int]*dimObs{}}
 }
 
 // BuildCube runs Procedure 1 on the machine. Every processor's disk
@@ -163,32 +286,79 @@ type procOut struct {
 // view v is distributed across the processors' disks under
 // ViewFile(v), globally sorted in its attribute order, balanced within
 // the merge threshold.
-func BuildCube(m *cluster.Machine, rawFile string, cfg Config) Metrics {
+//
+// With cfg.Faults installed, an injected crash either fails the build
+// with a *faults.CrashError (no checkpointing, or a crash outside the
+// recoverable region), or — with cfg.Checkpoint.Enabled on more than
+// one processor — shrinks the machine to the survivors, recovers from
+// the per-dimension checkpoints, and completes the build degraded.
+// Sequential crashes are recoverable as long as at least one processor
+// survives each; a crash during recovery itself fails fast.
+func BuildCube(m *cluster.Machine, rawFile string, cfg Config) (Metrics, error) {
 	cfg = cfg.withDefaults()
-	if cfg.D < 1 || cfg.D > lattice.MaxDims {
-		panic(fmt.Sprintf("core: bad dimensionality %d", cfg.D))
+	if err := cfg.validate(m, rawFile); err != nil {
+		return Metrics{}, err
+	}
+	if err := m.SetFaults(cfg.Faults); err != nil {
+		return Metrics{}, err
 	}
 	sel := cfg.Selected
 	if sel == nil {
 		sel = lattice.AllViews(cfg.D)
 	}
+	origP := m.P()
 	outs := make([]*procOut, m.P())
-	m.Run(func(p *cluster.Proc) {
-		out := &procOut{
-			phase:  map[string]float64{},
-			cases:  map[mergepart.Case]int{},
-			orders: map[lattice.ViewID]lattice.Order{},
+	for i := range outs {
+		outs[i] = newProcOut()
+	}
+	var failed []int
+	startDim := 0
+	initial := true
+	for {
+		err := m.Run(func(p *cluster.Proc) {
+			buildOnProc(p, rawFile, cfg, sel, outs[p.Rank()], startDim, initial)
+		})
+		if err == nil {
+			break
 		}
-		outs[p.Rank()] = out
-		buildOnProc(p, rawFile, cfg, sel, out)
-	})
-	return collectMetrics(m, sel, outs)
+		var crash *faults.CrashError
+		if !errors.As(err, &crash) || !cfg.Checkpoint.Enabled || m.P() <= 1 || crash.Dimension < startDim {
+			return Metrics{}, err
+		}
+		// Survivors continue on p-1 processors from the last
+		// checkpointed dimension boundary at or before the crash.
+		resume := lastCheckpointBoundary(crash.Dimension, startDim, cfg.Checkpoint.Interval)
+		dead := m.RankOf(crash.Rank)
+		if dead < 0 {
+			return Metrics{}, err
+		}
+		if serr := m.Shrink(dead); serr != nil {
+			return Metrics{}, serr
+		}
+		outs = append(outs[:dead:dead], outs[dead+1:]...)
+		failed = append(failed, crash.Rank)
+		// The dead rank's ring neighbor holds its replicas and adopts
+		// its data: old rank (dead+1) mod oldP is new rank dead mod newP.
+		adopter := dead % m.P()
+		if rerr := m.Run(func(p *cluster.Proc) {
+			recoverOnProc(p, rawFile, cfg, sel, resume, adopter, outs[p.Rank()])
+		}); rerr != nil {
+			return Metrics{}, rerr
+		}
+		startDim = resume
+		initial = false
+	}
+	met := collectMetrics(m, origP, sel, outs)
+	met.FailedRanks = failed
+	return met, nil
 }
 
-// buildOnProc is the SPMD body of Procedure 1.
-func buildOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.ViewID, out *procOut) {
+// buildOnProc is the SPMD body of Procedure 1, starting at dimension
+// startDim (0 on a fresh build, the resume boundary after recovery).
+// initial marks the first attempt, which takes the up-front raw-data
+// checkpoint.
+func buildOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.ViewID, out *procOut, startDim int, initial bool) {
 	d := cfg.D
-	disk := p.Disk()
 	clk := p.Clock()
 	p.SetOverlap(cfg.OverlapComm)
 	phase := func(name string) func() {
@@ -202,73 +372,104 @@ func buildOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.View
 		}
 	}
 
-	for i := 0; i < d; i++ {
-		partViews := lattice.Partition(i, d)
-		partSel := lattice.PartitionSubset(i, d, sel)
-		if len(partSel) == 0 {
-			continue // nothing selected in this partition (partial cube)
-		}
-		root := lattice.Root(i, d)
-		rootOrder := lattice.Canonical(root)
-		rootFile := ViewFile(root)
-
-		// ---- Step 1: data partitioning. ----
-		done := phase("partition")
-		// 1a: local Di-root = sort + scan of the local raw share.
-		raw := disk.MustGet(rawFile)
-		clk.AddCompute(costmodel.ScanOps(raw.Len()))
-		disk.Put(rootFile, raw.Project([]int(rootOrder)))
-		extsort.Sort(disk, rootFile)
-		localAggregate(p, rootFile, cfg.Agg)
-		// 1b: global sort of the union of the local roots.
-		sres := samplesort.Sort(p, rootFile, cfg.Gamma)
-		if sres.Shifted {
-			out.shifts++
-		}
-		// 1c: local re-aggregation of the received slice.
-		localAggregate(p, rootFile, cfg.Agg)
-		done()
-
-		// ---- Step 2: local Di-partition. ----
-		done = phase("plan")
-		tree := planTree(p, cfg, i, partViews, partSel, root, rootOrder, rootFile)
-		done()
-
-		done = phase("build")
-		sampleCap := cfg.SampleCap
-		if sampleCap == 0 {
-			sampleCap = 100 * p.P()
-		}
-		pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg})
-		done()
-
-		// ---- Step 3: merge of the local Di-partitions. ----
-		done = phase("merge")
-		targets := mergeTargets(p, tree, partSel)
-		for k, v := range partSel {
-			out.orders[v] = targets[k]
-			my := tree.Node(v).Order
-			r := mergepart.MergeViewOp(p, ViewFile(v), v, my, targets[k], rootOrder, cfg.MergeGamma, cfg.Agg)
-			if r.Resorted {
-				out.resorts++
-			}
-			out.cases[r.Case]++
-			if cfg.MinSupport > 0 {
-				icebergFilter(p, ViewFile(v), cfg.MinSupport)
-			}
-		}
-		// Drop intermediate views a partial plan materialized.
-		selSet := map[lattice.ViewID]bool{}
-		for _, v := range partSel {
-			selSet[v] = true
-		}
-		tree.Walk(func(n *lattice.Node) {
-			if !selSet[n.View] {
-				disk.Remove(ViewFile(n.View))
-			}
-		})
+	ck := cfg.Checkpoint
+	if initial && ck.Enabled {
+		// Before any real work: replicate the raw share to the ring
+		// neighbor so a crash in any dimension can restart from it.
+		done := phase("checkpoint")
+		checkpointInitial(p, rawFile, out)
 		done()
 	}
+
+	lastCkpt := startDim
+	for i := startDim; i < d; i++ {
+		// Dimension boundary: crash injection point, fresh observation
+		// slot (a restarted dimension must not double count).
+		p.SetEpoch(i)
+		obs := newDimObs()
+		out.dims[i] = obs
+
+		partSel := lattice.PartitionSubset(i, d, sel)
+		if len(partSel) > 0 {
+			buildDim(p, rawFile, cfg, i, partSel, obs, phase)
+		}
+
+		if ck.Enabled && i < d-1 && (i+1-startDim)%ck.Interval == 0 {
+			done := phase("checkpoint")
+			checkpointBoundary(p, cfg, sel, lastCkpt, i+1, out)
+			done()
+			lastCkpt = i + 1
+		}
+	}
+}
+
+// buildDim runs one dimension iteration of Procedure 1: partition,
+// plan, build, merge.
+func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []lattice.ViewID, obs *dimObs, phase func(string) func()) {
+	d := cfg.D
+	disk := p.Disk()
+	clk := p.Clock()
+	partViews := lattice.Partition(i, d)
+	root := lattice.Root(i, d)
+	rootOrder := lattice.Canonical(root)
+	rootFile := ViewFile(root)
+
+	// ---- Step 1: data partitioning. ----
+	done := phase("partition")
+	// 1a: local Di-root = sort + scan of the local raw share.
+	raw := disk.MustGet(rawFile)
+	clk.AddCompute(costmodel.ScanOps(raw.Len()))
+	disk.Put(rootFile, raw.Project([]int(rootOrder)))
+	extsort.Sort(disk, rootFile)
+	localAggregate(p, rootFile, cfg.Agg)
+	// 1b: global sort of the union of the local roots.
+	sres := samplesort.Sort(p, rootFile, cfg.Gamma)
+	if sres.Shifted {
+		obs.shifts++
+	}
+	// 1c: local re-aggregation of the received slice.
+	localAggregate(p, rootFile, cfg.Agg)
+	done()
+
+	// ---- Step 2: local Di-partition. ----
+	done = phase("plan")
+	tree := planTree(p, cfg, i, partViews, partSel, root, rootOrder, rootFile)
+	done()
+
+	done = phase("build")
+	sampleCap := cfg.SampleCap
+	if sampleCap == 0 {
+		sampleCap = 100 * p.P()
+	}
+	pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg})
+	done()
+
+	// ---- Step 3: merge of the local Di-partitions. ----
+	done = phase("merge")
+	targets := mergeTargets(p, tree, partSel)
+	for k, v := range partSel {
+		obs.orders[v] = targets[k]
+		my := tree.Node(v).Order
+		r := mergepart.MergeViewOp(p, ViewFile(v), v, my, targets[k], rootOrder, cfg.MergeGamma, cfg.Agg)
+		if r.Resorted {
+			obs.resorts++
+		}
+		obs.cases[r.Case]++
+		if cfg.MinSupport > 0 {
+			icebergFilter(p, ViewFile(v), cfg.MinSupport)
+		}
+	}
+	// Drop intermediate views a partial plan materialized.
+	selSet := map[lattice.ViewID]bool{}
+	for _, v := range partSel {
+		selSet[v] = true
+	}
+	tree.Walk(func(n *lattice.Node) {
+		if !selSet[n.View] {
+			disk.Remove(ViewFile(n.View))
+		}
+	})
+	done()
 }
 
 // icebergFilter drops groups whose final aggregate falls below the
@@ -366,19 +567,21 @@ func (m Metrics) MaskableCommFraction() float64 {
 }
 
 // collectMetrics aggregates per-processor observations and the final
-// disk state.
-func collectMetrics(m *cluster.Machine, sel []lattice.ViewID, outs []*procOut) Metrics {
+// disk state. origP is the machine size the build started with; after
+// crash recovery m.P() is smaller.
+func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []*procOut) Metrics {
 	st := m.Stats()
 	met := Metrics{
-		P:            m.P(),
-		SimSeconds:   m.SimSeconds(),
-		PhaseSeconds: map[string]float64{},
-		BytesMoved:   st.BytesMoved,
-		BytesByPhase: st.ByPhase,
-		Supersteps:   st.Supersteps,
-		CaseCounts:   map[mergepart.Case]int{},
-		ViewRows:     map[lattice.ViewID]int64{},
-		ViewOrders:   outs[0].orders,
+		P:               origP,
+		SimSeconds:      m.SimSeconds(),
+		PhaseSeconds:    map[string]float64{},
+		BytesMoved:      st.BytesMoved,
+		BytesByPhase:    st.ByPhase,
+		Supersteps:      st.Supersteps,
+		RetriedMessages: st.Retried,
+		CaseCounts:      map[mergepart.Case]int{},
+		ViewRows:        map[lattice.ViewID]int64{},
+		ViewOrders:      map[lattice.ViewID]lattice.Order{},
 	}
 	for _, out := range outs {
 		for name, sec := range out.phase {
@@ -386,9 +589,16 @@ func collectMetrics(m *cluster.Machine, sel []lattice.ViewID, outs []*procOut) M
 				met.PhaseSeconds[name] = sec
 			}
 		}
-		met.Shifts += out.shifts
-		met.Resorts += out.resorts
+		for _, obs := range out.dims {
+			met.Shifts += obs.shifts
+			met.Resorts += obs.resorts
+		}
+		met.CheckpointBytes += out.ckptBytes
+		if out.recoverySeconds > met.RecoverySeconds {
+			met.RecoverySeconds = out.recoverySeconds
+		}
 	}
+	met.CheckpointSeconds = met.PhaseSeconds["checkpoint"]
 	// Component breakdown of the slowest processor's clock.
 	for r := 0; r < m.P(); r++ {
 		clk := m.Proc(r).Clock()
@@ -400,9 +610,15 @@ func collectMetrics(m *cluster.Machine, sel []lattice.ViewID, outs []*procOut) M
 			break
 		}
 	}
-	// Case counts from P0's observations (identical on all processors).
-	for c, n := range outs[0].cases {
-		met.CaseCounts[c] += n
+	// Case counts and merge orders from P0's observations (identical on
+	// all processors).
+	for _, obs := range outs[0].dims {
+		for c, n := range obs.cases {
+			met.CaseCounts[c] += n
+		}
+		for v, o := range obs.orders {
+			met.ViewOrders[v] = o
+		}
 	}
 	for _, v := range sel {
 		var rows int64

@@ -24,7 +24,10 @@ func buildMachine(t *testing.T, spec gen.Spec, p int, cfg Config) (*cluster.Mach
 	for r := 0; r < p; r++ {
 		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
 	}
-	met := BuildCube(m, "raw", cfg)
+	met, err := BuildCube(m, "raw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return m, met, g.All()
 }
 
@@ -326,16 +329,36 @@ func TestTightAndLooseGammas(t *testing.T) {
 	}
 }
 
-func TestMissingRawFilePanics(t *testing.T) {
+func TestMissingRawFileErrors(t *testing.T) {
 	m := cluster.New(2, costmodel.Default())
 	// No raw data placed on the disks: the machine must fail loudly,
 	// not deadlock or silently build an empty cube.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if _, err := BuildCube(m, "raw", Config{D: 3}); err == nil {
+		t.Fatal("expected error for missing raw file")
+	}
+}
+
+func TestBadConfigErrors(t *testing.T) {
+	cases := []Config{
+		{D: 0},
+		{D: lattice.MaxDims + 1},
+		{D: 3, Gamma: -0.5},
+		{D: 3, MergeGamma: 2},
+		{D: 3, SampleCap: -1},
+		{D: 2, Selected: []lattice.ViewID{lattice.Full(5)}},
+		{D: 3, Checkpoint: CheckpointConfig{Enabled: true, Interval: -2}},
+		{D: 3, Checkpoint: CheckpointConfig{Enabled: true, DetectSeconds: -1}},
+	}
+	for i, cfg := range cases {
+		g := gen.New(gen.Spec{N: 50, D: 5, Cards: []int{5, 4, 3, 2, 2}, Seed: 1})
+		m := cluster.New(2, costmodel.Default())
+		for r := 0; r < 2; r++ {
+			m.Proc(r).Disk().Put("raw", g.Slice(r, 2))
 		}
-	}()
-	BuildCube(m, "raw", Config{D: 3})
+		if _, err := BuildCube(m, "raw", cfg); err == nil {
+			t.Errorf("case %d: expected config validation error", i)
+		}
+	}
 }
 
 func TestQuickRandomConfigurations(t *testing.T) {
@@ -361,7 +384,10 @@ func TestQuickRandomConfigurations(t *testing.T) {
 		for r := 0; r < p; r++ {
 			m.Proc(r).Disk().Put("raw", g.Slice(r, p))
 		}
-		met := BuildCube(m, "raw", cfg)
+		met, err := BuildCube(m, "raw", cfg)
+		if err != nil {
+			return false
+		}
 		raw := g.All()
 		// Spot-check three views: full, the empty view, one mid view.
 		views := []lattice.ViewID{lattice.Full(d), lattice.Empty, lattice.Full(d).Remove(0)}

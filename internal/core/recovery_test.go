@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// buildFaulty distributes smallSpec over p processors and runs
+// BuildCube with the given config, returning the machine, metrics and
+// error without failing the test.
+func buildFaulty(t *testing.T, p int, cfg Config) (*cluster.Machine, Metrics, error) {
+	t.Helper()
+	g := gen.New(smallSpec())
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	met, err := BuildCube(m, "raw", cfg)
+	return m, met, err
+}
+
+// gatherView concatenates a view's slices in rank order; every build of
+// the same data must produce the identical globally sorted table.
+func gatherView(m *cluster.Machine, v lattice.ViewID) *record.Table {
+	concat := record.New(v.Count(), 0)
+	for r := 0; r < m.P(); r++ {
+		if tb, ok := m.Proc(r).Disk().Get(ViewFile(v)); ok {
+			concat.AppendTable(tb)
+		}
+	}
+	return concat
+}
+
+func TestCrashWithoutCheckpointFailsFast(t *testing.T) {
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 1, Dimension: 2, Phase: "build"}}}
+	_, _, err := buildFaulty(t, 4, Config{D: 4, Faults: plan})
+	var crash *faults.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("want *faults.CrashError, got %v", err)
+	}
+	if crash.Rank != 1 || crash.Dimension != 2 || crash.Phase != "build" {
+		t.Fatalf("crash = %+v, want rank 1 dimension 2 phase build", crash)
+	}
+}
+
+func TestRecoveryAtEveryDimensionBoundary(t *testing.T) {
+	// Reference build, fault free.
+	cleanM, cleanMet, raw := buildMachine(t, smallSpec(), 4, Config{D: 4})
+	views := lattice.AllViews(4)
+
+	for dim := 0; dim < 4; dim++ {
+		plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 2, Dimension: dim}}}
+		m, met, err := buildFaulty(t, 4, Config{
+			D:          4,
+			Faults:     plan,
+			Checkpoint: CheckpointConfig{Enabled: true},
+		})
+		if err != nil {
+			t.Fatalf("crash at dimension %d boundary: %v", dim, err)
+		}
+		if m.P() != 3 {
+			t.Fatalf("dim %d: machine has %d processors after recovery, want 3", dim, m.P())
+		}
+		if !reflect.DeepEqual(met.FailedRanks, []int{2}) {
+			t.Fatalf("dim %d: FailedRanks = %v, want [2]", dim, met.FailedRanks)
+		}
+		if met.RecoverySeconds <= 0 {
+			t.Fatalf("dim %d: RecoverySeconds = %v, want > 0", dim, met.RecoverySeconds)
+		}
+		if met.CheckpointBytes <= 0 {
+			t.Fatalf("dim %d: CheckpointBytes = %v, want > 0", dim, met.CheckpointBytes)
+		}
+		checkCube(t, m, raw, views)
+		// The degraded build's cube is byte-identical to the clean one.
+		for _, v := range views {
+			if !record.Equal(gatherView(m, v), gatherView(cleanM, v)) {
+				t.Fatalf("dim %d: view %v differs from the fault-free build", dim, v)
+			}
+		}
+		if met.OutputRows != cleanMet.OutputRows {
+			t.Fatalf("dim %d: output rows %d, clean build %d", dim, met.OutputRows, cleanMet.OutputRows)
+		}
+	}
+}
+
+func TestRecoveryFromMidPhaseCrash(t *testing.T) {
+	// A crash inside a phase restarts its whole dimension iteration.
+	for _, phase := range []string{"partition", "plan", "build", "merge"} {
+		plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 0, Dimension: 2, Phase: phase}}}
+		m, met, err := buildFaulty(t, 4, Config{
+			D:          4,
+			Faults:     plan,
+			Checkpoint: CheckpointConfig{Enabled: true},
+		})
+		if err != nil {
+			t.Fatalf("crash in phase %s: %v", phase, err)
+		}
+		g := gen.New(smallSpec())
+		checkCube(t, m, g.All(), lattice.AllViews(4))
+		if met.RecoverySeconds <= 0 {
+			t.Fatalf("phase %s: RecoverySeconds = %v, want > 0", phase, met.RecoverySeconds)
+		}
+	}
+}
+
+func TestRecoveryWithCheckpointInterval(t *testing.T) {
+	// Interval 2 checkpoints at boundaries 2 (and the initial raw
+	// checkpoint at 0): a crash in dimension 3 resumes from 2, replaying
+	// dimension 2's work.
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 1, Dimension: 3, Phase: "merge"}}}
+	m, met, err := buildFaulty(t, 4, Config{
+		D:          4,
+		Faults:     plan,
+		Checkpoint: CheckpointConfig{Enabled: true, Interval: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.New(smallSpec())
+	checkCube(t, m, g.All(), lattice.AllViews(4))
+	if met.RecoverySeconds <= 0 {
+		t.Fatalf("RecoverySeconds = %v, want > 0", met.RecoverySeconds)
+	}
+}
+
+func TestSequentialCrashesRecover(t *testing.T) {
+	// Two processors die in different dimensions; the build finishes on
+	// p-2 because recovery re-arms the checkpoints on the shrunken ring.
+	plan := &faults.Plan{Crashes: []faults.Crash{
+		{Rank: 3, Dimension: 1},
+		{Rank: 0, Dimension: 2, Phase: "build"},
+	}}
+	m, met, err := buildFaulty(t, 4, Config{
+		D:          4,
+		Faults:     plan,
+		Checkpoint: CheckpointConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 2 {
+		t.Fatalf("machine has %d processors, want 2 after two crashes", m.P())
+	}
+	if !reflect.DeepEqual(met.FailedRanks, []int{3, 0}) {
+		t.Fatalf("FailedRanks = %v, want [3 0]", met.FailedRanks)
+	}
+	g := gen.New(smallSpec())
+	checkCube(t, m, g.All(), lattice.AllViews(4))
+}
+
+func TestRecoveryOnPartialCube(t *testing.T) {
+	sel := []lattice.ViewID{lattice.Full(4), lattice.Empty, lattice.Full(4).Remove(1), lattice.Full(4).Remove(0).Remove(2)}
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 2, Dimension: 2}}}
+	m, _, err := buildFaulty(t, 4, Config{
+		D:          4,
+		Selected:   sel,
+		Faults:     plan,
+		Checkpoint: CheckpointConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.New(smallSpec())
+	checkCube(t, m, g.All(), sel)
+}
+
+func TestFaultPlanDeterminism(t *testing.T) {
+	// Two builds under the same plan — crash, drops, corruption,
+	// straggler — must produce byte-identical views and identical
+	// metrics. The plan value itself is shared to prove it stays
+	// immutable across runs.
+	plan := &faults.Plan{
+		Seed:        42,
+		Crashes:     []faults.Crash{{Rank: 1, Dimension: 1, Phase: "merge"}},
+		Drops:       []faults.PayloadFault{{Src: 0, Dst: 2, Exchange: 1, Times: 2}},
+		Corruptions: []faults.PayloadFault{{Src: 3, Dst: 0, Exchange: 0}},
+		Stragglers:  []faults.Straggler{{Rank: 2, Factor: 1.5}},
+	}
+	cfg := Config{D: 4, Faults: plan, Checkpoint: CheckpointConfig{Enabled: true}}
+	m1, met1, err1 := buildFaulty(t, 4, cfg)
+	m2, met2, err2 := buildFaulty(t, 4, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("builds failed: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(met1, met2) {
+		t.Fatalf("metrics differ between identical faulty builds:\n%+v\n%+v", met1, met2)
+	}
+	if met1.RetriedMessages == 0 {
+		t.Fatal("expected retried messages from injected drops/corruptions")
+	}
+	for _, v := range lattice.AllViews(4) {
+		for r := 0; r < m1.P(); r++ {
+			t1, ok1 := m1.Proc(r).Disk().Get(ViewFile(v))
+			t2, ok2 := m2.Proc(r).Disk().Get(ViewFile(v))
+			if ok1 != ok2 {
+				t.Fatalf("view %v rank %d: presence differs", v, r)
+			}
+			if ok1 && !record.Equal(t1, t2) {
+				t.Fatalf("view %v rank %d: slices differ between identical builds", v, r)
+			}
+		}
+	}
+}
+
+func TestCheckpointOverheadWithoutFaults(t *testing.T) {
+	// Checkpointing alone must not change the cube, only add charged
+	// overhead.
+	mc, met, raw := buildMachine(t, smallSpec(), 4, Config{D: 4, Checkpoint: CheckpointConfig{Enabled: true}})
+	checkCube(t, mc, raw, lattice.AllViews(4))
+	if met.CheckpointBytes <= 0 || met.CheckpointSeconds <= 0 {
+		t.Fatalf("checkpoint overhead not charged: bytes=%d seconds=%v", met.CheckpointBytes, met.CheckpointSeconds)
+	}
+	if met.RecoverySeconds != 0 || len(met.FailedRanks) != 0 {
+		t.Fatalf("fault-free build reports recovery: %v %v", met.RecoverySeconds, met.FailedRanks)
+	}
+	_, plain, _ := buildMachine(t, smallSpec(), 4, Config{D: 4})
+	if met.SimSeconds <= plain.SimSeconds {
+		t.Fatalf("checkpointing cost nothing: %.3fs vs %.3fs", met.SimSeconds, plain.SimSeconds)
+	}
+}
+
+func TestStragglerStretchesMakespan(t *testing.T) {
+	_, plain, _ := buildMachine(t, smallSpec(), 4, Config{D: 4})
+	plan := &faults.Plan{Stragglers: []faults.Straggler{{Rank: 2, Factor: 4}}}
+	_, slow, err := buildFaulty(t, 4, Config{D: 4, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.SimSeconds <= plain.SimSeconds {
+		t.Fatalf("straggler did not stretch makespan: %.3fs vs %.3fs", slow.SimSeconds, plain.SimSeconds)
+	}
+	if slow.OutputRows != plain.OutputRows {
+		t.Fatalf("straggler changed the cube: %d vs %d rows", slow.OutputRows, plain.OutputRows)
+	}
+}
+
+func TestRecoveryUnderOverlappedComm(t *testing.T) {
+	// The §4.1 overlap mode leaves communication in flight when a
+	// processor dies; recovery must still settle and complete.
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 1, Dimension: 2, Phase: "merge"}}}
+	m, met, err := buildFaulty(t, 4, Config{
+		D:           4,
+		OverlapComm: true,
+		Faults:      plan,
+		Checkpoint:  CheckpointConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.New(smallSpec())
+	checkCube(t, m, g.All(), lattice.AllViews(4))
+	if met.RecoverySeconds <= 0 {
+		t.Fatalf("RecoverySeconds = %v, want > 0", met.RecoverySeconds)
+	}
+}
+
+func TestSingleProcessorCrashIsFatal(t *testing.T) {
+	// With p=1 there is no survivor to recover on; the crash is returned
+	// even with checkpointing enabled.
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 0, Dimension: 1}}}
+	_, _, err := buildFaulty(t, 1, Config{
+		D:          4,
+		Faults:     plan,
+		Checkpoint: CheckpointConfig{Enabled: true},
+	})
+	var crash *faults.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("want *faults.CrashError, got %v", err)
+	}
+}

@@ -140,6 +140,10 @@ type Clock struct {
 	// Overlappable-communication lane state.
 	pendingComm    float64
 	overlappedComm float64
+
+	// slowdown multiplies local (CPU and disk) work time; > 1 models a
+	// straggling processor. Zero means no slowdown (factor 1).
+	slowdown float64
 }
 
 // NewClock returns a clock at time zero using the given machine
@@ -185,9 +189,26 @@ func (c *Clock) drain(dt float64) {
 	c.overlappedComm += ov
 }
 
+// SetSlowdown sets the straggler factor applied to subsequent local
+// (CPU and disk) work; factor 1 restores full speed. Communication is
+// unaffected: the network link is shared, only the node is degraded.
+func (c *Clock) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic("costmodel: slowdown factor < 1")
+	}
+	c.slowdown = factor
+}
+
+func (c *Clock) slow() float64 {
+	if c.slowdown > 1 {
+		return c.slowdown
+	}
+	return 1
+}
+
 // AddCompute charges ops abstract record operations of CPU time.
 func (c *Clock) AddCompute(ops float64) {
-	dt := ops / c.p.CPURate
+	dt := ops / c.p.CPURate * c.slow()
 	c.seconds += dt
 	c.cpuSeconds += dt
 	c.drain(dt)
@@ -200,7 +221,7 @@ func (c *Clock) AddDisk(bytes int) {
 		panic("costmodel: negative disk transfer")
 	}
 	blocks := (bytes + c.p.BlockSize - 1) / c.p.BlockSize
-	dt := c.p.DiskAccessTime + float64(blocks*c.p.BlockSize)/c.p.DiskBandwidth
+	dt := (c.p.DiskAccessTime + float64(blocks*c.p.BlockSize)/c.p.DiskBandwidth) * c.slow()
 	c.seconds += dt
 	c.diskSeconds += dt
 	c.drain(dt)
@@ -222,6 +243,18 @@ func (c *Clock) AddCommOverlap(h int, msgs int) {
 	dt := float64(h)/c.p.NetBandwidth + float64(msgs)*c.p.NetLatency
 	c.commSeconds += dt
 	c.pendingComm += dt
+}
+
+// AddCommDelay charges dt seconds of pure communication waiting time
+// (retransmission backoff, failure-detection timeouts). The processor
+// is blocked on the network, so the time lands on both the elapsed and
+// communication components.
+func (c *Clock) AddCommDelay(dt float64) {
+	if dt < 0 {
+		panic("costmodel: negative comm delay")
+	}
+	c.seconds += dt
+	c.commSeconds += dt
 }
 
 // SettleComm blocks on any in-flight overlappable communication,

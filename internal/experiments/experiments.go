@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/lattice"
 	"repro/internal/mergepart"
@@ -75,8 +76,18 @@ func paperSpec(n int, seed int64) gen.Spec {
 }
 
 // runParallel distributes the spec's data over p processors and builds
-// the cube.
+// the cube. The figure sweeps inject no faults, so an error is a bug.
 func runParallel(spec gen.Spec, p int, cfg core.Config) core.Metrics {
+	met, err := runParallelErr(spec, p, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: build failed: %v", err))
+	}
+	return met
+}
+
+// runParallelErr is runParallel for configurations that may fail (the
+// faults table's no-checkpoint crash runs).
+func runParallelErr(spec gen.Spec, p int, cfg core.Config) (core.Metrics, error) {
 	g := gen.New(spec)
 	m := cluster.New(p, costmodel.Default())
 	for r := 0; r < p; r++ {
@@ -635,4 +646,121 @@ func (r BaselineResult) Print(w io.Writer) {
 			pt.SharedNothingSeconds, pt.SharedNothingSpeedup, pt.WorkPartImbalance)
 	}
 	fmt.Fprintf(w, "%-6s | %12.1fs\n", "seq", r.SeqSeconds)
+}
+
+// -------------------------------------------------------------- Faults
+
+// FaultsOverheadPoint is one checkpoint interval of the overhead sweep
+// (interval 0 is the checkpoint-free baseline).
+type FaultsOverheadPoint struct {
+	Interval     int
+	Seconds      float64
+	CheckpointMB float64
+	OverheadPct  float64
+}
+
+// FaultsRecoveryPoint is one crash point of the recovery sweep: a
+// processor killed at the given dimension boundary, the build finishing
+// degraded on p-1 from the per-dimension checkpoints.
+type FaultsRecoveryPoint struct {
+	Dimension       int
+	Seconds         float64
+	RecoverySeconds float64
+	CheckpointMB    float64
+	RetriedMessages int64
+	FailedRanks     []int
+}
+
+// FaultsResult is the fault-tolerance table (not a figure in the
+// paper, which assumes a failure-free cluster): the checkpointing
+// overhead as a function of the checkpoint interval, and the recovery
+// cost as a function of where in the build a processor dies.
+type FaultsResult struct {
+	P, N     int
+	Overhead []FaultsOverheadPoint
+	Recovery []FaultsRecoveryPoint
+	// NoCheckpointErr is the structured failure the dimension-3 crash
+	// produces when checkpointing is off.
+	NoCheckpointErr string
+}
+
+// Faults runs the fault-tolerance sweeps on the Figure 5 workload at
+// the full machine.
+func Faults(sc Scale) FaultsResult {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	p := sc.MaxP
+	res := FaultsResult{P: p, N: sc.N1M}
+
+	base := runParallel(spec, p, core.Config{D: spec.D})
+	res.Overhead = append(res.Overhead, FaultsOverheadPoint{Interval: 0, Seconds: base.SimSeconds})
+	for _, interval := range []int{1, 2, 4} {
+		met := runParallel(spec, p, core.Config{
+			D:          spec.D,
+			Checkpoint: core.CheckpointConfig{Enabled: true, Interval: interval},
+		})
+		res.Overhead = append(res.Overhead, FaultsOverheadPoint{
+			Interval:     interval,
+			Seconds:      met.SimSeconds,
+			CheckpointMB: float64(met.CheckpointBytes) / 1e6,
+			OverheadPct:  100 * (met.SimSeconds - base.SimSeconds) / base.SimSeconds,
+		})
+	}
+
+	// Recovery cost vs failure point: kill rank 1 at successive
+	// dimension boundaries, with one dropped replica payload thrown in
+	// so the retry path shows up in the table.
+	for _, dim := range []int{1, 3, 5, 7} {
+		plan := &faults.Plan{
+			Seed:    sc.Seed,
+			Crashes: []faults.Crash{{Rank: 1, Dimension: dim}},
+			Drops:   []faults.PayloadFault{{Src: 0, Dst: 1, Exchange: 0}},
+		}
+		met, err := runParallelErr(spec, p, core.Config{
+			D:          spec.D,
+			Faults:     plan,
+			Checkpoint: core.CheckpointConfig{Enabled: true},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: recovery build failed: %v", err))
+		}
+		res.Recovery = append(res.Recovery, FaultsRecoveryPoint{
+			Dimension:       dim,
+			Seconds:         met.SimSeconds,
+			RecoverySeconds: met.RecoverySeconds,
+			CheckpointMB:    float64(met.CheckpointBytes) / 1e6,
+			RetriedMessages: met.RetriedMessages,
+			FailedRanks:     met.FailedRanks,
+		})
+	}
+
+	// The same mid-build crash without checkpointing fails fast with a
+	// structured error naming the failure point.
+	plan := &faults.Plan{Crashes: []faults.Crash{{Rank: 1, Dimension: 3}}}
+	if _, err := runParallelErr(spec, p, core.Config{D: spec.D, Faults: plan}); err != nil {
+		res.NoCheckpointErr = err.Error()
+	}
+	return res
+}
+
+// Print writes the fault-tolerance tables.
+func (r FaultsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Faults: checkpoint overhead vs interval (p=%d, n=%d)\n", r.P, r.N)
+	fmt.Fprintf(w, "%-10s | %10s | %10s | %9s\n", "interval", "seconds", "ckpt MB", "overhead")
+	for _, pt := range r.Overhead {
+		label := fmt.Sprintf("%d", pt.Interval)
+		if pt.Interval == 0 {
+			label = "off"
+		}
+		fmt.Fprintf(w, "%-10s | %10.1f | %10.1f | %8.1f%%\n",
+			label, pt.Seconds, pt.CheckpointMB, pt.OverheadPct)
+	}
+	fmt.Fprintf(w, "Faults: recovery cost vs failure point (crash of P1, interval=1)\n")
+	fmt.Fprintf(w, "%-10s | %10s | %10s | %10s | %8s | %s\n",
+		"crash dim", "seconds", "recover s", "ckpt MB", "retried", "failed")
+	for _, pt := range r.Recovery {
+		fmt.Fprintf(w, "%-10d | %10.1f | %10.1f | %10.1f | %8d | %v\n",
+			pt.Dimension, pt.Seconds, pt.RecoverySeconds, pt.CheckpointMB,
+			pt.RetriedMessages, pt.FailedRanks)
+	}
+	fmt.Fprintf(w, "  same crash without checkpointing: %s\n", r.NoCheckpointErr)
 }

@@ -349,3 +349,51 @@ func TestBaselineComparison(t *testing.T) {
 		t.Fatal("Print malformed")
 	}
 }
+
+func TestFaultsTableShape(t *testing.T) {
+	res := Faults(testScale())
+	if len(res.Overhead) != 4 || res.Overhead[0].Interval != 0 {
+		t.Fatalf("overhead sweep malformed: %+v", res.Overhead)
+	}
+	base := res.Overhead[0].Seconds
+	for _, pt := range res.Overhead[1:] {
+		if pt.Seconds <= base {
+			t.Fatalf("interval %d: checkpointing cost nothing (%.1fs vs %.1fs)",
+				pt.Interval, pt.Seconds, base)
+		}
+		if pt.CheckpointMB <= 0 {
+			t.Fatalf("interval %d: no checkpoint bytes", pt.Interval)
+		}
+	}
+	for _, pt := range res.Recovery {
+		if pt.RecoverySeconds <= 0 {
+			t.Fatalf("crash at dim %d: no recovery time charged", pt.Dimension)
+		}
+		if pt.Seconds <= base {
+			t.Fatalf("crash at dim %d: degraded build not slower than clean baseline", pt.Dimension)
+		}
+		if len(pt.FailedRanks) != 1 || pt.FailedRanks[0] != 1 {
+			t.Fatalf("crash at dim %d: FailedRanks = %v", pt.Dimension, pt.FailedRanks)
+		}
+		if pt.RetriedMessages == 0 {
+			t.Fatalf("crash at dim %d: injected drop not retried", pt.Dimension)
+		}
+	}
+	// A later failure point costs at least as much recovery as an
+	// earlier one (more completed views to rebalance and re-replicate).
+	for i := 1; i < len(res.Recovery); i++ {
+		if res.Recovery[i].RecoverySeconds < res.Recovery[i-1].RecoverySeconds*0.9 {
+			t.Fatalf("recovery cost shrank sharply with later failure point: %+v", res.Recovery)
+		}
+	}
+	if !strings.Contains(res.NoCheckpointErr, "processor 1") {
+		t.Fatalf("no-checkpoint failure %q does not name the processor", res.NoCheckpointErr)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	for _, want := range []string{"checkpoint overhead", "recovery cost", "processor 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("printed table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

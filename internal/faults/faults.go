@@ -1,0 +1,262 @@
+// Package faults provides deterministic fault injection for the
+// simulated shared-nothing machine. The paper assumes a failure-free
+// cluster; this package supplies the failure model the reproduction
+// adds on top of Procedure 1: processor crashes at chosen execution
+// points, dropped or corrupted h-relation payloads (detected by a
+// checksum over the record.Table wire image and repaired by a charged
+// retransmission with exponential backoff), and stragglers that slow a
+// processor's local work by a constant factor.
+//
+// A Plan is immutable and seeded: installing the same plan on two
+// identical machines yields byte-identical builds and identical
+// metrics, which keeps fault experiments reproducible. All runtime
+// state (which crashes have fired, per-processor exchange ordinals)
+// lives in the cluster package, so one Plan value can drive any number
+// of builds.
+//
+// Processor identity is by original rank: after a crash shrinks the
+// machine to p-1 processors, plan entries keep referring to the ranks
+// of the machine as it was built.
+package faults
+
+import "fmt"
+
+// MaxRetries bounds the injected failed delivery attempts of one
+// payload. The repaired-retry model retransmits until delivery
+// succeeds; the bound keeps the charged backoff finite and the plan
+// honest about what a real transport's retry budget would be.
+const MaxRetries = 8
+
+// DefaultRetryBackoff is the base retransmission backoff in seconds
+// (doubled per failed attempt), modelled on MPI-era TCP retry timers.
+const DefaultRetryBackoff = 0.05
+
+// Plan is a deterministic fault-injection plan for one machine size.
+type Plan struct {
+	// Seed drives the deterministic corruption patterns. Two builds
+	// with the same plan (and workload) are byte-identical.
+	Seed int64
+	// Crashes kills processors at chosen execution points.
+	Crashes []Crash
+	// Drops lose h-relation payloads in transit (detected by the
+	// receiver's delivery timeout, repaired by charged retries).
+	Drops []PayloadFault
+	// Corruptions flip bits in h-relation payloads in transit
+	// (detected by the wire-image checksum, repaired by charged
+	// retries).
+	Corruptions []PayloadFault
+	// Stragglers slow processors' local CPU and disk work.
+	Stragglers []Straggler
+	// RetryBackoff overrides the base retransmission backoff in
+	// seconds (default DefaultRetryBackoff); attempt k waits
+	// RetryBackoff * 2^(k-1).
+	RetryBackoff float64
+}
+
+// Crash kills one processor at a chosen execution point. The trigger
+// is, in priority order:
+//
+//   - Superstep > 0: the processor's Superstep-th collective superstep
+//     (a global execution point independent of the algorithm's phases);
+//   - otherwise (Dimension, Phase): entering the named phase of the
+//     given dimension iteration, with Phase == "" meaning the moment
+//     the dimension iteration begins — the paper's Di boundary.
+//
+// Each crash fires at most once per machine.
+type Crash struct {
+	// Rank is the original rank of the processor to kill.
+	Rank int
+	// Dimension is the dimension iteration index (0-based, the build's
+	// decreasing-cardinality order); -1 matches any dimension.
+	Dimension int
+	// Phase is the phase label ("partition", "plan", "build", "merge",
+	// "checkpoint"); "" fires at the dimension boundary.
+	Phase string
+	// Superstep, when > 0, fires at the processor's Superstep-th
+	// collective superstep instead, ignoring Dimension and Phase.
+	Superstep int64
+}
+
+// Matches reports whether the crash triggers for a processor at the
+// given execution point.
+func (c Crash) Matches(rank, dim int, phase string, step int64) bool {
+	if c.Rank != rank {
+		return false
+	}
+	if c.Superstep > 0 {
+		return step == c.Superstep
+	}
+	if c.Dimension >= 0 && c.Dimension != dim {
+		return false
+	}
+	return c.Phase == phase
+}
+
+// PayloadFault damages the payload one processor addresses to another
+// in one bulk table exchange (AllToAllTables h-relation).
+type PayloadFault struct {
+	// Src and Dst are original ranks.
+	Src, Dst int
+	// Exchange is the 0-based ordinal of the bulk table exchange as
+	// counted at Src (each AllToAllTables call is one exchange).
+	Exchange int64
+	// Times is the number of consecutive delivery attempts that fail
+	// before the retry succeeds (default 1, capped at MaxRetries).
+	Times int
+}
+
+func (f PayloadFault) times() int {
+	if f.Times < 1 {
+		return 1
+	}
+	if f.Times > MaxRetries {
+		return MaxRetries
+	}
+	return f.Times
+}
+
+// Straggler slows one processor's local CPU and disk work by a
+// constant factor >= 1 (the shared-nothing analogue of a degraded
+// node: overheating, a failing disk, a noisy neighbor VM).
+type Straggler struct {
+	Rank   int
+	Factor float64
+}
+
+// CrashError is the structured failure a crashed build reports: which
+// processor died, and where in Procedure 1 it was.
+type CrashError struct {
+	// Rank is the crashed processor's original rank.
+	Rank int
+	// Dimension is the dimension iteration at the crash point (-1
+	// before the first iteration).
+	Dimension int
+	// Phase is the phase label at the crash point ("" at a dimension
+	// boundary).
+	Phase string
+	// Superstep is the processor's superstep count at the crash point.
+	Superstep int64
+}
+
+func (e *CrashError) Error() string {
+	where := fmt.Sprintf("dimension %d", e.Dimension)
+	if e.Phase != "" {
+		where += ", phase " + e.Phase
+	}
+	return fmt.Sprintf("faults: processor %d crashed (%s, superstep %d)", e.Rank, where, e.Superstep)
+}
+
+// Backoff returns the base retransmission backoff in seconds.
+func (p *Plan) Backoff() float64 {
+	if p.RetryBackoff > 0 {
+		return p.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// SlowdownFor returns the combined straggler factor for a processor
+// (1 when none applies).
+func (p *Plan) SlowdownFor(rank int) float64 {
+	f := 1.0
+	for _, s := range p.Stragglers {
+		if s.Rank == rank && s.Factor > 1 {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// FailuresFor returns how many delivery attempts of the payload from
+// src to dst in src's exchange-th bulk table exchange are dropped and
+// corrupted, respectively.
+func (p *Plan) FailuresFor(src, dst int, exchange int64) (drops, corruptions int) {
+	for _, f := range p.Drops {
+		if f.Src == src && f.Dst == dst && f.Exchange == exchange {
+			drops += f.times()
+		}
+	}
+	for _, f := range p.Corruptions {
+		if f.Src == src && f.Dst == dst && f.Exchange == exchange {
+			corruptions += f.times()
+		}
+	}
+	if drops+corruptions > MaxRetries {
+		over := drops + corruptions - MaxRetries
+		if over > corruptions {
+			over = corruptions
+		}
+		corruptions -= over
+		if drops+corruptions > MaxRetries {
+			drops = MaxRetries - corruptions
+		}
+	}
+	return drops, corruptions
+}
+
+// Validate checks the plan against a machine size p.
+func (p *Plan) Validate(procs int) error {
+	rank := func(kind string, r int) error {
+		if r < 0 || r >= procs {
+			return fmt.Errorf("faults: %s rank %d out of range 0..%d", kind, r, procs-1)
+		}
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if err := rank("crash", c.Rank); err != nil {
+			return err
+		}
+		if c.Dimension < -1 {
+			return fmt.Errorf("faults: crash dimension %d (want >= -1)", c.Dimension)
+		}
+		if c.Superstep < 0 {
+			return fmt.Errorf("faults: crash superstep %d (want >= 0)", c.Superstep)
+		}
+	}
+	for _, f := range append(append([]PayloadFault(nil), p.Drops...), p.Corruptions...) {
+		if err := rank("payload-fault src", f.Src); err != nil {
+			return err
+		}
+		if err := rank("payload-fault dst", f.Dst); err != nil {
+			return err
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("faults: payload fault %d->%d targets local delivery, which moves no data", f.Src, f.Dst)
+		}
+		if f.Exchange < 0 {
+			return fmt.Errorf("faults: payload fault exchange %d (want >= 0)", f.Exchange)
+		}
+		if f.Times < 0 || f.Times > MaxRetries {
+			return fmt.Errorf("faults: payload fault times %d (want 0..%d)", f.Times, MaxRetries)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if err := rank("straggler", s.Rank); err != nil {
+			return err
+		}
+		if s.Factor < 1 {
+			return fmt.Errorf("faults: straggler factor %v (want >= 1)", s.Factor)
+		}
+	}
+	if p.RetryBackoff < 0 {
+		return fmt.Errorf("faults: negative retry backoff %v", p.RetryBackoff)
+	}
+	return nil
+}
+
+// CorruptionMask derives the deterministic bit pattern injected into a
+// corrupted payload, from the plan seed and the payload's coordinates.
+// It is never zero, so a corrupted value always differs.
+func (p *Plan) CorruptionMask(src, dst int, exchange int64, attempt int) uint32 {
+	x := uint64(p.Seed)
+	x ^= uint64(src)<<1 ^ uint64(dst)<<17 ^ uint64(exchange)<<33 ^ uint64(attempt)<<49
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	m := uint32(x)
+	if m == 0 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashMatches(t *testing.T) {
+	cases := []struct {
+		name  string
+		c     Crash
+		rank  int
+		dim   int
+		phase string
+		step  int64
+		want  bool
+	}{
+		{"boundary", Crash{Rank: 2, Dimension: 3}, 2, 3, "", 17, true},
+		{"boundary wrong dim", Crash{Rank: 2, Dimension: 3}, 2, 4, "", 17, false},
+		{"boundary wrong rank", Crash{Rank: 2, Dimension: 3}, 1, 3, "", 17, false},
+		{"phase", Crash{Rank: 0, Dimension: 1, Phase: "merge"}, 0, 1, "merge", 5, true},
+		{"phase at boundary point", Crash{Rank: 0, Dimension: 1, Phase: "merge"}, 0, 1, "", 5, false},
+		{"any dimension", Crash{Rank: 1, Dimension: -1, Phase: "build"}, 1, 6, "build", 9, true},
+		{"superstep", Crash{Rank: 3, Superstep: 40}, 3, 2, "partition", 40, true},
+		{"superstep ignores phase", Crash{Rank: 3, Dimension: 9, Phase: "x", Superstep: 40}, 3, 2, "partition", 40, true},
+		{"superstep miss", Crash{Rank: 3, Superstep: 40}, 3, 2, "partition", 41, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Matches(tc.rank, tc.dim, tc.phase, tc.step); got != tc.want {
+			t.Errorf("%s: Matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFailuresFor(t *testing.T) {
+	p := &Plan{
+		Drops:       []PayloadFault{{Src: 0, Dst: 1, Exchange: 2}, {Src: 0, Dst: 1, Exchange: 2, Times: 2}},
+		Corruptions: []PayloadFault{{Src: 0, Dst: 1, Exchange: 2, Times: 3}, {Src: 1, Dst: 0, Exchange: 2}},
+	}
+	d, c := p.FailuresFor(0, 1, 2)
+	if d != 3 || c != 3 {
+		t.Fatalf("FailuresFor(0,1,2) = %d,%d, want 3,3", d, c)
+	}
+	d, c = p.FailuresFor(1, 0, 2)
+	if d != 0 || c != 1 {
+		t.Fatalf("FailuresFor(1,0,2) = %d,%d, want 0,1", d, c)
+	}
+	d, c = p.FailuresFor(0, 1, 3)
+	if d != 0 || c != 0 {
+		t.Fatalf("FailuresFor(0,1,3) = %d,%d, want 0,0", d, c)
+	}
+}
+
+func TestFailuresForCapped(t *testing.T) {
+	p := &Plan{
+		Drops:       []PayloadFault{{Src: 0, Dst: 1, Times: 8}},
+		Corruptions: []PayloadFault{{Src: 0, Dst: 1, Times: 8}},
+	}
+	d, c := p.FailuresFor(0, 1, 0)
+	if d+c > MaxRetries {
+		t.Fatalf("FailuresFor total %d exceeds MaxRetries %d", d+c, MaxRetries)
+	}
+	if d+c != MaxRetries {
+		t.Fatalf("FailuresFor total %d, want the cap %d", d+c, MaxRetries)
+	}
+}
+
+func TestSlowdownFor(t *testing.T) {
+	p := &Plan{Stragglers: []Straggler{{Rank: 1, Factor: 2}, {Rank: 1, Factor: 3}, {Rank: 2, Factor: 1.5}}}
+	if got := p.SlowdownFor(1); got != 6 {
+		t.Errorf("SlowdownFor(1) = %v, want 6", got)
+	}
+	if got := p.SlowdownFor(0); got != 1 {
+		t.Errorf("SlowdownFor(0) = %v, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Plan{
+		Crashes:     []Crash{{Rank: 3, Dimension: 2, Phase: "merge"}},
+		Drops:       []PayloadFault{{Src: 0, Dst: 1, Exchange: 4}},
+		Corruptions: []PayloadFault{{Src: 1, Dst: 0, Times: 2}},
+		Stragglers:  []Straggler{{Rank: 2, Factor: 2}},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		p    Plan
+	}{
+		{"crash rank", Plan{Crashes: []Crash{{Rank: 4}}}},
+		{"crash dim", Plan{Crashes: []Crash{{Rank: 0, Dimension: -2}}}},
+		{"drop src", Plan{Drops: []PayloadFault{{Src: -1, Dst: 0}}}},
+		{"drop self", Plan{Drops: []PayloadFault{{Src: 1, Dst: 1}}}},
+		{"corrupt times", Plan{Corruptions: []PayloadFault{{Src: 0, Dst: 1, Times: 9}}}},
+		{"straggler factor", Plan{Stragglers: []Straggler{{Rank: 0, Factor: 0.5}}}},
+		{"backoff", Plan{RetryBackoff: -1}},
+	}
+	for _, tc := range bad {
+		if err := tc.p.Validate(4); err == nil {
+			t.Errorf("%s: Validate accepted invalid plan", tc.name)
+		}
+	}
+}
+
+func TestCrashErrorString(t *testing.T) {
+	e := &CrashError{Rank: 2, Dimension: 3, Phase: "merge", Superstep: 41}
+	s := e.Error()
+	for _, want := range []string{"processor 2", "dimension 3", "merge", "superstep 41"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CrashError %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCorruptionMaskDeterministicAndNonzero(t *testing.T) {
+	p1 := &Plan{Seed: 7}
+	p2 := &Plan{Seed: 7}
+	p3 := &Plan{Seed: 8}
+	a := p1.CorruptionMask(0, 1, 2, 1)
+	if a == 0 {
+		t.Fatal("mask is zero")
+	}
+	if b := p2.CorruptionMask(0, 1, 2, 1); b != a {
+		t.Fatalf("same seed, different masks: %x vs %x", a, b)
+	}
+	if c := p3.CorruptionMask(0, 1, 2, 1); c == a {
+		t.Fatalf("different seeds, same mask %x", a)
+	}
+	if d := p1.CorruptionMask(0, 1, 2, 2); d == a {
+		t.Fatalf("different attempts, same mask %x", a)
+	}
+}
+
+func TestBackoffDefault(t *testing.T) {
+	if got := (&Plan{}).Backoff(); got != DefaultRetryBackoff {
+		t.Errorf("Backoff = %v, want default %v", got, DefaultRetryBackoff)
+	}
+	if got := (&Plan{RetryBackoff: 0.2}).Backoff(); got != 0.2 {
+		t.Errorf("Backoff = %v, want 0.2", got)
+	}
+}

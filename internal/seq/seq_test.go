@@ -89,7 +89,10 @@ func TestSequentialMatchesParallelOutput(t *testing.T) {
 	for r := 0; r < p; r++ {
 		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
 	}
-	parMet := core.BuildCube(m, "raw", core.Config{D: 4})
+	parMet, err := core.BuildCube(m, "raw", core.Config{D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if seqMet.OutputRows != parMet.OutputRows {
 		t.Fatalf("output rows: seq %d, parallel %d", seqMet.OutputRows, parMet.OutputRows)

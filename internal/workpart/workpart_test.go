@@ -57,7 +57,10 @@ func TestWorkPartitionMatchesSharedNothingOutput(t *testing.T) {
 	for r := 0; r < 4; r++ {
 		m.Proc(r).Disk().Put("raw", g.Slice(r, 4))
 	}
-	sn := core.BuildCube(m, "raw", core.Config{D: 4})
+	sn, err := core.BuildCube(m, "raw", core.Config{D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if wm.OutputRows != sn.OutputRows {
 		t.Fatalf("output rows differ: workpart %d, shared-nothing %d", wm.OutputRows, sn.OutputRows)
 	}
@@ -96,7 +99,10 @@ func TestWorkPartitionLosesAtScale(t *testing.T) {
 		for r := 0; r < p; r++ {
 			m.Proc(r).Disk().Put("raw", g.Slice(r, p))
 		}
-		sn := core.BuildCube(m, "raw", core.Config{D: 8})
+		sn, err := core.BuildCube(m, "raw", core.Config{D: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return sq.SimSeconds / wm.SimSeconds, sq.SimSeconds / sn.SimSeconds
 	}
 	w4, s4 := speedupAt(4)

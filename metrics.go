@@ -36,6 +36,21 @@ type Metrics struct {
 	// ViewRows maps each view (comma-joined sorted dimension names,
 	// "" for the grand total) to its global row count.
 	ViewRows map[string]int64
+	// RetriedMessages counts h-relation payloads retransmitted to
+	// repair injected drops and corruptions (Options.Faults).
+	RetriedMessages int64
+	// CheckpointBytes is the total bytes written to checkpoint state
+	// (neighbor replicas and manifests) across all processors, and
+	// CheckpointSeconds the checkpoint phase's makespan contribution
+	// (non-zero only with Options.Checkpoint.Enabled).
+	CheckpointBytes   int64
+	CheckpointSeconds float64
+	// RecoverySeconds is the time spent recovering from crashes
+	// (failure detection, replica adoption, rebalancing), and
+	// FailedProcessors the original ranks of the processors whose
+	// crashes the build survived.
+	RecoverySeconds  float64
+	FailedProcessors []int
 }
 
 // Metrics returns the build's metrics.
@@ -56,6 +71,11 @@ func publicMetrics(in *Input, met core.Metrics) Metrics {
 		Shifts:                met.Shifts,
 		Resorts:               met.Resorts,
 		ViewRows:              make(map[string]int64, len(met.ViewRows)),
+		RetriedMessages:       met.RetriedMessages,
+		CheckpointBytes:       met.CheckpointBytes,
+		CheckpointSeconds:     met.CheckpointSeconds,
+		RecoverySeconds:       met.RecoverySeconds,
+		FailedProcessors:      met.FailedRanks,
 	}
 	for v, rows := range met.ViewRows {
 		m.ViewRows[viewName(in, v)] = rows

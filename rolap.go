@@ -29,12 +29,14 @@
 package rolap
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/partialcube"
 	"repro/internal/record"
@@ -213,6 +215,15 @@ type Options struct {
 	// Metrics.MaskableCommFraction. Metrics.OverlappedCommSeconds
 	// reports how much communication was actually masked.
 	OverlapComm bool
+	// Faults, when non-nil, injects deterministic failures into the
+	// build: crashes, dropped/corrupted h-relation payloads, and
+	// stragglers. An unrecoverable crash returns a *FailedBuildError.
+	Faults *FaultPlan
+	// Checkpoint enables per-dimension checkpointing so a crashed
+	// build continues degraded on the surviving processors instead of
+	// failing. Checkpoint I/O and recovery time are charged on the
+	// simulated clock and reported in Metrics.
+	Checkpoint Checkpoint
 }
 
 // Cube is a materialized (partial) data cube distributed over the
@@ -229,8 +240,15 @@ type Cube struct {
 }
 
 // Build runs the parallel shared-nothing cube construction and returns
-// the distributed cube.
-func Build(in *Input, opts Options) (*Cube, error) {
+// the distributed cube. Build never panics on bad configuration or
+// internal failure: configuration is validated up front and residual
+// panics from the simulated cluster are recovered into errors.
+func Build(in *Input, opts Options) (_ *Cube, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rolap: internal failure: %v", r)
+		}
+	}()
 	if in == nil {
 		return nil, fmt.Errorf("rolap: nil input")
 	}
@@ -281,6 +299,12 @@ func Build(in *Input, opts Options) (*Cube, error) {
 		Agg:         opts.Aggregate.op(),
 		MinSupport:  opts.MinSupport,
 		OverlapComm: opts.OverlapComm,
+		Faults:      opts.Faults.internal(),
+		Checkpoint: core.CheckpointConfig{
+			Enabled:       opts.Checkpoint.Enabled,
+			Interval:      opts.Checkpoint.Interval,
+			DetectSeconds: opts.Checkpoint.DetectSeconds,
+		},
 	}
 	if opts.LocalScheduleTrees {
 		cfg.Schedule = core.LocalTree
@@ -291,7 +315,19 @@ func Build(in *Input, opts Options) (*Cube, error) {
 	if opts.FlajoletMartin {
 		cfg.Estimator = core.FMEstimator
 	}
-	met := core.BuildCube(m, "raw", cfg)
+	met, err := core.BuildCube(m, "raw", cfg)
+	if err != nil {
+		var crash *faults.CrashError
+		if errors.As(err, &crash) {
+			return nil, &FailedBuildError{
+				Processor: crash.Rank,
+				Dimension: crash.Dimension,
+				Phase:     crash.Phase,
+				Superstep: crash.Superstep,
+			}
+		}
+		return nil, err
+	}
 
 	views := selected
 	if views == nil {
