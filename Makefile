@@ -3,12 +3,13 @@
 # race detector on the packages that execute real goroutines (the
 # cluster's SPMD supersteps and samplesort's collective exchanges —
 # the right correctness tool for the overlapped-communication path —
-# and, since the fault/recovery work, core's crash-recovery restarts
-# and mergepart's collective merge).
+# core's crash-recovery restarts, mergepart's collective merge, and
+# the query engine's concurrent serving path, plus the root package
+# for the Server front end).
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench experiments
+.PHONY: tier1 build vet test race bench experiments qbench-smoke
 
 tier1: build vet test race
 
@@ -22,10 +23,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/...
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/queryengine/... .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 experiments:
 	$(GO) run ./cmd/experiments -fig all
+
+# Tiny serving workload as an end-to-end smoke test of the query
+# subsystem (build -> serve -> report).
+qbench-smoke:
+	$(GO) run ./cmd/qbench -rows 2000 -queries 40 -p 1,2 -workers 4

@@ -13,9 +13,16 @@
 // Query a saved snapshot (no rebuild):
 //
 //	cubeql -snapshot sales.cube -group region
+//
+// Show what the query cost on the simulated cluster (-stats routes the
+// query through the serving subsystem and prints per-query metrics to
+// stderr):
+//
+//	cubeql -csv sales.csv -p 8 -group region -where product=widget -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,15 +42,16 @@ func main() {
 	whereFlag := flag.String("where", "", "comma-separated equality filters, dim=value")
 	minSupport := flag.Int64("min-support", 0, "iceberg threshold (keep groups with aggregate >= this)")
 	agg := flag.String("agg", "sum", "aggregate: sum, min, max")
+	stats := flag.Bool("stats", false, "print per-query cost metrics (source view, rows scanned, sim time) to stderr")
 	flag.Parse()
 
-	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *groupFlag, *whereFlag, *minSupport, *agg); err != nil {
+	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *groupFlag, *whereFlag, *minSupport, *agg, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFlag, whereFlag string, minSupport int64, agg string) error {
+func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFlag, whereFlag string, minSupport int64, agg string, stats bool) error {
 	var cube *rolap.Cube
 	var in *rolap.Input
 
@@ -121,9 +129,25 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFl
 	if err != nil {
 		return err
 	}
-	vw, err := cube.GroupBy(dims, filters)
-	if err != nil {
-		return err
+	var vw *rolap.View
+	if stats {
+		if srv, serr := cube.NewServer(rolap.ServerOptions{}); serr == nil {
+			var qm rolap.QueryMetrics
+			vw, qm, err = srv.GroupBy(context.Background(), dims, filters)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "query: source=[%s] rows_scanned=%d bytes_moved=%d sim_s=%.6f index=%v cache_hit=%v\n",
+				strings.Join(qm.SourceView, ","), qm.RowsScanned, qm.BytesMoved, qm.SimSeconds, qm.IndexUsed, qm.CacheHit)
+		} else {
+			fmt.Fprintln(os.Stderr, "stats unavailable for snapshot cubes (no simulated cluster); answering directly")
+		}
+	}
+	if vw == nil {
+		vw, err = cube.GroupBy(dims, filters)
+		if err != nil {
+			return err
+		}
 	}
 	if in != nil {
 		return vw.WriteCSV(os.Stdout, in)

@@ -55,18 +55,36 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Build + save + query.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "", 0, "sum"); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "", 0, "sum", false); err != nil {
 		t.Fatal(err)
 	}
 	// Query the snapshot.
-	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum"); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum", false); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
-	if err := run("", "measure", 2, "", "", "", "", "", 0, "sum"); err == nil {
+	if err := run("", "measure", 2, "", "", "", "", "", 0, "sum", false); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
-	if err := run(csvPath, "measure", 2, "", "", "", "", "", 0, "bogus"); err == nil {
+	if err := run(csvPath, "measure", 2, "", "", "", "", "", 0, "bogus", false); err == nil {
 		t.Fatal("bad aggregate accepted")
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	snapPath := filepath.Join(dir, "cube.bin")
+	facts := "region,product,measure\neast,widget,10\neast,nut,5\nwest,widget,7\n"
+	if err := os.WriteFile(csvPath, []byte(facts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stats route through the query server on a built cube.
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "product=widget", 0, "sum", true); err != nil {
+		t.Fatal(err)
+	}
+	// On a snapshot there is no cluster: stats degrade gracefully.
+	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum", true); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,282 @@
+// Command qbench drives a synthetic query workload against the
+// distributed serving subsystem and reports simulated throughput and
+// latency as the machine size grows.
+//
+// For each processor count in the sweep it builds the same cube,
+// starts a query server, and pushes a deterministic mixed workload
+// (group-bys with random filters, point and range aggregates, with
+// half the stream drawn from a hot pool so the result cache matters)
+// through a bounded worker pool. The table reports simulated seconds,
+// queries per simulated second, latency percentiles, cache hit ratio,
+// rows scanned, and how many queries were answered from the prefix
+// index.
+//
+//	qbench -rows 60000 -p 1,2,4,8 -queries 400 -workers 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	rolap "repro"
+)
+
+type config struct {
+	rows    int
+	procs   []int
+	queries int
+	workers int
+	queue   int
+	cache   int
+	seed    int64
+}
+
+func main() {
+	rows := flag.Int("rows", 20000, "fact rows to generate")
+	procsFlag := flag.String("p", "1,2,4,8", "comma-separated processor counts to sweep")
+	queries := flag.Int("queries", 200, "queries per processor count")
+	workers := flag.Int("workers", 8, "server worker pool size")
+	queue := flag.Int("queue", 0, "server queue depth (0 = default)")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := config{rows: *rows, queries: *queries, workers: *workers,
+		queue: *queue, cache: *cache, seed: *seed}
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "qbench: bad processor count %q\n", s)
+			os.Exit(1)
+		}
+		cfg.procs = append(cfg.procs, p)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// benchSchema is the fixed workload schema: six dimensions with
+// paper-style decreasing cardinalities.
+func benchSchema() rolap.Schema {
+	return rolap.Schema{Dimensions: []rolap.Dimension{
+		{Name: "store", Cardinality: 32},
+		{Name: "product", Cardinality: 16},
+		{Name: "month", Cardinality: 12},
+		{Name: "region", Cardinality: 8},
+		{Name: "channel", Cardinality: 4},
+		{Name: "promo", Cardinality: 3},
+	}}
+}
+
+// op is one pre-planned workload query, replayable across machine
+// sizes so every sweep point serves the identical stream.
+type op struct {
+	group   []string
+	filters map[string]uint32
+	// rangeDims non-nil makes this a RangeAggregate instead.
+	rangeDims []string
+	lo, hi    []uint32
+}
+
+// makeWorkload builds a deterministic query stream: a hot pool of
+// distinct queries plus a 50% repeat rate, so the cache sees realistic
+// reuse.
+func makeWorkload(cfg config, rng *rand.Rand) []op {
+	dims := benchSchema().Dimensions
+	randomOp := func() op {
+		if rng.Intn(4) == 0 { // 25% range aggregates
+			n := 1 + rng.Intn(2)
+			o := op{}
+			for _, u := range rng.Perm(len(dims))[:n] {
+				a := uint32(rng.Intn(dims[u].Cardinality))
+				b := uint32(rng.Intn(dims[u].Cardinality))
+				if a > b {
+					a, b = b, a
+				}
+				o.rangeDims = append(o.rangeDims, dims[u].Name)
+				o.lo = append(o.lo, a)
+				o.hi = append(o.hi, b)
+			}
+			return o
+		}
+		perm := rng.Perm(len(dims))
+		ng := 1 + rng.Intn(2)
+		o := op{filters: map[string]uint32{}}
+		for _, u := range perm[:ng] {
+			o.group = append(o.group, dims[u].Name)
+		}
+		nf := rng.Intn(3)
+		for _, u := range perm[ng : ng+nf] {
+			o.filters[dims[u].Name] = uint32(rng.Intn(dims[u].Cardinality))
+		}
+		return o
+	}
+	pool := make([]op, 1+cfg.queries/8)
+	for i := range pool {
+		pool[i] = randomOp()
+	}
+	out := make([]op, cfg.queries)
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i] = pool[rng.Intn(len(pool))]
+		} else {
+			out[i] = randomOp()
+		}
+	}
+	return out
+}
+
+type sweepResult struct {
+	p          int
+	served     int64
+	rejected   int64
+	simSeconds float64
+	p50, p95   float64
+	p99        float64
+	hits       int64
+	rows       int64
+	indexed    int64
+}
+
+func run(cfg config, w io.Writer) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	// Load the fact table once; rebuild the cube per sweep point.
+	in0 := func() (*rolap.Input, error) {
+		in, err := rolap.NewInput(benchSchema())
+		if err != nil {
+			return nil, err
+		}
+		gen := rand.New(rand.NewSource(cfg.seed + 1))
+		dims := benchSchema().Dimensions
+		row := make([]uint32, len(dims))
+		for i := 0; i < cfg.rows; i++ {
+			for j, d := range dims {
+				row[j] = uint32(gen.Intn(d.Cardinality))
+			}
+			if err := in.AddRow(row, int64(gen.Intn(500))); err != nil {
+				return nil, err
+			}
+		}
+		return in, nil
+	}
+
+	workload := makeWorkload(cfg, rng)
+
+	var results []sweepResult
+	for _, p := range cfg.procs {
+		in, err := in0()
+		if err != nil {
+			return err
+		}
+		cube, err := rolap.Build(in, rolap.Options{Processors: p})
+		if err != nil {
+			return fmt.Errorf("qbench: build at p=%d: %w", p, err)
+		}
+		srv, err := cube.NewServer(rolap.ServerOptions{
+			Workers:    cfg.workers,
+			QueueDepth: cfg.queue,
+			CacheSize:  cfg.cache,
+		})
+		if err != nil {
+			return err
+		}
+
+		res := sweepResult{p: p}
+		var mu sync.Mutex
+		var lat []float64
+		var indexed int64
+
+		jobs := make(chan op)
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for o := range jobs {
+					var qm rolap.QueryMetrics
+					var err error
+					if o.rangeDims != nil {
+						_, qm, err = srv.RangeAggregate(context.Background(), o.rangeDims, o.lo, o.hi)
+					} else {
+						_, qm, err = srv.GroupBy(context.Background(), o.group, o.filters)
+					}
+					if err != nil {
+						continue // rejected or expired; counted by the server
+					}
+					mu.Lock()
+					lat = append(lat, qm.SimSeconds)
+					if qm.IndexUsed {
+						indexed++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, o := range workload {
+			jobs <- o
+		}
+		close(jobs)
+		wg.Wait()
+
+		st := srv.Stats()
+		sort.Float64s(lat)
+		res.served = st.Queries
+		res.rejected = st.Rejected
+		res.simSeconds = st.SimSeconds
+		res.hits = st.CacheHits
+		res.rows = st.RowsScanned
+		res.indexed = indexed
+		res.p50 = percentile(lat, 0.50)
+		res.p95 = percentile(lat, 0.95)
+		res.p99 = percentile(lat, 0.99)
+		results = append(results, res)
+	}
+
+	fmt.Fprintf(w, "qbench: %d rows, %d queries/point, %d workers, cache %d\n",
+		cfg.rows, cfg.queries, cfg.workers, cfg.cache)
+	fmt.Fprintf(w, "%4s %8s %8s %10s %10s %10s %10s %10s %7s %12s %8s\n",
+		"p", "served", "rejected", "sim_s", "q/sim_s", "p50_ms", "p95_ms", "p99_ms", "hit%", "rows_scan", "indexed")
+	var base float64
+	for i, r := range results {
+		tput := 0.0
+		if r.simSeconds > 0 {
+			tput = float64(r.served-r.hits) / r.simSeconds
+		}
+		if i == 0 {
+			base = tput
+		}
+		speedup := ""
+		if base > 0 {
+			speedup = fmt.Sprintf(" (%.2fx)", tput/base)
+		}
+		hitPct := 0.0
+		if r.served > 0 {
+			hitPct = 100 * float64(r.hits) / float64(r.served)
+		}
+		fmt.Fprintf(w, "%4d %8d %8d %10.3f %10.1f %10.3f %10.3f %10.3f %6.1f%% %12d %8d%s\n",
+			r.p, r.served, r.rejected, r.simSeconds, tput,
+			1e3*r.p50, 1e3*r.p95, 1e3*r.p99, hitPct, r.rows, r.indexed, speedup)
+	}
+	return nil
+}
+
+// percentile returns the q-th percentile of sorted values (nearest
+// rank), 0 for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

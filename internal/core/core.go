@@ -200,6 +200,31 @@ func (c Config) validate(m *cluster.Machine, rawFile string) error {
 // ViewFile names the disk file holding a view's local slice.
 func ViewFile(v lattice.ViewID) string { return "cube." + v.String() }
 
+// ViewSliceLens returns the per-rank row counts of view v's local
+// slices on the machine's disks, post-build: element r is the slice
+// length on processor r, or -1 if that processor holds no slice of v.
+// It is a metadata access (uncharged), the hook the query-serving
+// layer uses to plan over the cube where it lives.
+func ViewSliceLens(m *cluster.Machine, v lattice.ViewID) []int {
+	out := make([]int, m.P())
+	for r := 0; r < m.P(); r++ {
+		out[r] = m.Proc(r).Disk().Len(ViewFile(v))
+	}
+	return out
+}
+
+// ViewGlobalRows sums the per-rank slice lengths of view v (metadata
+// access, uncharged); a view with no slices anywhere has 0 rows.
+func ViewGlobalRows(m *cluster.Machine, v lattice.ViewID) int64 {
+	var rows int64
+	for _, n := range ViewSliceLens(m, v) {
+		if n > 0 {
+			rows += int64(n)
+		}
+	}
+	return rows
+}
+
 // Metrics aggregates a parallel cube build.
 type Metrics struct {
 	P          int

@@ -111,6 +111,15 @@ func MergeOps(n, k int) float64 {
 // aggregating n records.
 func ScanOps(n int) float64 { return float64(n) }
 
+// SearchOps returns the modelled record-operation count of one binary
+// search over n sorted records: ceil(log2(n+1)) comparisons.
+func SearchOps(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n) + 1))
+}
+
 // Clock accumulates the simulated elapsed time of one processor. The
 // zero value is a clock at time zero. Clock is not safe for concurrent
 // use; each simulated processor owns its clock exclusively and the

@@ -397,3 +397,32 @@ func TestFaultsTableShape(t *testing.T) {
 		}
 	}
 }
+
+func TestServeThroughputScales(t *testing.T) {
+	sc := testScale()
+	sc.Procs = []int{1, 8}
+	res := Serve(sc)
+	if len(res.Points) != 2 {
+		t.Fatalf("want 2 points, got %d", len(res.Points))
+	}
+	p1, p8 := res.Points[0], res.Points[1]
+	// The acceptance bar: at least 2x simulated query throughput at
+	// p=8 over p=1 on the identical workload.
+	if p8.Throughput < 2*p1.Throughput {
+		t.Fatalf("p=8 throughput %.1f q/s < 2x p=1 %.1f q/s", p8.Throughput, p1.Throughput)
+	}
+	// The warm cache must actually be hitting, identically at every p
+	// (the workload and planner are deterministic).
+	if p1.HitRatio <= 0 || p1.HitRatio != p8.HitRatio {
+		t.Fatalf("hit ratios %.2f / %.2f", p1.HitRatio, p8.HitRatio)
+	}
+	// The prefix index must charge strictly fewer rows than the scan.
+	if res.IdxRows >= res.ScanRows || res.ScanRows == 0 {
+		t.Fatalf("index probe %d rows vs scan %d rows", res.IdxRows, res.ScanRows)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "queries/s") {
+		t.Fatal("Print output malformed")
+	}
+}

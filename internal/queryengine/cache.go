@@ -1,0 +1,81 @@
+package queryengine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU result cache keyed by canonicalized
+// query keys (Query.Key). The cube is immutable once built, so cached
+// results never need invalidation — entries only leave by LRU
+// eviction. Values are opaque to the cache; callers store whatever a
+// query produced (a merged table, a wrapped view, a scalar).
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an LRU cache holding up to capacity entries.
+// Capacity must be positive.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		panic("queryengine: cache capacity must be positive")
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its value
+// and recency.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

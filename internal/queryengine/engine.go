@@ -1,0 +1,371 @@
+// Package queryengine answers OLAP queries against the cube where it
+// lives: distributed over the local disks of the shared-nothing
+// machine that built it. Instead of gathering a source view onto one
+// rank and scanning it serially, a query runs scatter–gather: the
+// planner picks the smallest materialized superset view, every
+// processor filters, projects, and partially aggregates its own local
+// slice, and the partial aggregates are merged at the root with a
+// k-way aggregating merge — the cluster-resident serving architecture
+// of Hespe et al. (local scans + partial-aggregate merge) applied to
+// the paper's partitioned cube.
+//
+// Because every view slice is stored globally sorted in its attribute
+// order, equality filters on a prefix of that order do not scan: a
+// per-slice sorted-prefix Index binary-searches to the matching run
+// and only the run's rows are read and charged. All query work — disk
+// reads, scan/sort/merge compute, and the gather h-relation — is
+// charged on the machine's simulated cost model under a dedicated
+// "query" phase, and reported per query as Metrics.
+package queryengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// Engine executes queries against a built cube's machine. Queries
+// reuse the machine's SPMD supersteps, whose exchange state admits one
+// collective at a time, so executions are serialized internally; the
+// concurrent front end (admission control, caching) layers above.
+type Engine struct {
+	m      *cluster.Machine
+	op     record.AggOp
+	orders map[lattice.ViewID]lattice.Order
+	rows   map[lattice.ViewID]int64
+
+	mu sync.Mutex // serializes machine access across Execute calls
+
+	idxMu   sync.Mutex
+	indexes map[idxKey]*Index
+}
+
+type idxKey struct {
+	view lattice.ViewID
+	rank int
+}
+
+// New returns an engine over the machine's materialized views. orders
+// maps each view to its materialized attribute order (the build's
+// ViewOrders); rows maps each view to its global row count for
+// planning — pass nil to derive the counts from the per-rank slices on
+// disk (core.ViewSliceLens).
+func New(m *cluster.Machine, orders map[lattice.ViewID]lattice.Order, rows map[lattice.ViewID]int64, op record.AggOp) *Engine {
+	if rows == nil {
+		rows = make(map[lattice.ViewID]int64, len(orders))
+		for v := range orders {
+			rows[v] = core.ViewGlobalRows(m, v)
+		}
+	}
+	return &Engine{
+		m:       m,
+		op:      op,
+		orders:  orders,
+		rows:    rows,
+		indexes: make(map[idxKey]*Index),
+	}
+}
+
+// P returns the machine size queries execute on.
+func (e *Engine) P() int { return e.m.P() }
+
+// Order returns the materialized attribute order of view v.
+func (e *Engine) Order(v lattice.ViewID) (lattice.Order, bool) {
+	o, ok := e.orders[v]
+	return o, ok
+}
+
+// PickSource returns the materialized view with the fewest global rows
+// containing all of need's dimensions — the standard ROLAP rewrite.
+// Ties on row count break to the smaller ViewID, so planning is
+// deterministic regardless of map iteration order.
+func (e *Engine) PickSource(need lattice.ViewID) (lattice.ViewID, error) {
+	best := lattice.ViewID(0)
+	bestRows := int64(-1)
+	for v := range e.orders {
+		if !need.SubsetOf(v) {
+			continue
+		}
+		rows := e.rows[v]
+		if bestRows == -1 || rows < bestRows || (rows == bestRows && v < best) {
+			best, bestRows = v, rows
+		}
+	}
+	if bestRows == -1 {
+		return 0, fmt.Errorf("queryengine: no materialized view covers %v", need)
+	}
+	return best, nil
+}
+
+// Bound restricts source rows: column Col (in the source view's
+// layout) must hold a value in [Lo, Hi] inclusive. An equality filter
+// is Lo == Hi.
+type Bound struct {
+	Col    int
+	Lo, Hi uint32
+}
+
+// Query is one executable scatter–gather request: scan view View's
+// slices, keep rows satisfying every Bound, project the kept rows onto
+// OutCols (source column indices, in result order), and aggregate
+// equal keys with the engine's operator. Empty OutCols collapses the
+// selection to a single zero-dimension group (a scalar aggregate).
+type Query struct {
+	View    lattice.ViewID
+	Bounds  []Bound // sorted by Col (NewQuery guarantees this)
+	OutCols []int
+	// NoIndex forces full scans even when the bounds cover a prefix of
+	// the view's sort order (for the indexed-vs-scan comparison).
+	NoIndex bool
+}
+
+// Key canonicalizes the query for result caching. Bounds are kept
+// sorted by column, so queries that differ only in filter-map
+// iteration order share a key; OutCols order is part of the key
+// because it fixes the result's column order.
+func (q Query) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d|o", uint32(q.View))
+	for _, c := range q.OutCols {
+		fmt.Fprintf(&sb, ",%d", c)
+	}
+	sb.WriteString("|b")
+	for _, b := range q.Bounds {
+		fmt.Fprintf(&sb, ",%d:%d-%d", b.Col, b.Lo, b.Hi)
+	}
+	if q.NoIndex {
+		sb.WriteString("|noidx")
+	}
+	return sb.String()
+}
+
+// NewQuery plans a request: group lists the internal dimensions of the
+// result key (in result order), bounds the per-dimension row
+// restrictions. The source view is the smallest materialized superset
+// of everything referenced; columns are resolved against its
+// materialized order. A dimension may not be both grouped and bounded.
+func (e *Engine) NewQuery(group []int, bounds map[int][2]uint32) (Query, error) {
+	need := lattice.Empty
+	for _, dim := range group {
+		if need.Has(dim) {
+			return Query{}, fmt.Errorf("queryengine: dimension %d repeated in group", dim)
+		}
+		need = need.Add(dim)
+	}
+	for dim := range bounds {
+		if need.Has(dim) {
+			return Query{}, fmt.Errorf("queryengine: dimension %d both grouped and filtered", dim)
+		}
+		need = need.Add(dim)
+	}
+	src, err := e.PickSource(need)
+	if err != nil {
+		return Query{}, err
+	}
+	order := e.orders[src]
+	col := make(map[int]int, len(order)) // dimension -> source column
+	for c, dim := range order {
+		col[dim] = c
+	}
+	q := Query{View: src, OutCols: make([]int, len(group))}
+	for k, dim := range group {
+		q.OutCols[k] = col[dim]
+	}
+	for dim, b := range bounds {
+		if b[0] > b[1] {
+			return Query{}, fmt.Errorf("queryengine: empty range %d..%d on dimension %d", b[0], b[1], dim)
+		}
+		q.Bounds = append(q.Bounds, Bound{Col: col[dim], Lo: b[0], Hi: b[1]})
+	}
+	sort.Slice(q.Bounds, func(i, j int) bool { return q.Bounds[i].Col < q.Bounds[j].Col })
+	return q, nil
+}
+
+// Metrics reports what one query cost on the simulated machine.
+type Metrics struct {
+	// Source is the view the query executed against.
+	Source lattice.ViewID
+	// RowsScanned counts source rows read and tested across all
+	// processors (after index narrowing).
+	RowsScanned int64
+	// BytesMoved is the query's network volume (the partial-aggregate
+	// gather).
+	BytesMoved int64
+	// SimSeconds is the query's simulated makespan contribution.
+	SimSeconds float64
+	// IndexUsed reports whether the prefix index narrowed any slice.
+	IndexUsed bool
+}
+
+// Execute runs the query's scatter–gather superstep plan on the
+// machine and returns the merged result: a table with len(OutCols)
+// columns, globally aggregated and sorted in OutCols order. All work
+// is charged on the simulated clocks under the "query" phase.
+func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
+	order, ok := e.orders[q.View]
+	if !ok {
+		return nil, Metrics{}, fmt.Errorf("queryengine: view %v not materialized", q.View)
+	}
+	for _, c := range q.OutCols {
+		if c < 0 || c >= len(order) {
+			return nil, Metrics{}, fmt.Errorf("queryengine: output column %d out of range for view %v", c, q.View)
+		}
+	}
+	for _, b := range q.Bounds {
+		if b.Col < 0 || b.Col >= len(order) {
+			return nil, Metrics{}, fmt.Errorf("queryengine: bound column %d out of range for view %v", b.Col, q.View)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t0 := e.m.SimSeconds()
+	bytes0 := e.m.Stats().BytesMoved
+
+	p := e.m.P()
+	scanned := make([]int64, p)
+	idxUsed := make([]bool, p)
+	var out *record.Table
+	err := e.m.Run(func(pr *cluster.Proc) {
+		pr.SetPhase("query")
+		part, n, used := e.scanLocal(pr, q)
+		scanned[pr.Rank()] = n
+		idxUsed[pr.Rank()] = used
+		parts := cluster.Gather(pr, 0, part, part.Bytes())
+		if pr.Rank() == 0 {
+			total, streams := 0, 0
+			for _, t := range parts {
+				if t.Len() > 0 {
+					total += t.Len()
+					streams++
+				}
+			}
+			pr.Clock().AddCompute(costmodel.MergeOps(total, streams))
+			out = record.MergeSortedAggregateOp(parts, e.op)
+		}
+	})
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+
+	met := Metrics{
+		Source:     q.View,
+		SimSeconds: e.m.SimSeconds() - t0,
+		BytesMoved: e.m.Stats().BytesMoved - bytes0,
+	}
+	for r := 0; r < p; r++ {
+		met.RowsScanned += scanned[r]
+		met.IndexUsed = met.IndexUsed || idxUsed[r]
+	}
+	if out == nil { // defensive: rank 0 always produces a table
+		out = record.New(len(q.OutCols), 0)
+	}
+	return out, met, nil
+}
+
+// scanLocal runs the query's local half on one processor: narrow the
+// slice with the prefix index when the bounds allow it, scan the
+// remaining rows applying residual bounds, project onto OutCols, and
+// partially aggregate. Returns the sorted partial aggregate, the
+// number of source rows scanned, and whether the index was used.
+func (e *Engine) scanLocal(pr *cluster.Proc, q Query) (*record.Table, int64, bool) {
+	disk := pr.Disk()
+	clk := pr.Clock()
+	file := core.ViewFile(q.View)
+	empty := record.New(len(q.OutCols), 0)
+	if disk.Len(file) <= 0 {
+		return empty, 0, false
+	}
+
+	boundAt := make(map[int]Bound, len(q.Bounds))
+	for _, b := range q.Bounds {
+		boundAt[b.Col] = b
+	}
+	// Longest equality prefix of the sort order, plus an optional range
+	// on the next column — the part of the predicate the index resolves.
+	var eq []uint32
+	for {
+		b, ok := boundAt[len(eq)]
+		if !ok || b.Lo != b.Hi {
+			break
+		}
+		eq = append(eq, b.Lo)
+	}
+	var rng *[2]uint32
+	if b, ok := boundAt[len(eq)]; ok {
+		rng = &[2]uint32{b.Lo, b.Hi}
+	}
+
+	var rows *record.Table
+	var residual []Bound
+	indexed := false
+	if !q.NoIndex && (len(eq) > 0 || rng != nil) {
+		ix := e.sliceIndex(pr, q.View, file)
+		lo, hi, ops := ix.Lookup(eq, rng)
+		clk.AddCompute(ops)
+		rows = disk.ReadRange(file, lo, hi)
+		prefix := len(eq)
+		if rng != nil {
+			prefix++
+		}
+		for _, b := range q.Bounds {
+			if b.Col >= prefix {
+				residual = append(residual, b)
+			}
+		}
+		indexed = true
+	} else {
+		rows = disk.MustGet(file)
+		residual = q.Bounds
+	}
+
+	n := rows.Len()
+	clk.AddCompute(costmodel.ScanOps(n))
+	proj := record.New(len(q.OutCols), 0)
+	key := make([]uint32, len(q.OutCols))
+	for i := 0; i < n; i++ {
+		keep := true
+		for _, b := range residual {
+			if v := rows.Dim(i, b.Col); v < b.Lo || v > b.Hi {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		for k, c := range q.OutCols {
+			key[k] = rows.Dim(i, c)
+		}
+		proj.Append(key, rows.Meas(i))
+	}
+	clk.AddCompute(costmodel.SortOps(proj.Len()) + costmodel.ScanOps(proj.Len()))
+	return record.SortAggregateOp(proj, e.op), int64(n), indexed
+}
+
+// sliceIndex returns this processor's prefix index of the view,
+// building it on first use (one charged scan of the slice; the
+// directory is retained in memory, like any database's block index).
+func (e *Engine) sliceIndex(pr *cluster.Proc, v lattice.ViewID, file string) *Index {
+	key := idxKey{view: v, rank: pr.Rank()}
+	e.idxMu.Lock()
+	ix := e.indexes[key]
+	e.idxMu.Unlock()
+	if ix != nil {
+		return ix
+	}
+	t := pr.Disk().MustGet(file) // charged full read
+	pr.Clock().AddCompute(costmodel.ScanOps(t.Len()))
+	ix = BuildIndex(t)
+	e.idxMu.Lock()
+	e.indexes[key] = ix
+	e.idxMu.Unlock()
+	return ix
+}

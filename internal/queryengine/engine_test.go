@@ -1,0 +1,240 @@
+package queryengine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// buildTestCube builds a small full cube on p processors and returns
+// the machine, the build metrics, and the generator's flat data for
+// oracle checks.
+func buildTestCube(t *testing.T, n, d, p int, cards []int) (*cluster.Machine, core.Metrics, *record.Table) {
+	t.Helper()
+	spec := gen.Spec{N: n, D: d, Cards: cards, Seed: 7}
+	g := gen.New(spec)
+	m := cluster.New(p, costmodel.Default())
+	for r := 0; r < p; r++ {
+		m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+	}
+	met, err := core.BuildCube(m, "raw", core.Config{D: d})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m, met, g.All()
+}
+
+// oracle computes the query result by brute force over the raw data.
+func oracle(raw *record.Table, q Query, order lattice.Order, op record.AggOp) *record.Table {
+	// Map source columns back to raw columns: source col c holds
+	// dimension order[c], which is raw column order[c] (raw is in
+	// canonical dimension order).
+	proj := record.New(len(q.OutCols), 0)
+	key := make([]uint32, len(q.OutCols))
+	for i := 0; i < raw.Len(); i++ {
+		keep := true
+		for _, b := range q.Bounds {
+			if v := raw.Dim(i, order[b.Col]); v < b.Lo || v > b.Hi {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		for k, c := range q.OutCols {
+			key[k] = raw.Dim(i, order[c])
+		}
+		proj.Append(key, raw.Meas(i))
+	}
+	return record.SortAggregateOp(proj, op)
+}
+
+func TestExecuteMatchesOracle(t *testing.T) {
+	m, met, raw := buildTestCube(t, 3000, 4, 3, []int{16, 8, 6, 4})
+	e := New(m, met.ViewOrders, met.ViewRows, record.OpSum)
+
+	cases := []struct {
+		group  []int
+		bounds map[int][2]uint32
+	}{
+		{group: []int{1}, bounds: nil},
+		{group: []int{2, 0}, bounds: map[int][2]uint32{1: {3, 3}}},
+		{group: []int{3}, bounds: map[int][2]uint32{0: {2, 9}, 1: {1, 4}}},
+		{group: nil, bounds: map[int][2]uint32{0: {5, 5}}},
+		{group: nil, bounds: nil}, // grand total
+		{group: []int{0, 1, 2, 3}, bounds: nil},
+	}
+	for i, tc := range cases {
+		q, err := e.NewQuery(tc.group, tc.bounds)
+		if err != nil {
+			t.Fatalf("case %d: plan: %v", i, err)
+		}
+		got, qm, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := oracle(raw, q, met.ViewOrders[q.View], record.OpSum)
+		if !record.Equal(got, want) {
+			t.Fatalf("case %d: result mismatch\ngot  %v\nwant %v", i, got, want)
+		}
+		if qm.SimSeconds <= 0 {
+			t.Fatalf("case %d: no simulated time charged", i)
+		}
+		if qm.Source != q.View {
+			t.Fatalf("case %d: metrics source %v, query view %v", i, qm.Source, q.View)
+		}
+	}
+}
+
+func TestIndexScansStrictlyFewerRows(t *testing.T) {
+	m, met, _ := buildTestCube(t, 4000, 4, 2, []int{16, 8, 6, 4})
+	e := New(m, met.ViewOrders, met.ViewRows, record.OpSum)
+
+	// Equality on the leading sort-order dimension of the full view, so
+	// the prefix index applies.
+	full := lattice.Full(4)
+	order := met.ViewOrders[full]
+	q := Query{View: full, Bounds: []Bound{{Col: 0, Lo: 3, Hi: 3}}, OutCols: []int{1}}
+
+	indexed, im, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := q
+	qs.NoIndex = true
+	scanned, sm, err := e.Execute(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equal(indexed, scanned) {
+		t.Fatalf("indexed and scanned results differ (order %v)", order)
+	}
+	if !im.IndexUsed || sm.IndexUsed {
+		t.Fatalf("IndexUsed flags: indexed=%v scanned=%v", im.IndexUsed, sm.IndexUsed)
+	}
+	if im.RowsScanned >= sm.RowsScanned {
+		t.Fatalf("indexed query scanned %d rows, full scan %d — want strictly fewer", im.RowsScanned, sm.RowsScanned)
+	}
+	if sm.RowsScanned != met.ViewRows[full] {
+		t.Fatalf("full scan touched %d rows, view has %d", sm.RowsScanned, met.ViewRows[full])
+	}
+}
+
+func TestIndexRangeAndMissingValue(t *testing.T) {
+	m, met, raw := buildTestCube(t, 2000, 3, 2, []int{10, 6, 4})
+	e := New(m, met.ViewOrders, met.ViewRows, record.OpSum)
+	full := lattice.Full(3)
+	leadDim := met.ViewOrders[full][0]
+
+	// Range on the leading column: index brackets the runs.
+	q := Query{View: full, Bounds: []Bound{{Col: 0, Lo: 2, Hi: 5}}, OutCols: []int{1, 2}}
+	got, qm, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qm.IndexUsed {
+		t.Fatal("range on leading column did not use the index")
+	}
+	want := oracle(raw, q, met.ViewOrders[full], record.OpSum)
+	if !record.Equal(got, want) {
+		t.Fatalf("range result mismatch (lead dim %d)", leadDim)
+	}
+
+	// Equality on a value outside the slice: empty result, near-zero scan.
+	q = Query{View: full, Bounds: []Bound{{Col: 0, Lo: 999, Hi: 999}}, OutCols: []int{1}}
+	got, qm, err = e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("missing value matched %d groups", got.Len())
+	}
+	if qm.RowsScanned != 0 {
+		t.Fatalf("missing value scanned %d rows", qm.RowsScanned)
+	}
+}
+
+func TestPickSourceDeterministicTieBreak(t *testing.T) {
+	// Two candidate views with identical row counts: the smaller ViewID
+	// must win, every time.
+	orders := map[lattice.ViewID]lattice.Order{
+		0b011: {0, 1},
+		0b101: {0, 2},
+	}
+	rows := map[lattice.ViewID]int64{0b011: 42, 0b101: 42}
+	e := &Engine{orders: orders, rows: rows}
+	for i := 0; i < 50; i++ {
+		v, err := e.PickSource(0b001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0b011 {
+			t.Fatalf("iteration %d: picked %v, want %v", i, v, lattice.ViewID(0b011))
+		}
+	}
+	// Fewer rows still beats a smaller ID.
+	rows[0b101] = 10
+	if v, _ := e.PickSource(0b001); v != 0b101 {
+		t.Fatalf("picked %v over the smaller view", v)
+	}
+	if _, err := e.PickSource(0b1000); err == nil {
+		t.Fatal("uncovered dimension did not error")
+	}
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	m, met, _ := buildTestCube(t, 500, 3, 2, []int{8, 4, 3})
+	e := New(m, met.ViewOrders, met.ViewRows, record.OpSum)
+	if _, err := e.NewQuery([]int{0, 0}, nil); err == nil {
+		t.Fatal("repeated group dimension accepted")
+	}
+	if _, err := e.NewQuery([]int{0}, map[int][2]uint32{0: {1, 1}}); err == nil {
+		t.Fatal("grouped+filtered dimension accepted")
+	}
+	if _, err := e.NewQuery([]int{1}, map[int][2]uint32{2: {5, 2}}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestExecuteConcurrentCallers(t *testing.T) {
+	m, met, raw := buildTestCube(t, 1500, 3, 2, []int{10, 6, 4})
+	e := New(m, met.ViewOrders, met.ViewRows, record.OpSum)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				q, err := e.NewQuery([]int{w % 3}, map[int][2]uint32{(w + 1) % 3: {0, uint32(i)}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, _, err := e.Execute(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := oracle(raw, q, met.ViewOrders[q.View], record.OpSum)
+				if !record.Equal(got, want) {
+					errs <- fmt.Errorf("worker %d query %d: mismatch", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

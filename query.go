@@ -2,8 +2,10 @@ package rolap
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/lattice"
+	"repro/internal/queryengine"
 	"repro/internal/record"
 )
 
@@ -14,9 +16,70 @@ import (
 // referenced dimensions — the standard ROLAP rewrite. Roll-up and
 // drill-down are GroupBy with fewer or more dimensions.
 //
+// On a cluster-backed cube the query executes where the data lives:
+// every processor filters, projects, and partially aggregates its own
+// slice of the source view, and the partial aggregates are merged —
+// no view is gathered onto one rank. Cubes loaded from a snapshot fall
+// back to the gather-and-scan path. Both paths return identical
+// results.
+//
 // The result is a computed View (not materialized on the cluster):
 // Attributes follow the order of dims, rows are sorted.
 func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) {
+	if c.engine == nil {
+		return c.gatherGroupBy(dims, filters)
+	}
+	q, err := c.planQuery(dims, filters)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := c.engine.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return &View{
+		Attributes: append([]string(nil), dims...),
+		order:      queryOrder(c, dims),
+		rows:       rows,
+	}, nil
+}
+
+// planQuery validates a GroupBy request and plans its distributed
+// execution: dimension names are resolved to internal indices, filters
+// become per-dimension equality bounds, and the engine picks the
+// source view and column layout.
+func (c *Cube) planQuery(dims []string, filters map[string]uint32) (queryengine.Query, error) {
+	if _, err := c.in.viewOf(dims); err != nil {
+		return queryengine.Query{}, err
+	}
+	group := make([]int, len(dims))
+	for k, name := range dims {
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return queryengine.Query{}, err
+		}
+		group[k] = one.Dims()[0]
+	}
+	bounds := make(map[int][2]uint32, len(filters))
+	for name, val := range filters {
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return queryengine.Query{}, err
+		}
+		bounds[one.Dims()[0]] = [2]uint32{val, val}
+	}
+	q, err := c.engine.NewQuery(group, bounds)
+	if err != nil {
+		return queryengine.Query{}, fmt.Errorf("rolap: %w", err)
+	}
+	return q, nil
+}
+
+// gatherGroupBy answers GroupBy by gathering the source view onto one
+// rank and scanning it — the original serving path, kept for cubes
+// loaded from snapshots (no cluster) and as the oracle the distributed
+// path is tested against.
+func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32) (*View, error) {
 	if _, err := c.in.viewOf(dims); err != nil {
 		return nil, err
 	}
@@ -52,7 +115,10 @@ func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) 
 	}
 	outCols := make([]int, len(dims)) // result column -> source column
 	for k, name := range dims {
-		one, _ := c.in.viewOf([]string{name})
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return nil, err
+		}
 		dim := one.Dims()[0]
 		for col, d := range srcOrder {
 			if d == dim {
@@ -100,7 +166,9 @@ func queryOrder(c *Cube, dims []string) lattice.Order {
 }
 
 // smallestSuperset returns the materialized view with the fewest rows
-// containing all of need's dimensions.
+// containing all of need's dimensions. Ties on row count break to the
+// smaller ViewID, so the choice is deterministic regardless of map
+// iteration order (and matches the engine's planner).
 func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
 	best := lattice.ViewID(0)
 	bestRows := int64(-1)
@@ -109,7 +177,7 @@ func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
 			continue
 		}
 		rows := c.metrics.ViewRows[viewName(c.in, v)]
-		if bestRows == -1 || rows < bestRows {
+		if bestRows == -1 || rows < bestRows || (rows == bestRows && v < best) {
 			best, bestRows = v, rows
 		}
 	}
@@ -125,6 +193,11 @@ func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
 // view when available, else the smallest superset. Only meaningful for
 // Sum cubes when ranges span groups; for Min/Max cubes it returns the
 // min/max over the range.
+//
+// On a cluster-backed cube the range is evaluated in place: each
+// processor combines its slice's matching rows (binary-searching to
+// the run when the range covers the sort-order prefix) and the partial
+// aggregates are merged.
 func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 	if len(dims) != len(lo) || len(dims) != len(hi) {
 		return 0, fmt.Errorf("rolap: dims/lo/hi length mismatch")
@@ -134,6 +207,48 @@ func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 			return 0, fmt.Errorf("rolap: empty range on %q", dims[k])
 		}
 	}
+	if c.engine == nil {
+		return c.gatherRangeAggregate(dims, lo, hi)
+	}
+	q, err := c.planRange(dims, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	rows, _, err := c.engine.Execute(q)
+	if err != nil {
+		return 0, err
+	}
+	if rows.Len() == 0 {
+		return 0, nil
+	}
+	return rows.Meas(0), nil
+}
+
+// planRange validates a RangeAggregate request and plans its
+// distributed execution: all matching rows collapse into one
+// zero-dimension group.
+func (c *Cube) planRange(dims []string, lo, hi []uint32) (queryengine.Query, error) {
+	if _, err := c.in.viewOf(dims); err != nil {
+		return queryengine.Query{}, err
+	}
+	bounds := make(map[int][2]uint32, len(dims))
+	for k, name := range dims {
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return queryengine.Query{}, err
+		}
+		bounds[one.Dims()[0]] = [2]uint32{lo[k], hi[k]}
+	}
+	q, err := c.engine.NewQuery(nil, bounds)
+	if err != nil {
+		return queryengine.Query{}, fmt.Errorf("rolap: %w", err)
+	}
+	return q, nil
+}
+
+// gatherRangeAggregate is the gather-and-scan fallback for snapshot
+// cubes, and the oracle for the distributed path.
+func (c *Cube) gatherRangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 	want, err := c.in.viewOf(dims)
 	if err != nil {
 		return 0, err
@@ -151,7 +266,10 @@ func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 	}
 	bounds := make([]bound, len(dims))
 	for k, name := range dims {
-		one, _ := c.in.viewOf([]string{name})
+		one, err := c.in.viewOf([]string{name})
+		if err != nil {
+			return 0, err
+		}
 		dim := one.Dims()[0]
 		for col, d := range srcOrder {
 			if d == dim {
@@ -184,4 +302,12 @@ func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 		return 0, nil
 	}
 	return acc, nil
+}
+
+// sourceViewNames renders a ViewID as its sorted user dimension names
+// (the form QueryMetrics reports).
+func (c *Cube) sourceViewNames(v lattice.ViewID) []string {
+	names := c.in.namesOf(lattice.Canonical(v))
+	sort.Strings(names)
+	return names
 }

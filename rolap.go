@@ -39,6 +39,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/partialcube"
+	"repro/internal/queryengine"
 	"repro/internal/record"
 )
 
@@ -235,6 +236,9 @@ type Cube struct {
 	orders  map[lattice.ViewID]lattice.Order
 	metrics Metrics
 	op      record.AggOp
+	// engine serves distributed queries; nil for cubes loaded from a
+	// snapshot, which fall back to gather-and-scan.
+	engine *queryengine.Engine
 	// cache holds gathered views for machine-less (loaded) cubes.
 	cache map[lattice.ViewID]*record.Table
 }
@@ -333,6 +337,9 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 	if views == nil {
 		views = lattice.AllViews(d)
 	}
+	// The build is done: clear any injected fault plan (and straggler
+	// slowdowns) so it cannot fire during query supersteps.
+	m.SetFaults(nil)
 	return &Cube{
 		in:      in,
 		machine: m,
@@ -340,6 +347,7 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		orders:  met.ViewOrders,
 		metrics: publicMetrics(in, met),
 		op:      opts.Aggregate.op(),
+		engine:  queryengine.New(m, met.ViewOrders, met.ViewRows, opts.Aggregate.op()),
 	}, nil
 }
 

@@ -1,0 +1,284 @@
+package rolap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queryengine"
+	"repro/internal/record"
+)
+
+// QueryMetrics reports what one served query cost.
+type QueryMetrics struct {
+	// SourceView is the materialized view that answered the query, as
+	// sorted dimension names (empty slice for the grand-total view).
+	SourceView []string
+	// RowsScanned counts source rows read and tested across all
+	// processors (0 on a cache hit).
+	RowsScanned int64
+	// BytesMoved is the query's network volume on the simulated
+	// machine (0 on a cache hit).
+	BytesMoved int64
+	// SimSeconds is the query's simulated makespan contribution (0 on
+	// a cache hit).
+	SimSeconds float64
+	// CacheHit reports whether the result came from the server's
+	// result cache.
+	CacheHit bool
+	// IndexUsed reports whether any processor answered from its
+	// sorted-prefix index instead of a full slice scan.
+	IndexUsed bool
+}
+
+// ServerOptions configures a query server.
+type ServerOptions struct {
+	// Workers bounds the number of queries admitted concurrently
+	// (default 4). Admitted queries still serialize on the simulated
+	// machine; the bound is admission control, not parallel execution.
+	Workers int
+	// QueueDepth bounds how many queries may wait for a worker slot
+	// beyond the admitted ones (default 4×Workers). Arrivals beyond
+	// the queue are rejected with ErrServerOverloaded.
+	QueueDepth int
+	// Timeout, when > 0, bounds each query's wall-clock wait+execution
+	// via a context deadline.
+	Timeout time.Duration
+	// CacheSize is the result cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+}
+
+// ServerStats are cumulative counters over a server's lifetime.
+type ServerStats struct {
+	// Queries counts completed queries, including cache hits.
+	Queries int64
+	// CacheHits counts queries answered from the result cache.
+	CacheHits int64
+	// Rejected counts arrivals refused by admission control.
+	Rejected int64
+	// Expired counts queries that hit their deadline before executing.
+	Expired int64
+	// SimSeconds is total simulated machine time spent executing.
+	SimSeconds float64
+	// RowsScanned is total source rows scanned.
+	RowsScanned int64
+}
+
+// ErrServerOverloaded is returned when a query arrives while Workers
+// queries are executing and QueueDepth more are already waiting.
+var ErrServerOverloaded = errors.New("rolap: server overloaded, query rejected")
+
+// Server is a concurrent query front end over a built cube: a bounded
+// worker pool admits queries, a canonicalized-key LRU cache answers
+// repeats without touching the machine, and everything admitted
+// executes scatter–gather on the cube's simulated cluster. The cube is
+// immutable once built, so cached results never go stale. Server is
+// safe for concurrent use.
+type Server struct {
+	cube  *Cube
+	sem   chan struct{} // worker slots
+	depth int
+	// waiting counts callers blocked on sem beyond the admitted ones.
+	waiting atomic.Int64
+	timeout time.Duration
+	cache   *queryengine.Cache
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+	simMicros atomic.Int64 // SimSeconds accumulated in microseconds
+	rowsTotal atomic.Int64
+}
+
+// NewServer returns a query server over the cube. Only cluster-backed
+// cubes (from Build) can serve; cubes loaded from a snapshot have no
+// machine to execute on.
+func (c *Cube) NewServer(opts ServerOptions) (*Server, error) {
+	if c.engine == nil {
+		return nil, fmt.Errorf("rolap: cube has no cluster (loaded from snapshot); use GroupBy directly")
+	}
+	w := opts.Workers
+	if w == 0 {
+		w = 4
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("rolap: server needs at least one worker, got %d", w)
+	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = 4 * w
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	s := &Server{cube: c, sem: make(chan struct{}, w), depth: depth, timeout: opts.Timeout}
+	size := opts.CacheSize
+	if size == 0 {
+		size = 256
+	}
+	if size > 0 {
+		s.cache = queryengine.NewCache(size)
+	}
+	return s, nil
+}
+
+// cached pairs a query's merged result table with the metrics of the
+// execution that produced it, so cache hits can still report the
+// source view. The table is immutable and safely shared across hits.
+type cached struct {
+	rows *record.Table
+	met  queryengine.Metrics
+}
+
+// GroupBy serves an ad-hoc group-by with equality filters, like
+// Cube.GroupBy but with admission control, deadline, caching, and
+// per-query cost metrics.
+func (s *Server) GroupBy(ctx context.Context, dims []string, filters map[string]uint32) (*View, QueryMetrics, error) {
+	q, err := s.cube.planQuery(dims, filters)
+	if err != nil {
+		return nil, QueryMetrics{}, err
+	}
+	c, qm, err := s.serve(ctx, "g|"+q.Key(), q)
+	if err != nil {
+		return nil, qm, err
+	}
+	return &View{
+		Attributes: append([]string(nil), dims...),
+		order:      queryOrder(s.cube, dims),
+		rows:       c.rows,
+	}, qm, nil
+}
+
+// Aggregate serves a point lookup: the aggregate of the single group
+// of the named view identified by key (values in dims order).
+func (s *Server) Aggregate(ctx context.Context, dims []string, key []uint32) (int64, QueryMetrics, error) {
+	if len(dims) != len(key) {
+		return 0, QueryMetrics{}, fmt.Errorf("rolap: %d dims, %d key values", len(dims), len(key))
+	}
+	lo := append([]uint32(nil), key...)
+	return s.RangeAggregate(ctx, dims, lo, lo)
+}
+
+// RangeAggregate serves a range aggregate like Cube.RangeAggregate,
+// with admission control, deadline, caching, and per-query metrics.
+func (s *Server) RangeAggregate(ctx context.Context, dims []string, lo, hi []uint32) (int64, QueryMetrics, error) {
+	if len(dims) != len(lo) || len(dims) != len(hi) {
+		return 0, QueryMetrics{}, fmt.Errorf("rolap: dims/lo/hi length mismatch")
+	}
+	for k := range lo {
+		if lo[k] > hi[k] {
+			return 0, QueryMetrics{}, fmt.Errorf("rolap: empty range on %q", dims[k])
+		}
+	}
+	q, err := s.cube.planRange(dims, lo, hi)
+	if err != nil {
+		return 0, QueryMetrics{}, err
+	}
+	c, qm, err := s.serve(ctx, "s|"+q.Key(), q)
+	if err != nil {
+		return 0, qm, err
+	}
+	if c.rows.Len() == 0 {
+		return 0, qm, nil
+	}
+	return c.rows.Meas(0), qm, nil
+}
+
+// serve runs the admission → cache → execute pipeline for one planned
+// query and returns the cached entry (fresh or reused) plus metrics.
+func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (cached, QueryMetrics, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	// Cache first: hits bypass admission entirely — they cost nothing
+	// on the simulated machine.
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			c := v.(cached)
+			s.queries.Add(1)
+			s.hits.Add(1)
+			return c, QueryMetrics{
+				SourceView: s.cube.sourceViewNames(c.met.Source),
+				CacheHit:   true,
+				IndexUsed:  c.met.IndexUsed,
+			}, nil
+		}
+	}
+
+	// Admission: try for a worker slot; if all busy, join the bounded
+	// queue or reject.
+	if err := s.admit(ctx); err != nil {
+		return cached{}, QueryMetrics{}, err
+	}
+	defer func() { <-s.sem }()
+
+	// The deadline covers queueing and is re-checked here; execution on
+	// the simulated machine is not preempted once started.
+	select {
+	case <-ctx.Done():
+		s.expired.Add(1)
+		return cached{}, QueryMetrics{}, ctx.Err()
+	default:
+	}
+
+	rows, em, err := s.cube.engine.Execute(q)
+	if err != nil {
+		return cached{}, QueryMetrics{}, err
+	}
+	c := cached{rows: rows, met: em}
+	if s.cache != nil {
+		s.cache.Put(key, c)
+	}
+	s.queries.Add(1)
+	s.simMicros.Add(int64(em.SimSeconds * 1e6))
+	s.rowsTotal.Add(em.RowsScanned)
+	return c, QueryMetrics{
+		SourceView:  s.cube.sourceViewNames(em.Source),
+		RowsScanned: em.RowsScanned,
+		BytesMoved:  em.BytesMoved,
+		SimSeconds:  em.SimSeconds,
+		IndexUsed:   em.IndexUsed,
+	}, nil
+}
+
+// admit acquires a worker slot, respecting the queue depth and the
+// caller's deadline.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}: // fast path: free worker
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.depth) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return ErrServerOverloaded
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.expired.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Stats returns the server's cumulative counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Queries:     s.queries.Load(),
+		CacheHits:   s.hits.Load(),
+		Rejected:    s.rejected.Load(),
+		Expired:     s.expired.Load(),
+		SimSeconds:  float64(s.simMicros.Load()) / 1e6,
+		RowsScanned: s.rowsTotal.Load(),
+	}
+}

@@ -1,0 +1,187 @@
+package rolap
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+)
+
+func buildServedCube(t *testing.T, n int, p int) (*Cube, func(dims []string, key []uint32) int64) {
+	t.Helper()
+	in, oracle := loadRandom(t, n, 31)
+	cube, err := Build(in, Options{Processors: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube, oracle
+}
+
+func TestServerGroupByAndCacheHit(t *testing.T) {
+	cube, oracle := buildServedCube(t, 600, 3)
+	s, err := cube.NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	vw, qm, err := s.GroupBy(ctx, []string{"store", "month"}, map[string]uint32{"channel": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	if qm.SimSeconds <= 0 || qm.RowsScanned <= 0 {
+		t.Fatalf("first query charged nothing: %+v", qm)
+	}
+	if len(qm.SourceView) == 0 {
+		t.Fatalf("no source view reported: %+v", qm)
+	}
+	// Spot-check one group against the brute-force oracle.
+	for i := 0; i < vw.Len(); i++ {
+		key, meas := vw.Row(i)
+		if want := oracle([]string{"store", "month", "channel"}, []uint32{key[0], key[1], 1}); meas != want {
+			t.Fatalf("group %v = %d, oracle %d", key, meas, want)
+		}
+	}
+
+	vw2, qm2, err := s.GroupBy(ctx, []string{"store", "month"}, map[string]uint32{"channel": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qm2.CacheHit {
+		t.Fatal("identical repeat was not a cache hit")
+	}
+	if qm2.SimSeconds != 0 || qm2.RowsScanned != 0 || qm2.BytesMoved != 0 {
+		t.Fatalf("cache hit charged work: %+v", qm2)
+	}
+	if !record.Equal(vw.rows, vw2.rows) {
+		t.Fatal("cache hit returned different rows")
+	}
+
+	st := s.Stats()
+	if st.Queries != 2 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 2 queries / 1 hit", st)
+	}
+	if st.SimSeconds <= 0 || st.RowsScanned <= 0 {
+		t.Fatalf("stats missing cost totals: %+v", st)
+	}
+}
+
+func TestServerAggregateAndRange(t *testing.T) {
+	cube, oracle := buildServedCube(t, 500, 2)
+	s, err := cube.NewServer(ServerOptions{CacheSize: -1}) // caching off
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	got, _, err := s.Aggregate(ctx, []string{"month", "channel"}, []uint32{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle([]string{"month", "channel"}, []uint32{3, 1}); got != want {
+		t.Fatalf("aggregate = %d, oracle %d", got, want)
+	}
+
+	// Range over all months of one channel == channel total.
+	got, _, err = s.RangeAggregate(ctx, []string{"month", "channel"}, []uint32{0, 2}, []uint32{11, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle([]string{"channel"}, []uint32{2}); got != want {
+		t.Fatalf("range aggregate = %d, oracle %d", got, want)
+	}
+}
+
+func TestServerAdmissionControl(t *testing.T) {
+	cube, _ := buildServedCube(t, 200, 2)
+	s, err := cube.NewServer(ServerOptions{Workers: 1, QueueDepth: -1}) // no queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only worker slot directly, then any arrival must be
+	// rejected rather than queued.
+	s.sem <- struct{}{}
+	_, _, err = s.GroupBy(context.Background(), []string{"month"}, nil)
+	if !errors.Is(err, ErrServerOverloaded) {
+		t.Fatalf("err = %v, want ErrServerOverloaded", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Stats().Rejected)
+	}
+	<-s.sem
+}
+
+func TestServerDeadline(t *testing.T) {
+	cube, _ := buildServedCube(t, 200, 2)
+	s, err := cube.NewServer(ServerOptions{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sem <- struct{}{} // wedge the worker so the query has to queue
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err = s.GroupBy(ctx, []string{"month"}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if s.Stats().Expired != 1 {
+		t.Fatalf("expired = %d, want 1", s.Stats().Expired)
+	}
+	<-s.sem
+
+	// With the worker free again the same query succeeds.
+	if _, _, err := s.GroupBy(context.Background(), []string{"month"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConcurrentCorrectness(t *testing.T) {
+	cube, oracle := buildServedCube(t, 800, 4)
+	s, err := cube.NewServer(ServerOptions{Workers: 4, QueueDepth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []string{"month", "store", "product", "channel"}
+	cards := []uint32{12, 40, 25, 3}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for w := 0; w < 20; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := dims[w%4]
+			val := uint32(w) % cards[(w+1)%4]
+			got, _, err := s.Aggregate(context.Background(), []string{d, dims[(w+1)%4]}, []uint32{uint32(w) % cards[w%4], val})
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := oracle([]string{d, dims[(w+1)%4]}, []uint32{uint32(w) % cards[w%4], val})
+			if got != want {
+				errs <- errors.New("concurrent aggregate mismatch")
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Queries != 20 {
+		t.Fatalf("served %d queries, want 20", st.Queries)
+	}
+}
+
+func TestServerRequiresCluster(t *testing.T) {
+	cube, _ := buildServedCube(t, 100, 2)
+	cube.engine = nil // simulate a snapshot-loaded cube
+	if _, err := cube.NewServer(ServerOptions{}); err == nil {
+		t.Fatal("snapshot cube accepted by NewServer")
+	}
+}
