@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench experiments qbench-smoke
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke experiments qbench-smoke
 
 tier1: build vet test race
 
@@ -25,8 +25,25 @@ test:
 race:
 	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/queryengine/... .
 
+# Real wall-clock microbenchmarks for the sort/merge kernels, run long
+# enough to be meaningful. (The old `bench` ran everything with
+# -benchtime=1x, which times a single iteration — fine for the figure
+# harness below, useless as a benchmark.)
 bench:
+	$(GO) test -bench=. -benchtime=2s -run=^$$ ./internal/record/ ./internal/extsort/
+
+# Paper-figure benchmark sweep: each "iteration" is one full simulated
+# experiment, so a single run (-benchtime=1x) is deliberate here.
+bench-figs:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Machine-readable kernel speedup report (ns/op, rows/sec, allocs/op,
+# on/off speedups) written to BENCH_PR4.json.
+bench-json:
+	$(GO) run ./cmd/wallbench -out BENCH_PR4.json
+
+bench-json-smoke:
+	$(GO) run ./cmd/wallbench -smoke -out BENCH_PR4.json
 
 experiments:
 	$(GO) run ./cmd/experiments -fig all

@@ -1,0 +1,228 @@
+// Command wallbench measures the wall-clock effect of the packed-key
+// radix/merge kernels (internal/record) and writes a machine-readable
+// JSON report. It benchmarks each kernel hot path with kernels enabled
+// and disabled (record.SetKernelsEnabled), plus an end-to-end
+// shared-nothing cube build, and reports ns/op, rows/sec, allocs/op
+// and the on/off speedup.
+//
+// The simulated BSP cost model is untouched by the kernel switch — the
+// determinism tests assert bit-identical cubes and Metrics either way —
+// so everything here is real elapsed time on the host.
+//
+// Usage:
+//
+//	go run ./cmd/wallbench -out BENCH_PR4.json          # full run
+//	go run ./cmd/wallbench -smoke -out BENCH_PR4.json   # CI smoke (small sizes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/record"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	KernelsOn   bool    `json:"kernels_on"`
+	Rows        int     `json:"rows"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Pair summarizes an on/off comparison of the same workload.
+type Pair struct {
+	Name    string  `json:"name"`
+	Off     Result  `json:"off"`
+	On      Result  `json:"on"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the BENCH_PR4.json schema.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Smoke     bool     `json:"smoke"`
+	Seed      int64    `json:"seed"`
+	Pairs     []Pair   `json:"pairs"`
+	Singles   []Result `json:"singles"`
+}
+
+func randomTable(seed int64, n, d, card int) *record.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := record.New(d, n)
+	row := make([]uint32, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = uint32(rng.Intn(card))
+		}
+		t.Append(row, int64(rng.Intn(100)))
+	}
+	return t
+}
+
+func measure(name string, rows int, on bool, f func(b *testing.B)) Result {
+	prev := record.SetKernelsEnabled(on)
+	defer record.SetKernelsEnabled(prev)
+	r := testing.Benchmark(f)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Result{
+		Name:        name,
+		KernelsOn:   on,
+		Rows:        rows,
+		NsPerOp:     ns,
+		RowsPerSec:  float64(rows) / (ns / 1e9),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func pair(name string, rows int, f func(b *testing.B)) Pair {
+	off := measure(name, rows, false, f)
+	on := measure(name, rows, true, f)
+	return Pair{Name: name, Off: off, On: on, Speedup: off.NsPerOp / on.NsPerOp}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	rows := flag.Int("rows", 200_000, "row count for kernel benchmarks")
+	seed := flag.Int64("seed", 1, "data seed")
+	smoke := flag.Bool("smoke", false, "tiny sizes for CI smoke runs")
+	flag.Parse()
+
+	n := *rows
+	buildN := 60_000
+	buildP := 4
+	if *smoke {
+		n = 5_000
+		buildN = 4_000
+	}
+
+	var rep Report
+	rep.GoVersion = runtime.Version()
+	rep.GOARCH = runtime.GOARCH
+	rep.NumCPU = runtime.NumCPU()
+	rep.Smoke = *smoke
+	rep.Seed = *seed
+
+	// Table.Sort on a d=8 table with paper-like cardinalities: the
+	// tentpole target (>=2x with kernels on).
+	sortSrc := randomTable(*seed, n, 8, 64)
+	rep.Pairs = append(rep.Pairs, pair("table_sort_d8", n, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := sortSrc.Clone()
+			b.StartTimer()
+			t.Sort()
+		}
+	}))
+
+	sortSrc4 := randomTable(*seed+1, n, 4, 1000)
+	rep.Pairs = append(rep.Pairs, pair("table_sort_d4", n, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := sortSrc4.Clone()
+			b.StartTimer()
+			t.Sort()
+		}
+	}))
+
+	// k-way merge with aggregation: loser tree vs container/heap.
+	k := 8
+	mergeIn := make([]*record.Table, k)
+	for i := range mergeIn {
+		mergeIn[i] = randomTable(*seed+int64(10+i), n/k, 4, 1000)
+		mergeIn[i].Sort()
+	}
+	rep.Pairs = append(rep.Pairs, pair("merge_k8_aggregate", n, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			record.MergeSortedAggregate(mergeIn)
+		}
+	}))
+
+	// End-to-end shared-nothing cube build (simulated cluster, real
+	// wall-clock): the whole pipeline with kernels on vs off.
+	spec := gen.Spec{N: buildN, D: 8, Cards: gen.PaperCards(), Seed: *seed}
+	rep.Pairs = append(rep.Pairs, pair("build_cube_d8", buildN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := gen.New(spec)
+			m := cluster.New(buildP, costmodel.Default())
+			for r := 0; r < buildP; r++ {
+				m.Proc(r).Disk().Put("raw", g.Slice(r, buildP))
+			}
+			b.StartTimer()
+			if _, err := core.BuildCube(m, "raw", core.Config{D: spec.D}); err != nil {
+				fmt.Fprintln(os.Stderr, "build failed:", err)
+				os.Exit(1)
+			}
+		}
+	}))
+
+	// Kernel primitives (no off-variant: these are new code paths).
+	packSrc := randomTable(*seed+2, n, 8, 64)
+	kp := record.MeasureKeyPlan(packSrc)
+	lo := make([]uint64, packSrc.Len())
+	var hi []uint64
+	if kp.Wide() {
+		hi = make([]uint64, packSrc.Len())
+	}
+	rep.Singles = append(rep.Singles, measure("pack_keys_d8", n, true, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kp.PackKeys(packSrc, hi, lo)
+		}
+	}))
+
+	perm := rand.New(rand.NewSource(*seed + 3)).Perm(packSrc.Len())
+	perm32 := make([]uint32, len(perm))
+	for i, p := range perm {
+		perm32[i] = uint32(p)
+	}
+	rep.Singles = append(rep.Singles, measure("apply_permutation_d8", n, true, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t := packSrc.Clone()
+			b.StartTimer()
+			record.ApplyPermutation(t, perm32)
+		}
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+
+	for _, p := range rep.Pairs {
+		fmt.Printf("%-20s off %12.0f ns/op   on %12.0f ns/op   speedup %.2fx\n",
+			p.Name, p.Off.NsPerOp, p.On.NsPerOp, p.Speedup)
+	}
+	for _, s := range rep.Singles {
+		fmt.Printf("%-20s %14.0f ns/op   %.1f Mrows/s   %d allocs/op\n",
+			s.Name, s.NsPerOp, s.RowsPerSec/1e6, s.AllocsPerOp)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+// TestMeasureAndPair smoke-tests the harness plumbing on a tiny
+// workload: both kernel variants run, the timer numbers are positive,
+// and the kernel switch is restored afterwards.
+func TestMeasureAndPair(t *testing.T) {
+	before := record.KernelsEnabled()
+	src := randomTable(1, 2000, 4, 50)
+	p := pair("smoke_sort", src.Len(), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := src.Clone()
+			b.StartTimer()
+			c.Sort()
+		}
+	})
+	if p.On.NsPerOp <= 0 || p.Off.NsPerOp <= 0 {
+		t.Fatalf("non-positive timings: %+v", p)
+	}
+	if !p.On.KernelsOn || p.Off.KernelsOn {
+		t.Fatalf("kernel flags mislabelled: %+v", p)
+	}
+	if p.Speedup <= 0 {
+		t.Fatalf("speedup %v", p.Speedup)
+	}
+	if record.KernelsEnabled() != before {
+		t.Fatal("kernel switch not restored")
+	}
+}

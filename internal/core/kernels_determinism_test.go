@@ -1,0 +1,58 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/record"
+)
+
+// TestBuildCubeKernelsDeterminism is the two-clock guard for the
+// packed-key radix/merge kernels: building the same seeded cube with
+// kernels enabled and disabled must produce byte-identical view files
+// on every rank and identical public Metrics. The kernels are allowed
+// to change wall-clock time only — every simulated charge (SortOps,
+// MergeOps, block transfers, h-relations) is analytic in the input
+// sizes, never in the execution path taken.
+func TestBuildCubeKernelsDeterminism(t *testing.T) {
+	spec := gen.Spec{N: 6000, D: 4, Cards: []int{16, 12, 8, 5}, Seed: 21}
+	p := 4
+	build := func(on bool) (*cluster.Machine, Metrics) {
+		prev := record.SetKernelsEnabled(on)
+		defer record.SetKernelsEnabled(prev)
+		g := gen.New(spec)
+		m := cluster.New(p, costmodel.Default())
+		for r := 0; r < p; r++ {
+			m.Proc(r).Disk().Put("raw", g.Slice(r, p))
+		}
+		met, err := BuildCube(m, "raw", Config{D: spec.D})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, met
+	}
+	mOn, metOn := build(true)
+	mOff, metOff := build(false)
+
+	if !reflect.DeepEqual(metOn, metOff) {
+		t.Fatalf("Metrics differ between kernel paths:\n on: %+v\noff: %+v", metOn, metOff)
+	}
+	if len(metOn.ViewRows) == 0 {
+		t.Fatal("no views materialized")
+	}
+	for v := range metOn.ViewRows {
+		for r := 0; r < p; r++ {
+			tbOn, okOn := mOn.Proc(r).Disk().Get(ViewFile(v))
+			tbOff, okOff := mOff.Proc(r).Disk().Get(ViewFile(v))
+			if okOn != okOff {
+				t.Fatalf("view %v rank %d: presence differs (on=%v off=%v)", v, r, okOn, okOff)
+			}
+			if okOn && !record.Equal(tbOn, tbOff) {
+				t.Fatalf("view %v rank %d: bytes differ between kernel paths", v, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package extsort
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+func benchExternalSort(b *testing.B, on bool) {
+	b.Helper()
+	prev := record.SetKernelsEnabled(on)
+	defer record.SetKernelsEnabled(prev)
+	n := 50_000
+	src := randomTable(17, n, 4, 1000)
+	rowBytes := record.RowBytes(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := newDisk()
+		d.Put("f", src.Clone())
+		b.StartTimer()
+		SortBudget(d, "f", 4096*rowBytes, 256*rowBytes)
+	}
+	b.SetBytes(int64(n * rowBytes))
+}
+
+func BenchmarkExternalSortKernels(b *testing.B) { benchExternalSort(b, true) }
+func BenchmarkExternalSortHeap(b *testing.B)    { benchExternalSort(b, false) }

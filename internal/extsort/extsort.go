@@ -8,6 +8,15 @@
 // The sort operates on files of a simdisk.Disk and charges the owning
 // processor's clock for both the block transfers (via the disk) and the
 // comparison work (via costmodel.SortOps / MergeOps).
+//
+// Run formation sorts with record's packed-key radix kernel, and the
+// multi-way merge is a loser tree on packed keys (record.LoserTree):
+// per-column key widths are measured once during run formation and the
+// resulting plan drives every merge pass. Unpackable keys (or kernels
+// disabled via record.SetKernelsEnabled) fall back to the
+// comparison-based container/heap merge. Either way the simulated
+// charges — block transfers and MergeOps — are identical; only
+// wall-clock time differs.
 package extsort
 
 import (
@@ -59,8 +68,12 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 		return 0
 	}
 
-	// Run formation.
+	// Run formation. Each run's key widths are measured while it is in
+	// memory; the union plan is valid for every row of the file and
+	// drives the packed-key merge passes below.
 	var runs []string
+	var plan record.KeyPlan
+	havePlan := false
 	for lo, i := 0, 0; lo < n; lo, i = lo+memRows, i+1 {
 		hi := lo + memRows
 		if hi > n {
@@ -69,11 +82,20 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 		run := d.ReadRange(name, lo, hi)
 		clk.AddCompute(costmodel.SortOps(run.Len()))
 		run.Sort()
+		if record.KernelsEnabled() {
+			p := record.MeasureKeyPlan(run)
+			if !havePlan {
+				plan, havePlan = p, true
+			} else {
+				plan = plan.Union(p)
+			}
+		}
 		rn := fmt.Sprintf("%s.run%d", name, i)
 		d.Put(rn, run)
 		runs = append(runs, rn)
 	}
 	d.Remove(name)
+	usePlan := havePlan && plan.Packable() && record.KernelsEnabled()
 
 	// Multi-way merge passes. Fan-in is bounded by the number of block
 	// buffers that fit in memory, reserving one buffer for output.
@@ -93,7 +115,7 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 				hi = len(runs)
 			}
 			out := fmt.Sprintf("%s.merge%d.%d", name, gen, g)
-			mergeRuns(d, runs[lo:hi], out, blockRows)
+			mergeRuns(d, runs[lo:hi], out, blockRows, plan, usePlan)
 			next = append(next, out)
 		}
 		runs = next
@@ -104,6 +126,8 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 }
 
 // cursor streams one sorted run from disk, blockRows rows at a time.
+// With a key plan installed, each refilled block's packed keys are
+// bulk-extracted into the reusable key buffers.
 type cursor struct {
 	d         *simdisk.Disk
 	name      string
@@ -112,10 +136,13 @@ type cursor struct {
 	bufPos    int
 	blockRows int
 	src       int
+
+	plan         *record.KeyPlan
+	keyHi, keyLo []uint64
 }
 
-func newCursor(d *simdisk.Disk, name string, blockRows, src int) *cursor {
-	c := &cursor{d: d, name: name, end: d.Len(name), blockRows: blockRows, src: src}
+func newCursor(d *simdisk.Disk, name string, blockRows, src int, plan *record.KeyPlan) *cursor {
+	c := &cursor{d: d, name: name, end: d.Len(name), blockRows: blockRows, src: src, plan: plan}
 	c.fill()
 	return c
 }
@@ -132,9 +159,33 @@ func (c *cursor) fill() {
 	c.buf = c.d.ReadRange(c.name, c.pos, hi)
 	c.bufPos = 0
 	c.pos = hi
+	if c.plan != nil {
+		n := c.buf.Len()
+		if cap(c.keyLo) < n {
+			c.keyLo = make([]uint64, n)
+			if c.plan.Wide() {
+				c.keyHi = make([]uint64, n)
+			}
+		}
+		c.keyLo = c.keyLo[:n]
+		if c.plan.Wide() {
+			c.keyHi = c.keyHi[:n]
+			c.plan.PackKeys(c.buf, c.keyHi, c.keyLo)
+		} else {
+			c.plan.PackKeys(c.buf, nil, c.keyLo)
+		}
+	}
 }
 
 func (c *cursor) exhausted() bool { return c.buf == nil }
+
+// key returns the packed key of the cursor's current row.
+func (c *cursor) key() (hi, lo uint64) {
+	if c.plan.Wide() {
+		hi = c.keyHi[c.bufPos]
+	}
+	return hi, c.keyLo[c.bufPos]
+}
 
 // advance moves past the current row, refilling the buffer as needed.
 func (c *cursor) advance() {
@@ -165,19 +216,16 @@ func (h *cursorHeap) Pop() any {
 }
 
 // mergeRuns merges the sorted run files into out, deleting the runs.
-func mergeRuns(d *simdisk.Disk, runs []string, out string, blockRows int) {
+// With usePlan it runs the packed-key loser tree; otherwise the
+// comparison heap. Both orders are identical (ties break by run
+// index), as is every simulated charge.
+func mergeRuns(d *simdisk.Disk, runs []string, out string, blockRows int, plan record.KeyPlan, usePlan bool) {
 	cols := d.Cols(runs[0])
 	clk := d.Clock()
-	h := make(cursorHeap, 0, len(runs))
 	total := 0
-	for i, r := range runs {
+	for _, r := range runs {
 		total += d.Len(r)
-		c := newCursor(d, r, blockRows, i)
-		if !c.exhausted() {
-			h = append(h, c)
-		}
 	}
-	heap.Init(&h)
 	clk.AddCompute(costmodel.MergeOps(total, len(runs)))
 
 	outBuf := record.New(cols, blockRows)
@@ -188,17 +236,58 @@ func mergeRuns(d *simdisk.Disk, runs []string, out string, blockRows int) {
 			outBuf = record.New(cols, blockRows)
 		}
 	}
-	for len(h) > 0 {
-		c := h[0]
-		outBuf.AppendFrom(c.buf, c.bufPos)
-		if outBuf.Len() >= blockRows {
-			flush()
+
+	if usePlan {
+		cursors := make([]*cursor, len(runs))
+		lt := record.NewLoserTree(len(runs))
+		for i, r := range runs {
+			cursors[i] = newCursor(d, r, blockRows, i, &plan)
+			if !cursors[i].exhausted() {
+				hi, lo := cursors[i].key()
+				lt.SetKey(i, hi, lo)
+			}
 		}
-		c.advance()
-		if c.exhausted() {
-			heap.Pop(&h)
-		} else {
-			heap.Fix(&h, 0)
+		lt.Init()
+		for {
+			w := lt.Winner()
+			if w < 0 {
+				break
+			}
+			c := cursors[w]
+			outBuf.AppendFrom(c.buf, c.bufPos)
+			if outBuf.Len() >= blockRows {
+				flush()
+			}
+			c.advance()
+			if c.exhausted() {
+				lt.Close(w)
+			} else {
+				hi, lo := c.key()
+				lt.SetKey(w, hi, lo)
+			}
+			lt.Fix()
+		}
+	} else {
+		h := make(cursorHeap, 0, len(runs))
+		for i, r := range runs {
+			c := newCursor(d, r, blockRows, i, nil)
+			if !c.exhausted() {
+				h = append(h, c)
+			}
+		}
+		heap.Init(&h)
+		for len(h) > 0 {
+			c := h[0]
+			outBuf.AppendFrom(c.buf, c.bufPos)
+			if outBuf.Len() >= blockRows {
+				flush()
+			}
+			c.advance()
+			if c.exhausted() {
+				heap.Pop(&h)
+			} else {
+				heap.Fix(&h, 0)
+			}
 		}
 	}
 	flush()

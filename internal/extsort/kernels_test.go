@@ -1,0 +1,112 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// TestExternalSortKernelsToggleSameCharges asserts the kernel and
+// fallback paths of the external sort charge identical simulated time
+// and I/O — the two-clock discipline: kernels change wall-clock only.
+func TestExternalSortKernelsToggleSameCharges(t *testing.T) {
+	run := func(on bool) (float64, int64, int, *record.Table) {
+		prev := record.SetKernelsEnabled(on)
+		defer record.SetKernelsEnabled(prev)
+		d := newDisk()
+		d.Put("f", randomTable(42, 5000, 4, 50))
+		rowBytes := record.RowBytes(4)
+		passes := SortBudget(d, "f", 200*rowBytes, 25*rowBytes)
+		st := d.Stats()
+		return d.Clock().Seconds(), st.BytesRead + st.BytesWritten, passes, d.MustGet("f")
+	}
+	onSec, onIO, onPasses, onOut := run(true)
+	offSec, offIO, offPasses, offOut := run(false)
+	if onSec != offSec {
+		t.Fatalf("simulated seconds differ: kernels on %v, off %v", onSec, offSec)
+	}
+	if onIO != offIO {
+		t.Fatalf("I/O bytes differ: kernels on %d, off %d", onIO, offIO)
+	}
+	if onPasses != offPasses {
+		t.Fatalf("merge passes differ: %d vs %d", onPasses, offPasses)
+	}
+	// The sorted dims must agree row for row; measures within equal-key
+	// runs may be permuted (the radix path is stable, sort.Sort is not).
+	if !onOut.IsSorted() || !offOut.IsSorted() || !sameSortedRows(onOut, offOut) {
+		t.Fatal("kernel and fallback sorts disagree on row order")
+	}
+	if onOut.TotalMeasure() != offOut.TotalMeasure() {
+		t.Fatal("kernel and fallback sorts disagree on measure mass")
+	}
+}
+
+// TestMergeRunsLoserTreeMatchesHeap drives mergeRuns directly on the
+// same pre-sorted runs through both paths and requires bit-identical
+// output — the loser tree replaces the heap exactly, ties included.
+func TestMergeRunsLoserTreeMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		k := rng.Intn(7) + 2
+		cols := rng.Intn(3) + 1
+		card := []int{3, 100, 1 << 16}[rng.Intn(3)]
+		dTree, dHeap := newDisk(), newDisk()
+		var runs []string
+		plan := record.KeyPlan{}
+		havePlan := false
+		for i := 0; i < k; i++ {
+			run := randomTable(rng.Int63(), rng.Intn(300)+1, cols, card)
+			run.Sort()
+			p := record.MeasureKeyPlan(run)
+			if !havePlan {
+				plan, havePlan = p, true
+			} else {
+				plan = plan.Union(p)
+			}
+			name := "run" + string(rune('a'+i))
+			dTree.Put(name, run.Clone())
+			dHeap.Put(name, run)
+			runs = append(runs, name)
+		}
+		mergeRuns(dTree, runs, "out", 16, plan, true)
+		mergeRuns(dHeap, runs, "out", 16, record.KeyPlan{}, false)
+		got, want := dTree.MustGet("out"), dHeap.MustGet("out")
+		if !record.Equal(got, want) {
+			t.Fatalf("trial %d (k=%d cols=%d card=%d): loser-tree merge differs from heap",
+				trial, k, cols, card)
+		}
+	}
+}
+
+// TestExternalSortUnpackableKeys forces the heap fallback inside a
+// multi-pass external sort (6 full-width columns exceed 128 key bits)
+// and verifies the result is still a correct sort.
+func TestExternalSortUnpackableKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 1200
+	tb := record.New(6, n)
+	row := make([]uint32, 6)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Uint32() | 1<<31
+		}
+		tb.Append(row, int64(rng.Intn(10)))
+	}
+	if record.MeasureKeyPlan(tb).Packable() {
+		t.Fatal("test premise broken: keys should not pack")
+	}
+	want := tb.Clone()
+	want.Sort()
+	d := newDisk()
+	d.Put("f", tb)
+	rowBytes := record.RowBytes(6)
+	passes := SortBudget(d, "f", 100*rowBytes, 20*rowBytes)
+	if passes < 1 {
+		t.Fatalf("expected external passes, got %d", passes)
+	}
+	got := d.MustGet("f")
+	if !got.IsSorted() || !sameSortedRows(got, want) || got.TotalMeasure() != want.TotalMeasure() {
+		t.Fatal("unpackable-key external sort incorrect")
+	}
+}

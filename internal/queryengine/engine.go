@@ -5,9 +5,10 @@
 // planner picks the smallest materialized superset view, every
 // processor filters, projects, and partially aggregates its own local
 // slice, and the partial aggregates are merged at the root with a
-// k-way aggregating merge — the cluster-resident serving architecture
-// of Hespe et al. (local scans + partial-aggregate merge) applied to
-// the paper's partitioned cube.
+// k-way aggregating merge (record's packed-key loser tree, falling
+// back to the comparison heap when keys don't pack) — the
+// cluster-resident serving architecture of Hespe et al. (local scans +
+// partial-aggregate merge) applied to the paper's partitioned cube.
 //
 // Because every view slice is stored globally sorted in its attribute
 // order, equality filters on a prefix of that order do not scan: a
@@ -247,6 +248,8 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 					streams++
 				}
 			}
+			// Loser-tree k-way merge on packed keys (heap fallback for
+			// unpackable keys); the MergeOps charge is path-independent.
 			pr.Clock().AddCompute(costmodel.MergeOps(total, streams))
 			out = record.MergeSortedAggregateOp(parts, e.op)
 		}

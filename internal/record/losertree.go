@@ -1,0 +1,108 @@
+package record
+
+// LoserTree is a k-way tournament tree of losers over packed keys: the
+// selection structure of the external-merge literature (Knuth 5.4.1).
+// Each of the k leaves carries the packed key of one input stream's
+// current row; popping the winner and replaying its root path costs
+// ceil(log2 k) integer comparisons, versus container/heap's log2 k
+// comparisons each O(D) column words — and no interface dispatch.
+//
+// Usage: NewLoserTree(k), SetKey/Close each leaf, Init once, then
+// repeatedly Winner -> consume that stream's row -> SetKey (or Close)
+// -> Fix. Ties break to the lower leaf index, matching the src
+// tie-break of the heap-based merges the tree replaces.
+type LoserTree struct {
+	k    int
+	node []int32 // node[0] = winner; node[1..k-1] = loser of that match
+	hi   []uint64
+	lo   []uint64
+	done []bool
+}
+
+// NewLoserTree returns a tree over k streams, all initially closed.
+func NewLoserTree(k int) *LoserTree {
+	lt := &LoserTree{
+		k:    k,
+		node: make([]int32, k),
+		hi:   make([]uint64, k),
+		lo:   make([]uint64, k),
+		done: make([]bool, k),
+	}
+	for i := range lt.done {
+		lt.done[i] = true
+	}
+	return lt
+}
+
+// SetKey sets leaf i's current packed key (hi is zero for narrow
+// plans) and marks the stream live. Call Fix afterwards unless the
+// tree has not been Init-ed yet.
+func (lt *LoserTree) SetKey(i int, hi, lo uint64) {
+	lt.hi[i], lt.lo[i] = hi, lo
+	lt.done[i] = false
+}
+
+// Close marks leaf i exhausted. Call Fix afterwards unless the tree
+// has not been Init-ed yet.
+func (lt *LoserTree) Close(i int) { lt.done[i] = true }
+
+// less orders leaves by (exhausted last, keyHi, keyLo, leaf index).
+func (lt *LoserTree) less(a, b int32) bool {
+	if lt.done[a] || lt.done[b] {
+		return !lt.done[a] && lt.done[b]
+	}
+	if lt.hi[a] != lt.hi[b] {
+		return lt.hi[a] < lt.hi[b]
+	}
+	if lt.lo[a] != lt.lo[b] {
+		return lt.lo[a] < lt.lo[b]
+	}
+	return a < b
+}
+
+// Init builds the tournament from the current leaf keys.
+func (lt *LoserTree) Init() {
+	if lt.k == 1 {
+		lt.node[0] = 0
+		return
+	}
+	lt.node[0] = lt.build(1)
+}
+
+// build computes the winner of the subtree rooted at internal node n
+// (leaves live at heap positions k..2k-1), storing losers on the way.
+func (lt *LoserTree) build(n int) int32 {
+	if n >= lt.k {
+		return int32(n - lt.k)
+	}
+	a := lt.build(2 * n)
+	b := lt.build(2*n + 1)
+	if lt.less(a, b) {
+		lt.node[n] = b
+		return a
+	}
+	lt.node[n] = a
+	return b
+}
+
+// Winner returns the leaf index holding the smallest current key, or
+// -1 when every stream is closed.
+func (lt *LoserTree) Winner() int {
+	w := lt.node[0]
+	if lt.done[w] {
+		return -1
+	}
+	return int(w)
+}
+
+// Fix replays the previous winner's path to the root after its key
+// changed (SetKey) or its stream closed (Close).
+func (lt *LoserTree) Fix() {
+	x := lt.node[0]
+	for n := (int(x) + lt.k) / 2; n >= 1; n /= 2 {
+		if lt.less(lt.node[n], x) {
+			lt.node[n], x = x, lt.node[n]
+		}
+	}
+	lt.node[0] = x
+}

@@ -45,9 +45,13 @@ func mergeSorted(tables []*Table, aggregate bool) *Table {
 	return mergeSortedOp(tables, aggregate, OpSum)
 }
 
+// mergeSortedOp dispatches between the packed-key loser-tree kernel
+// and the comparison/heap fallback. Both produce identical output: the
+// same global order with ties broken by input index.
 func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
 	d := -1
 	total := 0
+	live := 0
 	for _, t := range tables {
 		if t == nil || t.Len() == 0 {
 			continue
@@ -58,6 +62,7 @@ func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
 			panic("record: merging tables with different column counts")
 		}
 		total += t.Len()
+		live++
 	}
 	if d == -1 {
 		// All inputs empty: preserve column count if any input exists.
@@ -68,6 +73,96 @@ func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
 		}
 		return New(0, 0)
 	}
+	if KernelsEnabled() && live > 1 {
+		kp := KeyPlan{}
+		planned := false
+		for _, t := range tables {
+			if t == nil || t.Len() == 0 {
+				continue
+			}
+			p := MeasureKeyPlan(t)
+			if !planned {
+				kp, planned = p, true
+			} else {
+				kp = kp.Union(p)
+			}
+		}
+		if kp.Packable() {
+			return mergeSortedTree(tables, d, total, kp, aggregate, op)
+		}
+	}
+	return mergeSortedHeap(tables, d, total, aggregate, op)
+}
+
+// mergeSortedTree is the kernel path: bulk-extract each input's packed
+// keys once, then run the k-way loser tree over them. The aggregate
+// duplicate test is one (or two) word compares against the last
+// emitted key instead of a D-column row compare — packing is injective
+// under the union plan, so key equality is row equality.
+func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, op AggOp) *Table {
+	wide := kp.Wide()
+	type stream struct {
+		t      *Table
+		pos    int
+		hi, lo []uint64
+	}
+	streams := make([]stream, 0, len(tables))
+	for _, t := range tables {
+		if t == nil || t.Len() == 0 {
+			continue
+		}
+		s := stream{t: t, lo: make([]uint64, t.Len())}
+		if wide {
+			s.hi = make([]uint64, t.Len())
+		}
+		kp.PackKeys(t, s.hi, s.lo)
+		streams = append(streams, s)
+	}
+	lt := NewLoserTree(len(streams))
+	for i := range streams {
+		if wide {
+			lt.SetKey(i, streams[i].hi[0], streams[i].lo[0])
+		} else {
+			lt.SetKey(i, 0, streams[i].lo[0])
+		}
+	}
+	lt.Init()
+
+	out := New(d, total)
+	var lastHi, lastLo uint64
+	have := false
+	for {
+		w := lt.Winner()
+		if w < 0 {
+			break
+		}
+		s := &streams[w]
+		var kh, kl uint64
+		kl = s.lo[s.pos]
+		if wide {
+			kh = s.hi[s.pos]
+		}
+		if aggregate && have && kh == lastHi && kl == lastLo {
+			out.SetMeas(out.Len()-1, op.Combine(out.Meas(out.Len()-1), s.t.Meas(s.pos)))
+		} else {
+			out.AppendFrom(s.t, s.pos)
+			lastHi, lastLo, have = kh, kl, true
+		}
+		if s.pos++; s.pos >= s.t.Len() {
+			lt.Close(w)
+		} else if wide {
+			lt.SetKey(w, s.hi[s.pos], s.lo[s.pos])
+		} else {
+			lt.SetKey(w, 0, s.lo[s.pos])
+		}
+		lt.Fix()
+	}
+	return out
+}
+
+// mergeSortedHeap is the comparison fallback (and the oracle the
+// kernel path is tested against): a container/heap of row cursors.
+func mergeSortedHeap(tables []*Table, d, total int, aggregate bool, op AggOp) *Table {
 	out := New(d, total)
 	h := make(mergeHeap, 0, len(tables))
 	for i, t := range tables {

@@ -9,6 +9,15 @@
 // laid out in the view's attribute order. A Table does not know which
 // cube dimensions its columns correspond to; that mapping lives in the
 // lattice package.
+//
+// The sort-dominated hot paths run on packed-key kernels (key.go,
+// radix.go, losertree.go): per-column bit widths pack a row into one
+// or two machine words (KeyPlan), sorting is an LSD radix sort over
+// (key, rowIdx) pairs followed by one permutation gather, and k-way
+// merges run a loser tree on packed keys. The kernels are wall-clock
+// optimizations only — every simulated-time charge and every
+// aggregated relation is identical with them disabled
+// (SetKernelsEnabled), which the determinism tests assert.
 package record
 
 import (
@@ -155,22 +164,28 @@ func (t *Table) Sub(lo, hi int) *Table {
 // Project returns a new table whose columns are the given columns of t,
 // in the given order, preserving row order and measures. cols indexes
 // t's columns. It is how a coarser view's tuple layout is derived from a
-// finer one before aggregation.
+// finer one before aggregation; it runs under every Pipesort sort edge,
+// so the output is preallocated at exact capacity and filled by index
+// rather than per-element append.
 func (t *Table) Project(cols []int) *Table {
 	for _, c := range cols {
 		if c < 0 || c >= t.D {
 			panic(fmt.Sprintf("record: project column %d out of range 0..%d", c, t.D-1))
 		}
 	}
-	out := New(len(cols), t.Len())
 	n := t.Len()
+	k := len(cols)
+	out := New(k, n)
+	out.dims = out.dims[:n*k]
+	out.meas = out.meas[:n]
 	for i := 0; i < n; i++ {
 		base := i * t.D
-		for _, c := range cols {
-			out.dims = append(out.dims, t.dims[base+c])
+		obase := i * k
+		for j, c := range cols {
+			out.dims[obase+j] = t.dims[base+c]
 		}
-		out.meas = append(out.meas, t.meas[i])
 	}
+	copy(out.meas, t.meas)
 	return out
 }
 
@@ -268,9 +283,38 @@ func (s sorter) Swap(i, j int)      { s.t.Swap(i, j) }
 func (s sorter) Less(i, j int) bool { return s.t.Compare(i, j, s.t.D) < 0 }
 
 // Sort sorts the table in place lexicographically over all columns.
-// Comparisons returns the worst-case comparison count n*ceil(log2 n)
-// used for cost accounting by callers.
+//
+// When the packed-key kernels are enabled (the default; see
+// SetKernelsEnabled) and the rows pack into fixed-width integer keys
+// (MeasureKeyPlan/KeyPlan), sorting runs the LSD radix kernel: pack
+// one key per row, radix sort (key, rowIdx) pairs, and reorder dims
+// and meas with a single gather (ApplyPermutation) instead of
+// O(n log n) multi-word swaps. Unpackable rows, tiny tables, and
+// kernels-off all fall back to the comparison sort. Callers charge
+// simulated time via costmodel.SortOps regardless of the path taken —
+// the kernels change wall-clock time only.
 func (t *Table) Sort() {
+	t.SortWithPlan(KeyPlan{}, false)
+}
+
+// SortWithPlan is Sort with a caller-supplied key plan (e.g. built
+// from schema cardinalities with PlanKeyFromCards); when havePlan is
+// false the plan is measured from the data. The plan must cover every
+// value in the table or the packed order would be wrong.
+func (t *Table) SortWithPlan(kp KeyPlan, havePlan bool) {
+	n := t.Len()
+	if n <= 1 {
+		return
+	}
+	if KernelsEnabled() && n >= radixMinRows && t.D > 0 {
+		if !havePlan {
+			kp = MeasureKeyPlan(t)
+		}
+		if kp.Cols() == t.D && kp.Packable() {
+			t.sortRadix(kp)
+			return
+		}
+	}
 	sort.Sort(sorter{t})
 }
 
