@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke experiments qbench-smoke
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke
 
 tier1: build vet test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/queryengine/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... .
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -44,6 +44,17 @@ bench-json:
 
 bench-json-smoke:
 	$(GO) run ./cmd/wallbench -smoke -out BENCH_PR4.json
+
+# Incremental-ingest economics report (BENCH_PR5.json): one 1% batch
+# versus a full rebuild, simulated and wall-clock, plus the two-batch
+# equivalence diff against a fresh rebuild. The full run enforces the
+# < 0.25 sim-cost-ratio acceptance bar; the smoke run is the CI gate
+# (equivalence only — smoke sizes are access-latency bound).
+bench-ingest-json:
+	$(GO) run ./cmd/wallbench -ingest -out BENCH_PR5.json
+
+bench-ingest-smoke:
+	$(GO) run ./cmd/wallbench -ingest -smoke -out BENCH_PR5.json
 
 experiments:
 	$(GO) run ./cmd/experiments -fig all

@@ -14,6 +14,12 @@
 //
 //	cubeql -snapshot sales.cube -group region
 //
+// Append a batch of new facts to a built or loaded cube (incremental
+// maintenance: the batch is delta-built and merged into the live
+// views, no rebuild), then query and optionally re-save:
+//
+//	cubeql -snapshot sales.cube -ingest new_sales.csv -group region -save sales.cube
+//
 // Show what the query cost on the simulated cluster (-stats routes the
 // query through the serving subsystem and prints per-query metrics to
 // stderr):
@@ -38,6 +44,7 @@ func main() {
 	selectFlag := flag.String("select", "", "views to materialize, ';'-separated dimension lists (empty list = grand total); default full cube")
 	save := flag.String("save", "", "write a cube snapshot to this file")
 	snapshot := flag.String("snapshot", "", "load a cube snapshot instead of building")
+	ingestPath := flag.String("ingest", "", "CSV batch of new facts to append to the cube before querying")
 	groupFlag := flag.String("group", "", "comma-separated dimensions to group by")
 	whereFlag := flag.String("where", "", "comma-separated equality filters, dim=value")
 	minSupport := flag.Int64("min-support", 0, "iceberg threshold (keep groups with aggregate >= this)")
@@ -45,13 +52,13 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-query cost metrics (source view, rows scanned, sim time) to stderr")
 	flag.Parse()
 
-	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *groupFlag, *whereFlag, *minSupport, *agg, *stats); err != nil {
+	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *ingestPath, *groupFlag, *whereFlag, *minSupport, *agg, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFlag, whereFlag string, minSupport int64, agg string, stats bool) error {
+func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestPath, groupFlag, whereFlag string, minSupport int64, agg string, stats bool) error {
 	var cube *rolap.Cube
 	var in *rolap.Input
 
@@ -100,6 +107,20 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, groupFl
 			len(cube.Views()), met.OutputRows, met.SimSeconds, met.Processors)
 	default:
 		return fmt.Errorf("cubeql: need -csv or -snapshot")
+	}
+
+	if ingestPath != "" {
+		f, err := os.Open(ingestPath)
+		if err != nil {
+			return err
+		}
+		im, err := cube.IngestCSV(f, rolap.CSVOptions{MeasureColumn: measure})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ingested %d rows in %.3f simulated s (%.3f s delta merge), %d views updated\n",
+			im.Rows, im.SimSeconds, im.DeltaMergeSeconds, len(im.ChangedViews))
 	}
 
 	if save != "" {

@@ -55,18 +55,18 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Build + save + query.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "", 0, "sum", false); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "", 0, "sum", false); err != nil {
 		t.Fatal(err)
 	}
 	// Query the snapshot.
-	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum", false); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", false); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
-	if err := run("", "measure", 2, "", "", "", "", "", 0, "sum", false); err == nil {
+	if err := run("", "measure", 2, "", "", "", "", "", "", 0, "sum", false); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
-	if err := run(csvPath, "measure", 2, "", "", "", "", "", 0, "bogus", false); err == nil {
+	if err := run(csvPath, "measure", 2, "", "", "", "", "", "", 0, "bogus", false); err == nil {
 		t.Fatal("bad aggregate accepted")
 	}
 }
@@ -80,11 +80,43 @@ func TestRunWithStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Stats route through the query server on a built cube.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", "region", "product=widget", 0, "sum", true); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "product=widget", 0, "sum", true); err != nil {
 		t.Fatal(err)
 	}
 	// On a snapshot there is no cluster: stats degrade gracefully.
-	if err := run("", "measure", 2, "", "", snapPath, "region", "", 0, "sum", true); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunIngestFlag(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	snapPath := filepath.Join(dir, "cube.bin")
+	batchPath := filepath.Join(dir, "batch.csv")
+	facts := "region,product,measure\neast,widget,10\neast,nut,5\nwest,widget,7\n"
+	// The batch permutes columns and reuses known dictionary values.
+	batch := "product,measure,region\nwidget,70,west\nnut,30,east\n"
+	if err := os.WriteFile(csvPath, []byte(facts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(batchPath, []byte(batch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Build + ingest in one shot, saving the maintained cube.
+	if err := run(csvPath, "measure", 2, "", snapPath, "", batchPath, "region", "", 0, "sum", false); err != nil {
+		t.Fatal(err)
+	}
+	// The saved snapshot reflects the batch: ingest again on load.
+	if err := run("", "measure", 2, "", "", snapPath, batchPath, "region", "", 0, "sum", false); err != nil {
+		t.Fatal(err)
+	}
+	// A batch naming an unknown dictionary value is rejected.
+	badPath := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(badPath, []byte("region,product,measure\nnorth,widget,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "measure", 2, "", "", snapPath, badPath, "", "", 0, "sum", false); err == nil {
+		t.Fatal("unknown dictionary value accepted")
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|5|6|7|8|9|10|11|headline|overlap|baseline|faults|serve] [-scale default|paper|<multiplier>] [-procs 1,2,4,8,16] [-seed N]
+//	experiments [-fig all|5|6|7|8|9|10|11|headline|overlap|baseline|faults|serve|ingest] [-scale default|paper|<multiplier>] [-procs 1,2,4,8,16] [-seed N]
 //
 // The default scale shrinks the paper's 1M/2M/10M-row data sets so the
 // full suite finishes in minutes; -scale paper runs the original sizes.
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: all, 5, 6, 7, 8, 9, 10, 11, headline, overlap, baseline, faults, serve")
+	fig := flag.String("fig", "all", "figure to run: all, 5, 6, 7, 8, 9, 10, 11, headline, overlap, baseline, faults, serve, ingest")
 	scaleFlag := flag.String("scale", "default", "workload scale: default, paper, or a multiplier like 4")
 	procsFlag := flag.String("procs", "", "comma-separated processor sweep (default 1,2,4,8,16)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -62,6 +62,7 @@ func main() {
 	run("baseline", func() { experiments.Baseline(sc).Print(w) })
 	run("faults", func() { experiments.Faults(sc).Print(w) })
 	run("serve", func() { experiments.Serve(sc).Print(w) })
+	run("ingest", func() { experiments.Ingest(sc).Print(w) })
 }
 
 func parseScale(s string) (experiments.Scale, error) {

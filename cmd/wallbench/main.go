@@ -101,7 +101,16 @@ func main() {
 	rows := flag.Int("rows", 200_000, "row count for kernel benchmarks")
 	seed := flag.Int64("seed", 1, "data seed")
 	smoke := flag.Bool("smoke", false, "tiny sizes for CI smoke runs")
+	ingestMode := flag.Bool("ingest", false, "benchmark incremental ingest vs full rebuild (writes the BENCH_PR5 schema)")
 	flag.Parse()
+
+	if *ingestMode {
+		if err := runIngest(*out, *smoke, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	n := *rows
 	buildN := 60_000

@@ -123,6 +123,114 @@ func LoadCSV(r io.Reader, opts CSVOptions) (*Input, error) {
 	return in, nil
 }
 
+// IngestCSV reads a batch of new facts from CSV and applies it to the
+// live cube as one incremental maintenance batch (Cube.Ingest). The
+// header must name every cube dimension exactly once, in any order
+// (plus an optional measure column, CSVOptions semantics);
+// values are resolved through the cube's dictionaries when it was
+// loaded from CSV, and parsed as numeric codes otherwise. Unknown
+// dictionary values and out-of-cardinality codes are errors — the
+// schema is fixed at build time — and reject the whole batch before
+// any row is applied.
+func (c *Cube) IngestCSV(r io.Reader, opts CSVOptions) (IngestMetrics, error) {
+	if err := c.ingestable(); err != nil {
+		return IngestMetrics{}, err
+	}
+	in := c.in
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return IngestMetrics{}, fmt.Errorf("rolap: reading CSV header: %w", err)
+	}
+	measureName := opts.MeasureColumn
+	if measureName == "" {
+		measureName = "measure"
+	}
+	measCol := -1
+	colDim := make([]int, len(header)) // column -> user dimension index, -1 for measure
+	seen := make([]bool, len(in.schema.Dimensions))
+	for col, name := range header {
+		if name == measureName && measCol == -1 {
+			measCol = col
+			colDim[col] = -1
+			continue
+		}
+		found := -1
+		for u, d := range in.schema.Dimensions {
+			if d.Name == name {
+				found = u
+				break
+			}
+		}
+		if found == -1 {
+			return IngestMetrics{}, fmt.Errorf("rolap: CSV column %q is not a cube dimension", name)
+		}
+		if seen[found] {
+			return IngestMetrics{}, fmt.Errorf("rolap: CSV column %q repeated", name)
+		}
+		seen[found] = true
+		colDim[col] = found
+	}
+	for u, ok := range seen {
+		if !ok {
+			return IngestMetrics{}, fmt.Errorf("rolap: CSV is missing dimension column %q", in.schema.Dimensions[u].Name)
+		}
+	}
+
+	var rows [][]uint32
+	var meas []int64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return IngestMetrics{}, fmt.Errorf("rolap: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) < len(header) {
+			return IngestMetrics{}, fmt.Errorf("rolap: CSV line %d has %d fields, header has %d", line, len(rec), len(header))
+		}
+		row := make([]uint32, len(in.schema.Dimensions))
+		m := int64(1)
+		for col, u := range colDim {
+			if u == -1 {
+				v, err := strconv.ParseInt(rec[col], 10, 64)
+				if err != nil {
+					return IngestMetrics{}, fmt.Errorf("rolap: CSV line %d: bad measure %q", line, rec[col])
+				}
+				m = v
+				continue
+			}
+			var code uint32
+			if in.dicts != nil {
+				c, ok := in.CodeOf(in.schema.Dimensions[u].Name, rec[col])
+				if !ok {
+					return IngestMetrics{}, fmt.Errorf("rolap: CSV line %d: value %q not in dimension %q's dictionary (the schema is fixed at build time)",
+						line, rec[col], in.schema.Dimensions[u].Name)
+				}
+				code = c
+			} else {
+				v, err := strconv.ParseUint(rec[col], 10, 32)
+				if err != nil {
+					return IngestMetrics{}, fmt.Errorf("rolap: CSV line %d: bad code %q for dimension %q", line, rec[col], in.schema.Dimensions[u].Name)
+				}
+				code = uint32(v)
+			}
+			if int(code) >= in.schema.Dimensions[u].Cardinality {
+				return IngestMetrics{}, fmt.Errorf("rolap: CSV line %d: code %d out of range for dimension %q (cardinality %d)",
+					line, code, in.schema.Dimensions[u].Name, in.schema.Dimensions[u].Cardinality)
+			}
+			row[u] = code
+		}
+		rows = append(rows, row)
+		meas = append(meas, m)
+	}
+	return c.Ingest(rows, meas)
+}
+
 // Decode renders a dimension code as its original string. For inputs
 // without dictionaries (NewInput), the numeric code is rendered.
 func (in *Input) Decode(dim string, code uint32) string {

@@ -167,3 +167,52 @@ func TestSortedNamesHelper(t *testing.T) {
 		t.Fatal("sortedNames must not mutate input")
 	}
 }
+
+func TestIngestCSV(t *testing.T) {
+	in, err := LoadCSV(strings.NewReader(salesCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns deliberately permuted relative to the build CSV.
+	batch := "quarter,measure,region,product\nQ2,70,west,widget\nQ1,30,east,gadget\n"
+	im, err := cube.IngestCSV(strings.NewReader(batch), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Rows != 2 {
+		t.Fatalf("ingested %d rows, want 2", im.Rows)
+	}
+	east, _ := in.CodeOf("region", "east")
+	gadget, _ := in.CodeOf("product", "gadget")
+	got, err := cube.Aggregate([]string{"region", "product"}, []uint32{east, gadget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80+30 {
+		t.Fatalf("east/gadget = %d after ingest, want 110", got)
+	}
+
+	// Unknown dictionary value, missing column, bad measure: the whole
+	// batch is rejected and the cube stays unchanged.
+	bad := []string{
+		"region,product,quarter,measure\nnorth,widget,Q1,10\n", // unknown value
+		"region,product,measure\neast,widget,10\n",             // missing quarter
+		"region,product,quarter,measure\neast,widget,Q1,nan\n", // bad measure
+		"region,product,quarter,region,measure\ne,w,Q1,e,1\n",  // repeated column
+	}
+	for i, b := range bad {
+		if _, err := cube.IngestCSV(strings.NewReader(b), CSVOptions{}); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+	if got2, _ := cube.Aggregate([]string{"region", "product"}, []uint32{east, gadget}); got2 != 110 {
+		t.Fatalf("cube changed by rejected batches: %d", got2)
+	}
+	if cube.Pending() != 0 {
+		t.Fatalf("rejected batches left %d rows pending", cube.Pending())
+	}
+}

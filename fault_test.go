@@ -73,8 +73,8 @@ func TestBuildInvalidFaultPlanErrors(t *testing.T) {
 
 func TestBuildDeterministicUnderFaults(t *testing.T) {
 	plan := &FaultPlan{
-		Seed:        5,
-		Crashes:     []Crash{{Processor: 0, Dimension: 2, Phase: "merge"}},
+		Seed:    5,
+		Crashes: []Crash{{Processor: 0, Dimension: 2, Phase: "merge"}},
 		// Exchange 0 is the initial raw-share replication to the ring
 		// neighbor — a deterministic nonempty payload.
 		Drops:       []PayloadFault{{From: 1, To: 2, Exchange: 0}},

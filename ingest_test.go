@@ -1,0 +1,433 @@
+package rolap
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// randomFacts generates deterministic pseudo-random facts for the test
+// schema, for splitting between an initial build and ingest batches.
+func randomFacts(n int, seed int64) ([][]uint32, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cards := []int{12, 40, 25, 3}
+	rows := make([][]uint32, n)
+	meas := make([]int64, n)
+	for i := range rows {
+		row := make([]uint32, len(cards))
+		for j, c := range cards {
+			row[j] = uint32(rng.Intn(c))
+		}
+		rows[i] = row
+		meas[i] = int64(rng.Intn(100))
+	}
+	return rows, meas
+}
+
+func buildFromFacts(t *testing.T, rows [][]uint32, meas []int64, opts Options) *Cube {
+	t.Helper()
+	in, err := NewInput(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if err := in.AddRow(row, meas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, err := Build(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+// checkCubesEqual compares every materialized view of two cubes.
+func checkCubesEqual(t *testing.T, got, want *Cube) {
+	t.Helper()
+	for _, dims := range want.Views() {
+		gv, err := got.View(dims)
+		if err != nil {
+			t.Fatalf("view %v: %v", dims, err)
+		}
+		wv, err := want.View(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !record.Equal(gv.rows, wv.rows) {
+			t.Fatalf("view %v differs after ingest (got %d rows, want %d)", dims, gv.Len(), wv.Len())
+		}
+	}
+}
+
+func TestIngestMatchesRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opts    Options
+		batches []int
+	}{
+		{"p3-two-batches", Options{Processors: 3}, []int{120, 80}},
+		{"p1", Options{Processors: 1}, []int{150}},
+		{"p4-overlap-localtrees", Options{Processors: 4, OverlapComm: true, LocalScheduleTrees: true}, []int{90, 60, 50}},
+		{"p2-max", Options{Processors: 2, Aggregate: Max}, []int{200}},
+		{"p3-partial", Options{Processors: 3, SelectedViews: [][]string{
+			{"store", "product", "month", "channel"},
+			{"store", "product"},
+			{"month"},
+			{},
+		}}, []int{100, 100}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, meas := randomFacts(900, 17)
+			base := 600
+			cube := buildFromFacts(t, rows[:base], meas[:base], tc.opts)
+
+			lo := base
+			for _, bn := range tc.batches {
+				im, err := cube.Ingest(rows[lo:lo+bn], meas[lo:lo+bn])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if im.Rows != int64(bn) || im.SimSeconds <= 0 || im.DeltaMergeSeconds <= 0 {
+					t.Fatalf("batch metrics implausible: %+v", im)
+				}
+				if len(im.ChangedViews) == 0 {
+					t.Fatalf("nonempty batch changed no views")
+				}
+				lo += bn
+			}
+			fresh := buildFromFacts(t, rows[:lo], meas[:lo], tc.opts)
+			checkCubesEqual(t, cube, fresh)
+
+			met := cube.Metrics()
+			if met.IngestedRows != int64(lo-base) || met.IngestBatches != int64(len(tc.batches)) {
+				t.Fatalf("cumulative ingest counters wrong: %+v", met)
+			}
+			if met.DeltaMergeSeconds <= 0 || met.IngestSeconds <= 0 {
+				t.Fatalf("ingest phase seconds missing: %+v", met)
+			}
+			// Post-ingest row counts must match a fresh build's.
+			fmet := fresh.Metrics()
+			for name, rows := range fmet.ViewRows {
+				if met.ViewRows[name] != rows {
+					t.Fatalf("ViewRows[%q] = %d after ingest, fresh build has %d", name, met.ViewRows[name], rows)
+				}
+			}
+			if met.OutputRows != fmet.OutputRows {
+				t.Fatalf("OutputRows %d after ingest, fresh build %d", met.OutputRows, fmet.OutputRows)
+			}
+		})
+	}
+}
+
+func TestIngestQueriesSeeNewData(t *testing.T) {
+	rows, meas := randomFacts(700, 23)
+	base := 500
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+
+	// Brute-force oracle over an explicit prefix of the facts.
+	sum := func(n int, dims []string, key []uint32) int64 {
+		names := []string{"month", "store", "product", "channel"}
+		var total int64
+		for i := 0; i < n; i++ {
+			ok := true
+			for k, dim := range dims {
+				for j, nm := range names {
+					if nm == dim && rows[i][j] != key[k] {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				total += meas[i]
+			}
+		}
+		return total
+	}
+
+	dims := []string{"store", "channel"}
+	key := []uint32{rows[base][1], rows[base][3]} // a group the batch touches
+	before, err := cube.Aggregate(dims, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sum(base, dims, key); before != want {
+		t.Fatalf("pre-ingest aggregate %d, oracle %d", before, want)
+	}
+	if _, err := cube.Ingest(rows[base:], meas[base:]); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cube.Aggregate(dims, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sum(len(rows), dims, key); after != want {
+		t.Fatalf("post-ingest aggregate %d, oracle %d", after, want)
+	}
+	// GroupBy (distributed engine path) agrees too.
+	vw, err := cube.GroupBy(dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < vw.Len(); i++ {
+		k, m := vw.Row(i)
+		if want := sum(len(rows), dims, k); m != want {
+			t.Fatalf("GroupBy group %v = %d, oracle %d", k, m, want)
+		}
+	}
+}
+
+func TestIngesterTriggers(t *testing.T) {
+	rows, meas := randomFacts(760, 41)
+	base := 700
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+
+	g, err := cube.NewIngester(IngesterOptions{MaxRows: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := 0
+	for i := base; i < len(rows); i++ {
+		im, flushed, err := g.Add(rows[i], meas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flushed {
+			flushes++
+			if im.Rows != 25 {
+				t.Fatalf("trigger flush applied %d rows, want 25", im.Rows)
+			}
+		}
+	}
+	if flushes != (len(rows)-base)/25 {
+		t.Fatalf("%d trigger flushes, want %d", flushes, (len(rows)-base)/25)
+	}
+	if g.Pending() != (len(rows)-base)%25 {
+		t.Fatalf("pending %d, want %d", g.Pending(), (len(rows)-base)%25)
+	}
+	if _, err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending %d after Flush", g.Pending())
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 2})
+	checkCubesEqual(t, cube, fresh)
+
+	// Byte trigger: one row is RowBytes(4) bytes, so MaxBytes for two
+	// rows flushes every second Add.
+	cube2 := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+	g2, err := cube2.NewIngester(IngesterOptions{MaxBytes: 2 * int64(record.RowBytes(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, flushed, err := g2.Add(rows[base], meas[base]); err != nil || flushed {
+		t.Fatalf("first add flushed=%v err=%v", flushed, err)
+	}
+	if _, flushed, err := g2.Add(rows[base+1], meas[base+1]); err != nil || !flushed {
+		t.Fatalf("second add flushed=%v err=%v", flushed, err)
+	}
+}
+
+func TestIngestCrashLeavesCubeUnchanged(t *testing.T) {
+	rows, meas := randomFacts(800, 53)
+	base := 650
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+	snapshot := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+
+	if err := cube.SetIngestFaults(&FaultPlan{Crashes: []Crash{
+		{Processor: 1, Dimension: 2, Phase: "deltamerge"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cube.Ingest(rows[base:], meas[base:])
+	var fe *FailedIngestError
+	if !errors.As(err, &fe) {
+		t.Fatalf("ingest error = %v, want *FailedIngestError", err)
+	}
+	if fe.Processor != 1 || fe.Phase != "deltamerge" {
+		t.Fatalf("crash misattributed: %+v", fe)
+	}
+	// The cube is queryable at its exact pre-batch contents.
+	checkCubesEqual(t, cube, snapshot)
+	if cube.Pending() != len(rows)-base {
+		t.Fatalf("pending %d after failed batch, want %d", cube.Pending(), len(rows)-base)
+	}
+	if got := cube.Metrics().IngestBatches; got != 0 {
+		t.Fatalf("failed batch counted: IngestBatches = %d", got)
+	}
+
+	// The plan is one-shot: retrying the buffered batch succeeds and
+	// lands exactly where a fresh rebuild does.
+	if _, err := cube.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cube.Pending() != 0 {
+		t.Fatalf("pending %d after retry", cube.Pending())
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 3})
+	checkCubesEqual(t, cube, fresh)
+}
+
+func TestIngestValidation(t *testing.T) {
+	rows, meas := randomFacts(300, 61)
+	cube := buildFromFacts(t, rows[:250], meas[:250], Options{Processors: 2})
+
+	if _, err := cube.Ingest(rows[250:], meas[250:251]); err == nil {
+		t.Fatal("mismatched rows/measures accepted")
+	}
+	if _, err := cube.Ingest([][]uint32{{0, 0, 0}}, []int64{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := cube.Ingest([][]uint32{{99, 0, 0, 0}}, []int64{1}); err == nil {
+		t.Fatal("out-of-cardinality value accepted")
+	}
+	if cube.Pending() != 0 {
+		t.Fatalf("rejected rows left %d pending", cube.Pending())
+	}
+	if _, err := cube.Ingest(nil, nil); err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+	if err := cube.SetIngestFaults(&FaultPlan{Crashes: []Crash{{Processor: 7}}}); err == nil {
+		t.Fatal("fault plan addressing rank 7 on a 2-proc machine accepted")
+	}
+
+	ice := buildFromFacts(t, rows[:250], meas[:250], Options{Processors: 2, MinSupport: 50})
+	if _, err := ice.Ingest(rows[250:], meas[250:]); err == nil {
+		t.Fatal("iceberg cube accepted an ingest batch")
+	}
+	if _, err := ice.NewIngester(IngesterOptions{}); err == nil {
+		t.Fatal("iceberg cube handed out an Ingester")
+	}
+}
+
+func TestServerCacheInvalidatedByIngest(t *testing.T) {
+	rows, meas := randomFacts(800, 71)
+	base := 600
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+	s, err := cube.NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dims := []string{"store", "month"}
+
+	vw1, qm1, err := s.GroupBy(ctx, dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm1.CacheHit {
+		t.Fatal("first query hit an empty cache")
+	}
+	if _, qm2, err := s.GroupBy(ctx, dims, nil); err != nil || !qm2.CacheHit {
+		t.Fatalf("repeat not cached: hit=%v err=%v", qm2.CacheHit, err)
+	}
+
+	if _, err := cube.Ingest(rows[base:], meas[base:]); err != nil {
+		t.Fatal(err)
+	}
+
+	vw3, qm3, err := s.GroupBy(ctx, dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm3.CacheHit {
+		t.Fatal("post-ingest query served from the stale cache")
+	}
+	if record.Equal(vw1.rows, vw3.rows) {
+		t.Fatal("post-ingest result identical to pre-ingest result (batch had no effect?)")
+	}
+	// The fresh result matches a scratch rebuild on all the facts.
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 3})
+	want, err := fresh.GroupBy(dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equal(vw3.rows, want.rows) {
+		t.Fatal("post-ingest served result differs from rebuild")
+	}
+	// And the new result is itself cached under the new version.
+	if _, qm4, err := s.GroupBy(ctx, dims, nil); err != nil || !qm4.CacheHit {
+		t.Fatalf("post-ingest repeat not cached: hit=%v err=%v", qm4.CacheHit, err)
+	}
+}
+
+func TestServerConcurrentIngestAndQueries(t *testing.T) {
+	rows, meas := randomFacts(900, 83)
+	base := 500
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+	s, err := cube.NewServer(ServerOptions{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preTotal, err := cube.RangeAggregate([]string{"channel"}, []uint32{0}, []uint32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 3})
+	postTotal, err := fresh.RangeAggregate([]string{"channel"}, []uint32{0}, []uint32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	// Queries race the ingest batches; every observed grand total must
+	// be a consistent prefix state (pre-batch, between batches, or
+	// final), never a torn mixture.
+	valid := map[int64]bool{preTotal: true, postTotal: true}
+	for lo := base; lo < len(rows); lo += 100 {
+		mid := buildFromFacts(t, rows[:lo+100], meas[:lo+100], Options{Processors: 3})
+		v, err := mid.RangeAggregate([]string{"channel"}, []uint32{0}, []uint32{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid[v] = true
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, _, err := s.RangeAggregate(ctx, []string{"channel"}, []uint32{0}, []uint32{2})
+				if err != nil && !errors.Is(err, ErrServerOverloaded) {
+					errc <- err
+					return
+				}
+				if err == nil && !valid[got] {
+					errc <- errors.New("query observed a torn cube state")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for lo := base; lo < len(rows); lo += 100 {
+			if _, err := cube.Ingest(rows[lo:lo+100], meas[lo:lo+100]); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	got, _, err := s.RangeAggregate(ctx, []string{"channel"}, []uint32{0}, []uint32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != postTotal {
+		t.Fatalf("final total %d, want %d", got, postTotal)
+	}
+	checkCubesEqual(t, cube, fresh)
+}

@@ -258,6 +258,25 @@ type Metrics struct {
 	// ViewOrders records each selected view's materialized attribute
 	// order (the merge target order agreed by P0).
 	ViewOrders map[lattice.ViewID]lattice.Order
+	// SchedTrees retains, per dimension, the Pipesort schedule tree P0
+	// planned and broadcast (global-tree mode only; nil per dimension in
+	// local-tree mode, where processors never agreed on one). The
+	// incremental-ingest subsystem replays these trees over delta data
+	// instead of re-planning, so a batch follows exactly the schedule
+	// the live cube was built with.
+	SchedTrees map[int]*lattice.Tree
+	// IngestedRows, IngestBatches, IngestSeconds, DeltaMergeSeconds and
+	// DeltaMergeBytes account incremental maintenance (internal/ingest):
+	// facts appended after the initial build, the batches that carried
+	// them, the makespan of the delta-build ("ingest") and delta-merge
+	// ("deltamerge") phases, and the bytes moved while merging deltas
+	// into live views. Zero after BuildCube; accumulated by
+	// ingest.Result.AddTo.
+	IngestedRows      int64
+	IngestBatches     int64
+	IngestSeconds     float64
+	DeltaMergeSeconds float64
+	DeltaMergeBytes   int64
 	// RetriedMessages counts h-relation payloads retransmitted to
 	// repair injected drops and corruptions.
 	RetriedMessages int64
@@ -284,6 +303,7 @@ type dimObs struct {
 	resorts int
 	cases   map[mergepart.Case]int
 	orders  map[lattice.ViewID]lattice.Order
+	tree    *lattice.Tree // broadcast schedule tree (global mode only)
 }
 
 func newDimObs() *dimObs {
@@ -459,6 +479,11 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 	// ---- Step 2: local Di-partition. ----
 	done = phase("plan")
 	tree := planTree(p, cfg, i, partViews, partSel, root, rootOrder, rootFile)
+	if cfg.Schedule == GlobalTree {
+		// Retain the agreed tree for incremental ingest (read-only from
+		// here on; pipesort never mutates it).
+		obs.tree = tree
+	}
 	done()
 
 	done = phase("build")
@@ -635,14 +660,18 @@ func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []
 			break
 		}
 	}
-	// Case counts and merge orders from P0's observations (identical on
-	// all processors).
-	for _, obs := range outs[0].dims {
+	// Case counts, merge orders and retained schedule trees from P0's
+	// observations (identical on all processors).
+	met.SchedTrees = map[int]*lattice.Tree{}
+	for i, obs := range outs[0].dims {
 		for c, n := range obs.cases {
 			met.CaseCounts[c] += n
 		}
 		for v, o := range obs.orders {
 			met.ViewOrders[v] = o
+		}
+		if obs.tree != nil {
+			met.SchedTrees[i] = obs.tree
 		}
 	}
 	for _, v := range sel {

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/record"
+)
+
+// IngestPoint is one (p, batch size) measurement of incremental
+// maintenance against the from-scratch alternative: the same batch of
+// new facts applied as a delta build + merge, versus rebuilding the
+// whole cube on base+batch.
+type IngestPoint struct {
+	P          int
+	BatchPct   float64
+	BatchRows  int
+	IngestSecs float64 // simulated seconds to apply the batch
+	MergeSecs  float64 // the delta-merge share of IngestSecs
+	RebuildSec float64 // simulated seconds to rebuild base+batch
+	Ratio      float64 // IngestSecs / RebuildSec (smaller is better)
+	RowsPerSec float64 // batch rows per simulated second
+}
+
+// IngestResult is the incremental-maintenance table: amortized batch
+// cost versus full rebuild across batch sizes and machine sizes.
+type IngestResult struct {
+	N      int
+	D      int
+	Points []IngestPoint
+}
+
+// Ingest measures the economics of the ingest subsystem on the
+// paper's d=8 cube: for each machine size and batch size, build the
+// base cube, apply one batch incrementally (delta build + Case 1/2
+// merge into the live views), and compare its simulated cost with
+// rebuilding everything from raw. Small batches should cost a small
+// fraction of a rebuild once data volume dominates the fixed per-file
+// access charges; the table shows how that ratio falls with batch
+// size and data size.
+func Ingest(sc Scale) IngestResult {
+	spec := paperSpec(sc.N1M, sc.Seed)
+	res := IngestResult{N: spec.N, D: spec.D}
+
+	var procs []int
+	for _, p := range sc.Procs {
+		if p <= 8 {
+			procs = append(procs, p)
+		}
+	}
+	for _, p := range procs {
+		for _, pct := range []float64{0.01, 0.05} {
+			base := spec.N
+			batchN := int(float64(base) * pct)
+			if batchN < 1 {
+				batchN = 1
+			}
+			full := spec
+			full.N = base + batchN
+			g := gen.New(full)
+
+			m := cluster.New(p, costmodel.Default())
+			for r := 0; r < p; r++ {
+				m.Proc(r).Disk().Put("raw", g.Table(r*base/p, (r+1)*base/p))
+			}
+			met, err := core.BuildCube(m, "raw", core.Config{D: full.D})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ingest base build failed: %v", err))
+			}
+			ir, err := ingest.IngestBatch(m, g.Table(base, base+batchN), ingest.Config{
+				D:      full.D,
+				Orders: met.ViewOrders,
+				Trees:  met.SchedTrees,
+				Agg:    record.OpSum,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ingest batch failed: %v", err))
+			}
+
+			rb := cluster.New(p, costmodel.Default())
+			for r := 0; r < p; r++ {
+				rb.Proc(r).Disk().Put("raw", g.Table(r*full.N/p, (r+1)*full.N/p))
+			}
+			rmet, err := core.BuildCube(rb, "raw", core.Config{D: full.D})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ingest rebuild failed: %v", err))
+			}
+
+			pt := IngestPoint{
+				P:          p,
+				BatchPct:   100 * pct,
+				BatchRows:  batchN,
+				IngestSecs: ir.SimSeconds,
+				MergeSecs:  ir.DeltaMergeSeconds,
+				RebuildSec: rmet.SimSeconds,
+				Ratio:      ir.SimSeconds / rmet.SimSeconds,
+			}
+			if ir.SimSeconds > 0 {
+				pt.RowsPerSec = float64(batchN) / ir.SimSeconds
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+// Print renders the ingest table.
+func (r IngestResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Incremental maintenance: one batch into the live d=%d cube, base n=%d\n", r.D, r.N)
+	fmt.Fprintf(w, "%4s %7s %10s %10s %10s %11s %8s %11s\n",
+		"p", "batch%", "batch_rows", "ingest_s", "dmerge_s", "rebuild_s", "ratio", "rows/sim_s")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%4d %6.1f%% %10d %10.3f %10.3f %11.3f %8.3f %11.0f\n",
+			pt.P, pt.BatchPct, pt.BatchRows, pt.IngestSecs, pt.MergeSecs,
+			pt.RebuildSec, pt.Ratio, pt.RowsPerSec)
+	}
+	fmt.Fprintln(w, "ratio = ingest/rebuild simulated seconds; < 1 means incremental wins")
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIngestTableShape(t *testing.T) {
+	sc := testScale()
+	sc.Procs = []int{1, 8}
+	res := Ingest(sc)
+	if len(res.Points) != 4 { // {1,8} procs x {1%,5%} batches
+		t.Fatalf("want 4 points, got %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.IngestSecs <= 0 || pt.RebuildSec <= 0 || pt.Ratio <= 0 {
+			t.Fatalf("degenerate point: %+v", pt)
+		}
+		if pt.MergeSecs <= 0 || pt.MergeSecs > pt.IngestSecs {
+			t.Fatalf("delta-merge share out of range: %+v", pt)
+		}
+		// Even at test sizes (where fixed access charges dominate), a
+		// small batch must never cost more than the full rebuild.
+		if pt.Ratio >= 1 {
+			t.Fatalf("ingest costs more than rebuild: %+v", pt)
+		}
+	}
+	// Within one machine size the bigger batch costs more to apply.
+	for i := 0; i+1 < len(res.Points); i += 2 {
+		if res.Points[i].IngestSecs >= res.Points[i+1].IngestSecs {
+			t.Fatalf("5%% batch not costlier than 1%%: %+v vs %+v",
+				res.Points[i], res.Points[i+1])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "rebuild_s") {
+		t.Fatal("Print output malformed")
+	}
+}

@@ -100,14 +100,14 @@ func MergeViewOp(p *cluster.Proc, file string, view lattice.ViewID, localOrder, 
 
 	if targetOrder.IsPrefixOf(globalOrder) {
 		res.Case = CasePrefix
-		res.Rows = boundaryAgglomerate(p, file, op)
+		res.Rows = BoundaryAgglomerate(p, file, op)
 		return res
 	}
 
 	// Non-prefix: estimate the per-range totals |v'j| from samples.
-	last := lastKey(p, file)
+	last := LastKey(p, file)
 	lasts := cluster.AllGather(p, last, record.DimBytes*len(targetOrder))
-	ranges := keyRanges(lasts)
+	ranges := KeyRanges(lasts)
 	est := estimateContributions(p, file, ranges)
 	totals := cluster.AllReduce(p, est, 8*p.P(), addVectors)
 	res.Imbalance = balance.Imbalance(totals)
@@ -120,7 +120,7 @@ func MergeViewOp(p *cluster.Proc, file string, view lattice.ViewID, localOrder, 
 
 	res.Case = CaseGlobalSort
 	samplesort.SortPresorted(p, file, gamma, op)
-	res.Rows = boundaryAgglomerate(p, file, op)
+	res.Rows = BoundaryAgglomerate(p, file, op)
 	return res
 }
 
@@ -155,9 +155,10 @@ func sampleCap(p *cluster.Proc) int {
 	return a
 }
 
-// lastKey reads this processor's final row key, or nil for an empty
-// view copy.
-func lastKey(p *cluster.Proc, file string) []uint32 {
+// LastKey reads this processor's final row key, or nil for an empty
+// view copy. Exported for the incremental-ingest subsystem, which
+// aligns delta slices against the live view's existing boundaries.
+func LastKey(p *cluster.Proc, file string) []uint32 {
 	disk := p.Disk()
 	n := disk.Len(file)
 	if n <= 0 {
@@ -167,38 +168,38 @@ func lastKey(p *cluster.Proc, file string) []uint32 {
 	return t.RowCopy(0)
 }
 
-// keyRange is one processor's merge range (lo exclusive, hi inclusive;
-// nil bounds are infinite). empty owners have owner == false.
-type keyRange struct {
-	owner  bool
-	lo, hi []uint32
+// KeyRange is one processor's merge range (Lo exclusive, Hi inclusive;
+// nil bounds are infinite). Empty owners have Owner == false.
+type KeyRange struct {
+	Owner  bool
+	Lo, Hi []uint32
 }
 
-// keyRanges derives the per-processor ranges from the gathered last
+// KeyRanges derives the per-processor ranges from the gathered last
 // keys: processor j owns (last of previous non-empty, last of j], with
 // the final non-empty processor's range extended to +inf.
-func keyRanges(lasts [][]uint32) []keyRange {
+func KeyRanges(lasts [][]uint32) []KeyRange {
 	p := len(lasts)
-	ranges := make([]keyRange, p)
+	ranges := make([]KeyRange, p)
 	var prev []uint32
 	lastOwner := -1
 	for j := 0; j < p; j++ {
 		if lasts[j] == nil {
 			continue
 		}
-		ranges[j] = keyRange{owner: true, lo: prev, hi: lasts[j]}
+		ranges[j] = KeyRange{Owner: true, Lo: prev, Hi: lasts[j]}
 		prev = lasts[j]
 		lastOwner = j
 	}
 	if lastOwner >= 0 {
-		ranges[lastOwner].hi = nil // extend to +inf
+		ranges[lastOwner].Hi = nil // extend to +inf
 	}
 	return ranges
 }
 
 // estimateContributions estimates, from this processor's spaced
 // sample, how many of its rows fall into each processor's range.
-func estimateContributions(p *cluster.Proc, file string, ranges []keyRange) []int {
+func estimateContributions(p *cluster.Proc, file string, ranges []KeyRange) []int {
 	disk := p.Disk()
 	est := make([]int, p.P())
 	n := disk.Len(file)
@@ -214,8 +215,8 @@ func estimateContributions(p *cluster.Proc, file string, ranges []keyRange) []in
 		sm = disk.Meta(file).(*sample.Online)
 	}
 	for j, r := range ranges {
-		if r.owner {
-			est[j] = sm.EstimateRange(r.lo, r.hi)
+		if r.Owner {
+			est[j] = sm.EstimateRange(r.Lo, r.Hi)
 		}
 	}
 	return est
@@ -229,10 +230,20 @@ func addVectors(a, b []int) []int {
 	return out
 }
 
+// RouteMerge routes every local row of file to its key-range owner
+// and merges the received sorted runs — the Case 2 overlap exchange,
+// separated from MergeView's case selection. Exported for incremental
+// ingest, which reuses it both to align delta roots with the live
+// root's slice boundaries and to exchange delta overlap runs before
+// two-way merging into non-prefix views.
+func RouteMerge(p *cluster.Proc, file string, ranges []KeyRange, op record.AggOp) int {
+	return overlapMerge(p, file, ranges, op)
+}
+
 // overlapMerge is Case 2: route every local row to its range owner,
 // then merge and agglomerate the received sorted runs. When no rows
 // cross processor boundaries the file is left untouched (no rewrite).
-func overlapMerge(p *cluster.Proc, file string, ranges []keyRange, op record.AggOp) int {
+func overlapMerge(p *cluster.Proc, file string, ranges []KeyRange, op record.AggOp) int {
 	disk := p.Disk()
 	t := disk.MustGet(file) // read to route; not yet rewritten
 	np := p.P()
@@ -242,12 +253,12 @@ func overlapMerge(p *cluster.Proc, file string, ranges []keyRange, op record.Agg
 	lo := 0
 	sent := 0
 	for j := 0; j < np; j++ {
-		if !ranges[j].owner {
+		if !ranges[j].Owner {
 			continue
 		}
 		hi := t.Len()
-		if ranges[j].hi != nil {
-			hi = record.UpperBound(t, ranges[j].hi)
+		if ranges[j].Hi != nil {
+			hi = record.UpperBound(t, ranges[j].Hi)
 		}
 		if hi < lo {
 			hi = lo
@@ -292,14 +303,16 @@ type boundaryInfo struct {
 	FirstMeas int64
 }
 
-// boundaryAgglomerate merges equal keys across processor boundaries
+// BoundaryAgglomerate merges equal keys across processor boundaries
 // for a view whose cross-processor concatenation is globally sorted
 // and whose local copies are duplicate-free. It iterates the paper's
 // first-item exchange until a fixpoint, which also handles the corner
 // case of a single key spanning more than two processors. Only
 // boundary rows are read and touched: Case 1 costs point I/O, not a
-// view rewrite. Returns the final local row count.
-func boundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
+// view rewrite. Returns the final local row count. Exported for the
+// incremental-ingest delta merge, which reuses the same cascade after
+// merging delta slices into prefix views.
+func BoundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
 	disk := p.Disk()
 	np := p.P()
 	n := disk.Len(file)

@@ -40,12 +40,17 @@ type Engine struct {
 	m      *cluster.Machine
 	op     record.AggOp
 	orders map[lattice.ViewID]lattice.Order
-	rows   map[lattice.ViewID]int64
 
-	mu sync.Mutex // serializes machine access across Execute calls
+	mu sync.Mutex // serializes machine access across Execute/Maintain
 
-	idxMu   sync.Mutex
-	indexes map[idxKey]*Index
+	// stateMu guards the mutable query-side state: planning row counts,
+	// per-view version counters, and the lazily built slice indexes.
+	// Incremental ingest rewrites view slices, so this state must be
+	// readable concurrently with queries and invalidatable per view.
+	stateMu  sync.Mutex
+	rows     map[lattice.ViewID]int64
+	versions map[lattice.ViewID]uint64
+	indexes  map[idxKey]*Index
 }
 
 type idxKey struct {
@@ -66,12 +71,67 @@ func New(m *cluster.Machine, orders map[lattice.ViewID]lattice.Order, rows map[l
 		}
 	}
 	return &Engine{
-		m:       m,
-		op:      op,
-		orders:  orders,
-		rows:    rows,
-		indexes: make(map[idxKey]*Index),
+		m:        m,
+		op:       op,
+		orders:   orders,
+		rows:     rows,
+		versions: make(map[lattice.ViewID]uint64, len(orders)),
+		indexes:  make(map[idxKey]*Index),
 	}
+}
+
+// ViewVersion returns view v's version counter. It starts at 0 and is
+// bumped by InvalidateView whenever an ingest batch replaces the
+// view's slices, so any cache keyed on (version, query) misses
+// naturally after the underlying data changes.
+func (e *Engine) ViewVersion(v lattice.ViewID) uint64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.versions[v]
+}
+
+// Versions snapshots all view version counters (for persistence).
+func (e *Engine) Versions() map[lattice.ViewID]uint64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	out := make(map[lattice.ViewID]uint64, len(e.versions))
+	for v, ver := range e.versions {
+		out[v] = ver
+	}
+	return out
+}
+
+// RestoreVersions seeds the version counters (loading a snapshot).
+func (e *Engine) RestoreVersions(versions map[lattice.ViewID]uint64) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	for v, ver := range versions {
+		e.versions[v] = ver
+	}
+}
+
+// InvalidateView records that view v's slices were replaced: the
+// version counter is bumped, every rank's prefix index for the view is
+// dropped (it is rebuilt lazily from the new slices on next use), and
+// the planning row count is refreshed. Views an ingest batch did not
+// touch keep their indexes and version.
+func (e *Engine) InvalidateView(v lattice.ViewID, rows int64) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	e.versions[v]++
+	e.rows[v] = rows
+	for r := 0; r < e.m.P(); r++ {
+		delete(e.indexes, idxKey{view: v, rank: r})
+	}
+}
+
+// Maintain runs fn while holding the machine exclusively, blocking
+// Execute for the duration — the hook incremental ingest uses to run
+// its delta supersteps without interleaving with query supersteps.
+func (e *Engine) Maintain(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn()
 }
 
 // P returns the machine size queries execute on.
@@ -88,6 +148,8 @@ func (e *Engine) Order(v lattice.ViewID) (lattice.Order, bool) {
 // Ties on row count break to the smaller ViewID, so planning is
 // deterministic regardless of map iteration order.
 func (e *Engine) PickSource(need lattice.ViewID) (lattice.ViewID, error) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	best := lattice.ViewID(0)
 	bestRows := int64(-1)
 	for v := range e.orders {
@@ -358,17 +420,17 @@ func (e *Engine) scanLocal(pr *cluster.Proc, q Query) (*record.Table, int64, boo
 // directory is retained in memory, like any database's block index).
 func (e *Engine) sliceIndex(pr *cluster.Proc, v lattice.ViewID, file string) *Index {
 	key := idxKey{view: v, rank: pr.Rank()}
-	e.idxMu.Lock()
+	e.stateMu.Lock()
 	ix := e.indexes[key]
-	e.idxMu.Unlock()
+	e.stateMu.Unlock()
 	if ix != nil {
 		return ix
 	}
 	t := pr.Disk().MustGet(file) // charged full read
 	pr.Clock().AddCompute(costmodel.ScanOps(t.Len()))
 	ix = BuildIndex(t)
-	e.idxMu.Lock()
+	e.stateMu.Lock()
 	e.indexes[key] = ix
-	e.idxMu.Unlock()
+	e.stateMu.Unlock()
 	return ix
 }

@@ -51,10 +51,41 @@ type Metrics struct {
 	// crashes the build survived.
 	RecoverySeconds  float64
 	FailedProcessors []int
+	// IngestedRows and IngestBatches count facts and batches applied by
+	// incremental maintenance (Cube.Ingest) since the build.
+	IngestedRows  int64
+	IngestBatches int64
+	// IngestSeconds is the simulated time spent building sorted deltas
+	// ("ingest" phase); DeltaMergeSeconds and DeltaMergeBytes are the
+	// makespan and network volume of merging deltas into the live views
+	// ("deltamerge" phase). SimSeconds and BytesMoved include both.
+	IngestSeconds     float64
+	DeltaMergeSeconds float64
+	DeltaMergeBytes   int64
 }
 
-// Metrics returns the build's metrics.
-func (c *Cube) Metrics() Metrics { return c.metrics }
+// Metrics returns the cube's cumulative metrics (the build plus every
+// applied ingest batch). The maps are copies, stable against later
+// batches.
+func (c *Cube) Metrics() Metrics {
+	c.metMu.RLock()
+	defer c.metMu.RUnlock()
+	m := c.metrics
+	if c.metrics.PhaseSeconds != nil {
+		m.PhaseSeconds = make(map[string]float64, len(c.metrics.PhaseSeconds))
+		for k, v := range c.metrics.PhaseSeconds {
+			m.PhaseSeconds[k] = v
+		}
+	}
+	if c.metrics.ViewRows != nil {
+		m.ViewRows = make(map[string]int64, len(c.metrics.ViewRows))
+		for k, v := range c.metrics.ViewRows {
+			m.ViewRows[k] = v
+		}
+	}
+	m.FailedProcessors = append([]int(nil), c.metrics.FailedProcessors...)
+	return m
+}
 
 func publicMetrics(in *Input, met core.Metrics) Metrics {
 	m := Metrics{

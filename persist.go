@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/lattice"
+	"repro/internal/queryengine"
 	"repro/internal/record"
 )
 
@@ -14,6 +18,14 @@ import (
 // This is the "pre-computation" deployment the paper motivates: build
 // the cube once on the cluster, persist it, and serve OLAP queries
 // from the loaded copy.
+//
+// Version 2 additionally records what a loaded cube needs to keep
+// serving and ingesting like the original: the hardware model and
+// iceberg threshold, the per-view version counters for cache keys, and
+// any facts buffered but not yet applied at save time. Version 1
+// snapshots still load (the new fields default to zero); they serve
+// queries but reject ingest, since a v1 snapshot cannot prove it was
+// not an iceberg cube.
 type savedCube struct {
 	Version    int
 	Dimensions []Dimension
@@ -21,6 +33,13 @@ type savedCube struct {
 	Op         int
 	Metrics    Metrics
 	Views      []savedView
+
+	// v2 fields.
+	Hardware     int
+	MinSupport   int64
+	ViewVersions map[uint32]uint64
+	PendingDims  []uint32
+	PendingMeas  []int64
 }
 
 type savedView struct {
@@ -30,19 +49,35 @@ type savedView struct {
 	Meas  []int64
 }
 
-const savedCubeVersion = 1
+const savedCubeVersion = 2
 
-// Save serializes the cube (schema, dictionaries, metrics, and every
-// materialized view) so it can be reloaded with LoadCube and queried
-// without rebuilding.
+// Save serializes the cube (schema, dictionaries, metrics, every
+// materialized view, and any buffered facts) so it can be reloaded
+// with LoadCube, queried, and further maintained without rebuilding.
 func (c *Cube) Save(w io.Writer) error {
 	sc := savedCube{
 		Version:    savedCubeVersion,
 		Dimensions: c.in.schema.Dimensions,
 		Dicts:      c.in.dicts,
 		Op:         int(c.op),
-		Metrics:    c.metrics,
+		Metrics:    c.Metrics(),
+		Hardware:   int(c.opts.Hardware),
+		MinSupport: c.opts.MinSupport,
 	}
+	if c.engine != nil {
+		sc.ViewVersions = map[uint32]uint64{}
+		for v, ver := range c.engine.Versions() {
+			sc.ViewVersions[uint32(v)] = ver
+		}
+	}
+	c.ingMu.Lock()
+	if c.pending != nil {
+		for i := 0; i < c.pending.Len(); i++ {
+			sc.PendingDims = append(sc.PendingDims, c.pending.Row(i)...)
+			sc.PendingMeas = append(sc.PendingMeas, c.pending.Meas(i))
+		}
+	}
+	c.ingMu.Unlock()
 	for _, v := range c.views {
 		vw := c.gather(v)
 		sv := savedView{View: uint32(v), Order: c.orders[v]}
@@ -58,16 +93,21 @@ func (c *Cube) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(sc)
 }
 
-// LoadCube deserializes a cube written by Save. The result answers
-// View, Aggregate, GroupBy and RangeAggregate queries exactly like the
-// original; it has no backing cluster (Processors reports the build's
-// machine size from the saved metrics).
+// LoadCube deserializes a cube written by Save and rehydrates the full
+// query-side state the original had: the views are re-scattered over a
+// simulated machine of the saved size (aligned with each partition
+// root's slice boundaries, so later ingest batches merge exactly like
+// on the original), the distributed query engine and its planning row
+// counts are rebuilt, view version counters resume where they left
+// off, and buffered facts are restored. The result answers View,
+// Aggregate, GroupBy and RangeAggregate exactly like the original and
+// (for v2 snapshots of non-iceberg cubes) accepts Ingest.
 func LoadCube(r io.Reader) (*Cube, error) {
 	var sc savedCube
 	if err := gob.NewDecoder(r).Decode(&sc); err != nil {
 		return nil, fmt.Errorf("rolap: loading cube: %w", err)
 	}
-	if sc.Version != savedCubeVersion {
+	if sc.Version < 1 || sc.Version > savedCubeVersion {
 		return nil, fmt.Errorf("rolap: unsupported cube version %d", sc.Version)
 	}
 	in, err := NewInput(Schema{Dimensions: sc.Dimensions})
@@ -75,26 +115,122 @@ func LoadCube(r io.Reader) (*Cube, error) {
 		return nil, err
 	}
 	in.dicts = sc.Dicts
+	d := len(sc.Dimensions)
+
+	p := sc.Metrics.Processors
+	if p < 1 {
+		p = 1
+	}
+	params := costmodel.Default()
+	if Hardware(sc.Hardware) == ModernCluster {
+		params = costmodel.Modern()
+	}
+	m := cluster.New(p, params)
+
 	c := &Cube{
 		in:      in,
+		machine: m,
 		orders:  map[lattice.ViewID]lattice.Order{},
 		metrics: sc.Metrics,
 		op:      record.AggOp(sc.Op),
-		cache:   map[lattice.ViewID]*record.Table{},
+		opts: Options{
+			Processors: p,
+			Hardware:   Hardware(sc.Hardware),
+			MinSupport: sc.MinSupport,
+		},
+		loadedV1: sc.Version == 1,
+		pending:  record.New(d, 0),
 	}
+	switch record.AggOp(sc.Op) {
+	case record.OpMin:
+		c.opts.Aggregate = Min
+	case record.OpMax:
+		c.opts.Aggregate = Max
+	}
+
+	tables := map[lattice.ViewID]*record.Table{}
 	for _, sv := range sc.Views {
 		v := lattice.ViewID(sv.View)
-		d := len(sv.Order)
-		if d > 0 && len(sv.Dims) != len(sv.Meas)*d {
+		dv := len(sv.Order)
+		if dv > 0 && len(sv.Dims) != len(sv.Meas)*dv {
 			return nil, fmt.Errorf("rolap: corrupt saved view %v", v)
 		}
-		t := record.New(d, len(sv.Meas))
+		t := record.New(dv, len(sv.Meas))
 		for i := range sv.Meas {
-			t.Append(sv.Dims[i*d:(i+1)*d], sv.Meas[i])
+			t.Append(sv.Dims[i*dv:(i+1)*dv], sv.Meas[i])
 		}
 		c.views = append(c.views, v)
 		c.orders[v] = lattice.Order(sv.Order)
-		c.cache[v] = t
+		tables[v] = t
+	}
+	if len(sc.PendingDims) != len(sc.PendingMeas)*d {
+		return nil, fmt.Errorf("rolap: corrupt saved pending buffer")
+	}
+	for i := range sc.PendingMeas {
+		c.pending.Append(sc.PendingDims[i*d:(i+1)*d], sc.PendingMeas[i])
+	}
+
+	// Scatter each view over the machine. Views whose partition root is
+	// materialized are cut at the root's slice boundaries (each rank
+	// owns the rows whose key prefix falls in its root key range — the
+	// alignment invariant incremental merges rely on); the rest are cut
+	// evenly. Either way the concatenation over ranks is the view's
+	// global sorted order, so distributed queries, gathers, and later
+	// batches behave exactly like on the never-saved original.
+	rows := map[lattice.ViewID]int64{}
+	for _, v := range c.views {
+		t := tables[v]
+		rows[v] = int64(t.Len())
+		cuts := sliceCuts(v, t, c.orders, tables, d, p)
+		for r := 0; r < p; r++ {
+			if cuts[r+1] > cuts[r] {
+				m.Proc(r).Disk().Put(core.ViewFile(v), t.Sub(cuts[r], cuts[r+1]))
+			}
+		}
+	}
+
+	c.engine = queryengine.New(m, c.orders, rows, c.op)
+	if len(sc.ViewVersions) > 0 {
+		vers := make(map[lattice.ViewID]uint64, len(sc.ViewVersions))
+		for v, ver := range sc.ViewVersions {
+			vers[lattice.ViewID(v)] = ver
+		}
+		c.engine.RestoreVersions(vers)
 	}
 	return c, nil
+}
+
+// sliceCuts returns the p+1 row offsets that split view v's global
+// table into per-rank slices. When v's partition root is materialized
+// and v's order is a prefix of the root's, rank r's slice holds the
+// rows whose (truncated) key is ≤ the last key of the root's rank-r
+// slice; the root itself gets exactly even cuts from the same rule
+// (its keys are unique), so prefix views stay boundary-aligned with
+// their root. Otherwise cuts are even.
+func sliceCuts(v lattice.ViewID, t *record.Table, orders map[lattice.ViewID]lattice.Order, tables map[lattice.ViewID]*record.Table, d, p int) []int {
+	n := t.Len()
+	cuts := make([]int, p+1)
+	cuts[p] = n
+
+	root := lattice.Root(lattice.PartitionOf(v, d), d)
+	rootT, ok := tables[root]
+	rootOrder, okOrd := orders[root]
+	if ok && okOrd && orders[v].IsPrefixOf(rootOrder) && rootT.Len() > 0 {
+		rn := rootT.Len()
+		cols := len(orders[v])
+		for r := 1; r < p; r++ {
+			idx := r * rn / p
+			if idx == 0 {
+				cuts[r] = 0
+				continue
+			}
+			key := rootT.RowCopy(idx - 1)[:cols]
+			cuts[r] = record.UpperBound(t, key)
+		}
+		return cuts
+	}
+	for r := 1; r < p; r++ {
+		cuts[r] = r * n / p
+	}
+	return cuts
 }

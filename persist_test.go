@@ -2,8 +2,12 @@ package rolap
 
 import (
 	"bytes"
+	"context"
+	"encoding/gob"
 	"strings"
 	"testing"
+
+	"repro/internal/lattice"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -102,5 +106,203 @@ func loadedDecode(c *Cube, dim string, code uint32) string {
 func TestLoadCubeErrors(t *testing.T) {
 	if _, err := LoadCube(strings.NewReader("not a gob")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(savedCube{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCube(&buf); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// saveLoad round-trips a cube through the gob snapshot.
+func saveLoad(t *testing.T, c *Cube) *Cube {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestSaveLoadRehydratesQueryState is the regression test for the
+// loader leaving query-side state unhydrated: a loaded cube must have
+// a live distributed engine (not the gather-and-scan fallback), usable
+// prefix indexes, correct smallest-superset planning inputs, and
+// serving must work — all without rebuilding.
+func TestSaveLoadRehydratesQueryState(t *testing.T) {
+	in, oracle := loadRandom(t, 1500, 37)
+	cube, err := Build(in, Options{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := saveLoad(t, cube)
+
+	if loaded.machine == nil || loaded.engine == nil {
+		t.Fatal("loaded cube has no rehydrated machine/engine")
+	}
+	if loaded.machine.P() != 4 {
+		t.Fatalf("rehydrated machine has %d procs, want 4", loaded.machine.P())
+	}
+	// Every rank concatenation reproduces the original view, and the
+	// planning row counts drive the same source-view choices.
+	checkCubesEqual(t, loaded, cube)
+	for _, dims := range [][]string{{"store"}, {"month", "channel"}, {"product", "store"}} {
+		want, err := cube.smallestSuperset(mustView(t, cube, dims))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.smallestSuperset(mustView(t, loaded, dims))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("planner picks %v on loaded cube, %v on original", got, want)
+		}
+	}
+
+	// A server over the loaded cube answers from the prefix index.
+	s, err := loaded.NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatalf("loaded cube cannot serve: %v", err)
+	}
+	ctx := context.Background()
+	got, qm, err := s.Aggregate(ctx, []string{"store"}, []uint32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle([]string{"store"}, []uint32{5}); got != want {
+		t.Fatalf("served aggregate %d, oracle %d", got, want)
+	}
+	if !qm.IndexUsed {
+		t.Fatalf("prefix index not rebuilt on loaded cube: %+v", qm)
+	}
+}
+
+func mustView(t *testing.T, c *Cube, dims []string) lattice.ViewID {
+	t.Helper()
+	v, err := c.in.viewOf(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSaveLoadThenIngest checks the loader's root-aligned scatter: a
+// batch ingested into a loaded cube must land exactly where a scratch
+// rebuild on all the facts does.
+func TestSaveLoadThenIngest(t *testing.T) {
+	rows, meas := randomFacts(900, 97)
+	base := 700
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 3})
+	loaded := saveLoad(t, cube)
+
+	im, err := loaded.Ingest(rows[base:], meas[base:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Rows != int64(len(rows)-base) || im.DeltaMergeSeconds <= 0 {
+		t.Fatalf("batch metrics implausible: %+v", im)
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 3})
+	checkCubesEqual(t, loaded, fresh)
+	if got, want := loaded.Metrics().OutputRows, fresh.Metrics().OutputRows; got != want {
+		t.Fatalf("OutputRows %d after load+ingest, fresh build %d", got, want)
+	}
+	// Ingesting into the original and into its loaded copy agree too.
+	if _, err := cube.Ingest(rows[base:], meas[base:]); err != nil {
+		t.Fatal(err)
+	}
+	checkCubesEqual(t, loaded, cube)
+}
+
+// TestSaveLoadPendingAndVersions: buffered facts and view version
+// counters survive the round trip.
+func TestSaveLoadPendingAndVersions(t *testing.T) {
+	rows, meas := randomFacts(800, 113)
+	base := 600
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+
+	// One applied batch bumps versions; a few buffered rows stay pending.
+	if _, err := cube.Ingest(rows[base:base+100], meas[base:base+100]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cube.NewIngester(IngesterOptions{MaxRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base + 100; i < len(rows); i++ {
+		if _, _, err := g.Add(rows[i], meas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := saveLoad(t, cube)
+
+	if got, want := loaded.Pending(), cube.Pending(); got != want || got != len(rows)-base-100 {
+		t.Fatalf("pending %d after load, want %d", got, want)
+	}
+	origVers := cube.engine.Versions()
+	loadVers := loaded.engine.Versions()
+	for v, ver := range origVers {
+		if ver > 0 && loadVers[v] != ver {
+			t.Fatalf("view %v version %d after load, want %d", v, loadVers[v], ver)
+		}
+	}
+	// Flushing the restored buffer completes the stream identically to
+	// a scratch rebuild on everything.
+	if _, err := loaded.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 2})
+	checkCubesEqual(t, loaded, fresh)
+}
+
+// TestLoadV1Snapshot: version-1 snapshots (no hardware, iceberg, or
+// version records) still load and serve queries, but reject ingest.
+func TestLoadV1Snapshot(t *testing.T) {
+	in, oracle := loadRandom(t, 900, 131)
+	cube, err := Build(in, Options{Processors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode the v1 wire form: the same struct with only v1 fields set.
+	sc := savedCube{
+		Version:    1,
+		Dimensions: cube.in.schema.Dimensions,
+		Dicts:      cube.in.dicts,
+		Op:         int(cube.op),
+		Metrics:    cube.Metrics(),
+	}
+	for _, v := range cube.views {
+		vw := cube.gather(v)
+		sv := savedView{View: uint32(v), Order: cube.orders[v]}
+		for i := 0; i < vw.rows.Len(); i++ {
+			sv.Dims = append(sv.Dims, vw.rows.Row(i)...)
+			sv.Meas = append(sv.Meas, vw.rows.Meas(i))
+		}
+		sc.Views = append(sc.Views, sv)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Aggregate([]string{"month", "channel"}, []uint32{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle([]string{"month", "channel"}, []uint32{2, 1}); got != want {
+		t.Fatalf("v1 loaded aggregate %d, oracle %d", got, want)
+	}
+	if _, err := loaded.Ingest([][]uint32{{0, 0, 0, 0}}, []int64{1}); err == nil {
+		t.Fatal("v1-loaded cube accepted an ingest batch")
 	}
 }

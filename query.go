@@ -176,7 +176,7 @@ func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
 		if !need.SubsetOf(v) {
 			continue
 		}
-		rows := c.metrics.ViewRows[viewName(c.in, v)]
+		rows := c.viewRowCount(v)
 		if bestRows == -1 || rows < bestRows || (rows == bestRows && v < best) {
 			best, bestRows = v, rows
 		}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -231,16 +232,37 @@ type Options struct {
 // processors of a shared-nothing machine.
 type Cube struct {
 	in      *Input
-	machine *cluster.Machine // nil for cubes loaded from a snapshot
+	machine *cluster.Machine // nil for cubes loaded from a v1 snapshot
 	views   []lattice.ViewID
 	orders  map[lattice.ViewID]lattice.Order
 	metrics Metrics
 	op      record.AggOp
 	// engine serves distributed queries; nil for cubes loaded from a
-	// snapshot, which fall back to gather-and-scan.
+	// v1 snapshot, which fall back to gather-and-scan.
 	engine *queryengine.Engine
 	// cache holds gathered views for machine-less (loaded) cubes.
 	cache map[lattice.ViewID]*record.Table
+
+	// opts keeps the build configuration so incremental batches reuse
+	// the same thresholds, overlap mode, and aggregate operator.
+	opts Options
+	// trees holds the retained per-dimension schedule trees from a
+	// global-tree build; ingest falls back to a deterministic schedule
+	// derived from the view orders when absent (local-tree builds and
+	// loaded snapshots).
+	trees map[int]*lattice.Tree
+
+	// pending buffers appended facts (internal dimension order) until
+	// the next flush; ingMu serializes buffer access and flushes.
+	pending *record.Table
+	ingMu   sync.Mutex
+	// ingestFaults is a one-shot fault plan consumed by the next flush.
+	ingestFaults *faults.Plan
+	// loadedV1 marks cubes loaded from a version-1 snapshot, which
+	// cannot prove they were not iceberg builds and so reject ingest.
+	loadedV1 bool
+	// metMu guards metrics, which ingest updates in place.
+	metMu sync.RWMutex
 }
 
 // Build runs the parallel shared-nothing cube construction and returns
@@ -340,6 +362,7 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 	// The build is done: clear any injected fault plan (and straggler
 	// slowdowns) so it cannot fire during query supersteps.
 	m.SetFaults(nil)
+	opts.Processors = p
 	return &Cube{
 		in:      in,
 		machine: m,
@@ -348,6 +371,9 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		metrics: publicMetrics(in, met),
 		op:      opts.Aggregate.op(),
 		engine:  queryengine.New(m, met.ViewOrders, met.ViewRows, opts.Aggregate.op()),
+		opts:    opts,
+		trees:   met.SchedTrees,
+		pending: record.New(d, 0),
 	}, nil
 }
 

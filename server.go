@@ -74,9 +74,12 @@ var ErrServerOverloaded = errors.New("rolap: server overloaded, query rejected")
 // Server is a concurrent query front end over a built cube: a bounded
 // worker pool admits queries, a canonicalized-key LRU cache answers
 // repeats without touching the machine, and everything admitted
-// executes scatter–gather on the cube's simulated cluster. The cube is
-// immutable once built, so cached results never go stale. Server is
-// safe for concurrent use.
+// executes scatter–gather on the cube's simulated cluster. Cache keys
+// are stamped with the source view's version counter, so results
+// cached before an ingest batch cannot be served after the batch
+// replaces that view's slices — stale entries simply stop matching and
+// age out of the LRU. Server is safe for concurrent use, including
+// concurrently with Cube.Ingest.
 type Server struct {
 	cube  *Cube
 	sem   chan struct{} // worker slots
@@ -142,7 +145,7 @@ func (s *Server) GroupBy(ctx context.Context, dims []string, filters map[string]
 	if err != nil {
 		return nil, QueryMetrics{}, err
 	}
-	c, qm, err := s.serve(ctx, "g|"+q.Key(), q)
+	c, qm, err := s.serve(ctx, s.cacheKey("g", q), q)
 	if err != nil {
 		return nil, qm, err
 	}
@@ -178,7 +181,7 @@ func (s *Server) RangeAggregate(ctx context.Context, dims []string, lo, hi []uin
 	if err != nil {
 		return 0, QueryMetrics{}, err
 	}
-	c, qm, err := s.serve(ctx, "s|"+q.Key(), q)
+	c, qm, err := s.serve(ctx, s.cacheKey("s", q), q)
 	if err != nil {
 		return 0, qm, err
 	}
@@ -186,6 +189,13 @@ func (s *Server) RangeAggregate(ctx context.Context, dims []string, lo, hi []uin
 		return 0, qm, nil
 	}
 	return c.rows.Meas(0), qm, nil
+}
+
+// cacheKey canonicalizes a planned query into a cache key stamped with
+// the source view's current version, invalidating cached results for
+// exactly the views an ingest batch changed.
+func (s *Server) cacheKey(kind string, q queryengine.Query) string {
+	return fmt.Sprintf("%s|%d|%s", kind, s.cube.engine.ViewVersion(q.View), q.Key())
 }
 
 // serve runs the admission → cache → execute pipeline for one planned

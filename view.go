@@ -80,10 +80,20 @@ func (c *Cube) gather(v lattice.ViewID) *View {
 		}
 	} else {
 		rows = record.New(v.Count(), 0)
-		for r := 0; r < c.machine.P(); r++ {
-			if t, ok := c.machine.Proc(r).Disk().Get(core.ViewFile(v)); ok {
-				rows.AppendTable(t)
+		read := func() error {
+			for r := 0; r < c.machine.P(); r++ {
+				if t, ok := c.machine.Proc(r).Disk().Get(core.ViewFile(v)); ok {
+					rows.AppendTable(t)
+				}
 			}
+			return nil
+		}
+		if c.engine != nil {
+			// Serialize against incremental ingest: a gather sees either
+			// the pre-batch or post-batch slices, never a mixture.
+			c.engine.Maintain(read)
+		} else {
+			read()
 		}
 	}
 	return &View{
@@ -145,7 +155,7 @@ func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
 		if !want.SubsetOf(v) {
 			continue
 		}
-		rows := c.metrics.ViewRows[viewName(c.in, v)]
+		rows := c.viewRowCount(v)
 		if bestRows == -1 || rows < bestRows {
 			best, bestRows = v, rows
 		}
@@ -189,6 +199,14 @@ func indexOfDim(dims []string, in *Input, i int) int {
 		}
 	}
 	panic(fmt.Sprintf("rolap: dimension %q not in query", name))
+}
+
+// viewRowCount reads a view's current global row count for planning,
+// under the metrics lock (ingest updates the counts in place).
+func (c *Cube) viewRowCount(v lattice.ViewID) int64 {
+	c.metMu.RLock()
+	defer c.metMu.RUnlock()
+	return c.metrics.ViewRows[viewName(c.in, v)]
 }
 
 // viewName renders a ViewID as the canonical sorted-name key used in
