@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json
 
 tier1: build vet test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... .
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -63,3 +63,15 @@ experiments:
 # subsystem (build -> serve -> report).
 qbench-smoke:
 	$(GO) run ./cmd/qbench -rows 2000 -queries 40 -p 1,2 -workers 4
+
+# Tiny replicated-serving workload: leader ingests while replicas serve
+# (build -> replicate -> ingest+serve -> catch up -> report).
+qbench-replica-smoke:
+	$(GO) run ./cmd/qbench -rows 2000 -queries 40 -replicas 1,2 -ingest-batches 3 -ingest-rows 100 -workers 4
+
+# Replica-scaling report (BENCH_PR6.json): read throughput and latency
+# percentiles as replica count grows, with the leader ingesting
+# throughout. The acceptance bar is >= 3x single-replica throughput at
+# 4 replicas with p99 within 1.5x.
+bench-replica-json:
+	$(GO) run ./cmd/qbench -rows 40000 -queries 600 -replicas 1,2,4 -workers 8 -out BENCH_PR6.json

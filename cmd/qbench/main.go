@@ -11,11 +11,19 @@
 // rows scanned, and how many queries were answered from the prefix
 // index.
 //
+// With -replicas the sweep is over replica counts instead: one ingest
+// leader feeds N read replicas by snapshot/delta shipping while the
+// replica set serves the workload, reporting fleet read throughput
+// (served queries per simulated second of the busiest replica) and
+// latency percentiles per replica count, optionally as JSON (-out).
+//
 //	qbench -rows 60000 -p 1,2,4,8 -queries 400 -workers 8
+//	qbench -rows 40000 -replicas 1,2,4 -queries 600 -out BENCH_PR6.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	rolap "repro"
 )
@@ -37,6 +46,15 @@ type config struct {
 	queue   int
 	cache   int
 	seed    int64
+
+	// Replica-sweep mode (non-empty replicas switches modes).
+	replicas   []int
+	leaderP    int
+	maxLag     uint64
+	snapEvery  int
+	ingBatches int
+	ingRows    int
+	out        string
 }
 
 func main() {
@@ -47,17 +65,39 @@ func main() {
 	queue := flag.Int("queue", 0, "server queue depth (0 = default)")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	replicasFlag := flag.String("replicas", "", "comma-separated replica counts: sweep the replicated serving tier instead of machine sizes")
+	leaderP := flag.Int("leaderp", 4, "leader machine size in replica mode")
+	maxLag := flag.Uint64("maxlag", 4, "replica staleness bound in batches")
+	snapEvery := flag.Int("snapevery", 4, "refresh the bootstrap snapshot every N batches")
+	ingBatches := flag.Int("ingest-batches", 8, "leader batches ingested while replicas serve")
+	ingRows := flag.Int("ingest-rows", 250, "rows per concurrent ingest batch")
+	out := flag.String("out", "", "write the replica-sweep report as JSON to this file")
 	flag.Parse()
 
 	cfg := config{rows: *rows, queries: *queries, workers: *workers,
-		queue: *queue, cache: *cache, seed: *seed}
-	for _, s := range strings.Split(*procsFlag, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || p < 1 {
-			fmt.Fprintf(os.Stderr, "qbench: bad processor count %q\n", s)
+		queue: *queue, cache: *cache, seed: *seed,
+		leaderP: *leaderP, maxLag: *maxLag, snapEvery: *snapEvery,
+		ingBatches: *ingBatches, ingRows: *ingRows, out: *out}
+	parseCounts := func(s, what string) []int {
+		var counts []int
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "qbench: bad %s count %q\n", what, f)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		return counts
+	}
+	cfg.procs = parseCounts(*procsFlag, "processor")
+	if *replicasFlag != "" {
+		cfg.replicas = parseCounts(*replicasFlag, "replica")
+		if err := runReplicas(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		cfg.procs = append(cfg.procs, p)
+		return
 	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -148,34 +188,59 @@ type sweepResult struct {
 	indexed    int64
 }
 
-func run(cfg config, w io.Writer) error {
-	rng := rand.New(rand.NewSource(cfg.seed))
-
-	// Load the fact table once; rebuild the cube per sweep point.
-	in0 := func() (*rolap.Input, error) {
-		in, err := rolap.NewInput(benchSchema())
-		if err != nil {
+// buildInput generates the deterministic fact table (same facts for
+// every sweep point).
+func buildInput(cfg config) (*rolap.Input, error) {
+	in, err := rolap.NewInput(benchSchema())
+	if err != nil {
+		return nil, err
+	}
+	gen := rand.New(rand.NewSource(cfg.seed + 1))
+	dims := benchSchema().Dimensions
+	row := make([]uint32, len(dims))
+	for i := 0; i < cfg.rows; i++ {
+		for j, d := range dims {
+			row[j] = uint32(gen.Intn(d.Cardinality))
+		}
+		if err := in.AddRow(row, int64(gen.Intn(500))); err != nil {
 			return nil, err
 		}
-		gen := rand.New(rand.NewSource(cfg.seed + 1))
-		dims := benchSchema().Dimensions
-		row := make([]uint32, len(dims))
-		for i := 0; i < cfg.rows; i++ {
+	}
+	return in, nil
+}
+
+// makeIngestStream pre-generates the batches the leader ingests while
+// the replicas serve, identical for every sweep point.
+func makeIngestStream(cfg config) ([][][]uint32, [][]int64) {
+	gen := rand.New(rand.NewSource(cfg.seed + 2))
+	dims := benchSchema().Dimensions
+	batches := make([][][]uint32, cfg.ingBatches)
+	meas := make([][]int64, cfg.ingBatches)
+	for b := range batches {
+		rows := make([][]uint32, cfg.ingRows)
+		ms := make([]int64, cfg.ingRows)
+		for i := range rows {
+			row := make([]uint32, len(dims))
 			for j, d := range dims {
 				row[j] = uint32(gen.Intn(d.Cardinality))
 			}
-			if err := in.AddRow(row, int64(gen.Intn(500))); err != nil {
-				return nil, err
-			}
+			rows[i] = row
+			ms[i] = int64(gen.Intn(500))
 		}
-		return in, nil
+		batches[b] = rows
+		meas[b] = ms
 	}
+	return batches, meas
+}
+
+func run(cfg config, w io.Writer) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
 
 	workload := makeWorkload(cfg, rng)
 
 	var results []sweepResult
 	for _, p := range cfg.procs {
-		in, err := in0()
+		in, err := buildInput(cfg)
 		if err != nil {
 			return err
 		}
@@ -267,6 +332,199 @@ func run(cfg config, w io.Writer) error {
 		fmt.Fprintf(w, "%4d %8d %8d %10.3f %10.1f %10.3f %10.3f %10.3f %6.1f%% %12d %8d%s\n",
 			r.p, r.served, r.rejected, r.simSeconds, tput,
 			1e3*r.p50, 1e3*r.p95, 1e3*r.p99, hitPct, r.rows, r.indexed, speedup)
+	}
+	return nil
+}
+
+// replicaPoint is one replica-count sweep point of the JSON report.
+type replicaPoint struct {
+	Replicas        int     `json:"replicas"`
+	Served          int64   `json:"served"`
+	FleetSimSeconds float64 `json:"fleet_sim_seconds"`
+	Throughput      float64 `json:"queries_per_sim_second"`
+	Speedup         float64 `json:"speedup_vs_single"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	CacheHitPct     float64 `json:"cache_hit_pct"`
+	StalenessWaits  int64   `json:"staleness_waits"`
+	LeaderSeq       uint64  `json:"leader_batches_committed"`
+	IngestedRows    int64   `json:"leader_rows_ingested"`
+	Bootstraps      int64   `json:"replica_bootstraps"`
+}
+
+// replicaReport is the BENCH_PR6.json payload.
+type replicaReport struct {
+	Bench         string         `json:"bench"`
+	Rows          int            `json:"rows"`
+	LeaderProcs   int            `json:"leader_procs"`
+	Queries       int            `json:"queries"`
+	Workers       int            `json:"workers"`
+	Cache         int            `json:"cache"`
+	MaxLag        uint64         `json:"max_lag_batches"`
+	SnapshotEvery int            `json:"snapshot_every"`
+	IngestBatches int            `json:"ingest_batches"`
+	IngestRows    int            `json:"ingest_rows_per_batch"`
+	Seed          int64          `json:"seed"`
+	Sweep         []replicaPoint `json:"sweep"`
+}
+
+// runReplicas sweeps the replicated serving tier over replica counts:
+// the same leader cube, the same query workload, and the same
+// concurrent leader ingest stream at every point, so throughput scaling
+// is attributable to the replica fan-out alone. Fleet throughput is
+// served queries per simulated second of the busiest replica — the
+// replicas are independent simulated machines serving in parallel, so
+// the busiest one is the fleet's makespan.
+func runReplicas(cfg config, w io.Writer) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	workload := makeWorkload(cfg, rng)
+	batches, batchMeas := makeIngestStream(cfg)
+
+	rep := replicaReport{
+		Bench:         "replica-sweep",
+		Rows:          cfg.rows,
+		LeaderProcs:   cfg.leaderP,
+		Queries:       cfg.queries,
+		Workers:       cfg.workers,
+		Cache:         cfg.cache,
+		MaxLag:        cfg.maxLag,
+		SnapshotEvery: cfg.snapEvery,
+		IngestBatches: cfg.ingBatches,
+		IngestRows:    cfg.ingRows,
+		Seed:          cfg.seed,
+	}
+
+	for _, n := range cfg.replicas {
+		in, err := buildInput(cfg)
+		if err != nil {
+			return err
+		}
+		leader, err := rolap.Build(in, rolap.Options{Processors: cfg.leaderP})
+		if err != nil {
+			return fmt.Errorf("qbench: build leader: %w", err)
+		}
+		rs, err := leader.NewReplicaSet(rolap.ReplicaOptions{
+			Replicas:      n,
+			MaxLag:        cfg.maxLag,
+			SnapshotEvery: cfg.snapEvery,
+			Server: rolap.ServerOptions{
+				Workers:    cfg.workers,
+				QueueDepth: cfg.queue,
+				CacheSize:  cfg.cache,
+			},
+		})
+		if err != nil {
+			return err
+		}
+
+		// The leader ingests continuously while the replicas serve.
+		ingDone := make(chan error, 1)
+		go func() {
+			for b := range batches {
+				if _, err := leader.Ingest(batches[b], batchMeas[b]); err != nil {
+					ingDone <- err
+					return
+				}
+			}
+			ingDone <- nil
+		}()
+
+		var mu sync.Mutex
+		var lat []float64
+		jobs := make(chan op)
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for o := range jobs {
+					var qm rolap.QueryMetrics
+					var err error
+					if o.rangeDims != nil {
+						_, qm, err = rs.RangeAggregate(context.Background(), o.rangeDims, o.lo, o.hi)
+					} else {
+						_, qm, err = rs.GroupBy(context.Background(), o.group, o.filters)
+					}
+					if err != nil {
+						continue
+					}
+					mu.Lock()
+					lat = append(lat, qm.SimSeconds)
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, o := range workload {
+			jobs <- o
+		}
+		close(jobs)
+		wg.Wait()
+		if err := <-ingDone; err != nil {
+			return fmt.Errorf("qbench: concurrent ingest: %w", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err = rs.WaitCaughtUp(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("qbench: replicas never caught up: %w", err)
+		}
+
+		st := rs.Stats()
+		pt := replicaPoint{
+			Replicas:       n,
+			StalenessWaits: st.StalenessWaits,
+			LeaderSeq:      st.LeaderSeq,
+			IngestedRows:   leader.Metrics().IngestedRows,
+		}
+		var hits int64
+		for _, r := range st.Replicas {
+			pt.Served += r.Server.Queries
+			hits += r.Server.CacheHits
+			pt.Bootstraps += r.Bootstraps
+			if r.Server.SimSeconds > pt.FleetSimSeconds {
+				pt.FleetSimSeconds = r.Server.SimSeconds
+			}
+		}
+		if pt.FleetSimSeconds > 0 {
+			pt.Throughput = float64(pt.Served) / pt.FleetSimSeconds
+		}
+		if pt.Served > 0 {
+			pt.CacheHitPct = 100 * float64(hits) / float64(pt.Served)
+		}
+		sort.Float64s(lat)
+		pt.P50Ms = 1e3 * percentile(lat, 0.50)
+		pt.P95Ms = 1e3 * percentile(lat, 0.95)
+		pt.P99Ms = 1e3 * percentile(lat, 0.99)
+		rep.Sweep = append(rep.Sweep, pt)
+		rs.Close()
+	}
+
+	for i := range rep.Sweep {
+		if rep.Sweep[0].Throughput > 0 {
+			rep.Sweep[i].Speedup = rep.Sweep[i].Throughput / rep.Sweep[0].Throughput
+		}
+	}
+
+	fmt.Fprintf(w, "qbench replica sweep: %d rows, leader p=%d, %d queries/point, %d ingest batches x %d rows, maxlag %d\n",
+		cfg.rows, cfg.leaderP, cfg.queries, cfg.ingBatches, cfg.ingRows, cfg.maxLag)
+	fmt.Fprintf(w, "%5s %8s %12s %10s %8s %10s %10s %10s %7s %6s %6s\n",
+		"repl", "served", "fleet_sim_s", "q/sim_s", "speedup", "p50_ms", "p95_ms", "p99_ms", "hit%", "waits", "boots")
+	for _, pt := range rep.Sweep {
+		fmt.Fprintf(w, "%5d %8d %12.3f %10.1f %7.2fx %10.3f %10.3f %10.3f %6.1f%% %6d %6d\n",
+			pt.Replicas, pt.Served, pt.FleetSimSeconds, pt.Throughput, pt.Speedup,
+			pt.P50Ms, pt.P95Ms, pt.P99Ms, pt.CacheHitPct, pt.StalenessWaits, pt.Bootstraps)
+	}
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.out)
 	}
 	return nil
 }

@@ -31,6 +31,34 @@ func TestRunSmallSweep(t *testing.T) {
 	}
 }
 
+func TestRunReplicaSweep(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{
+		rows:       1500,
+		queries:    30,
+		workers:    4,
+		cache:      64,
+		seed:       7,
+		replicas:   []int{1, 2},
+		leaderP:    2,
+		maxLag:     4,
+		snapEvery:  2,
+		ingBatches: 2,
+		ingRows:    50,
+	}
+	if err := runReplicas(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+	// Banner, header, one line per replica count.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 3 {
+		t.Fatalf("unexpected output shape (%d newlines):\n%s", lines, out)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	if p := percentile(nil, 0.5); p != 0 {
 		t.Fatalf("empty percentile = %v", p)

@@ -227,6 +227,7 @@ func (c *Cube) flushLocked() (_ IngestMetrics, err error) {
 	}
 	c.pending = record.New(batch.D, 0)
 	c.applyResult(res)
+	c.notifyCommitLocked(batch)
 
 	im := IngestMetrics{
 		Rows:              res.Rows,
@@ -248,6 +249,75 @@ func (c *Cube) flushLocked() (_ IngestMetrics, err error) {
 		return fmt.Sprint(im.ChangedViews[i]) < fmt.Sprint(im.ChangedViews[j])
 	})
 	return im, nil
+}
+
+// addCommitHookLocked registers a commit hook and returns its removal
+// id. Caller holds ingMu.
+func (c *Cube) addCommitHookLocked(fn func(rows [][]uint32, meas []int64)) int {
+	if c.commitHooks == nil {
+		c.commitHooks = map[int]func(rows [][]uint32, meas []int64){}
+	}
+	id := c.nextHookID
+	c.nextHookID++
+	c.commitHooks[id] = fn
+	return id
+}
+
+// removeCommitHook deregisters a commit hook by id.
+func (c *Cube) removeCommitHook(id int) {
+	c.ingMu.Lock()
+	defer c.ingMu.Unlock()
+	delete(c.commitHooks, id)
+}
+
+// notifyCommitLocked delivers the just-applied batch to the registered
+// commit hooks. Rows are independent copies in internal dimension
+// order — exactly what the leader's delta build consumed, so a replica
+// applying them reproduces the leader's post-batch state bit for bit.
+// Caller holds ingMu.
+func (c *Cube) notifyCommitLocked(batch *record.Table) {
+	if len(c.commitHooks) == 0 {
+		return
+	}
+	rows := make([][]uint32, batch.Len())
+	meas := make([]int64, batch.Len())
+	for i := range rows {
+		rows[i] = batch.RowCopy(i)
+		meas[i] = batch.Meas(i)
+	}
+	ids := make([]int, 0, len(c.commitHooks))
+	for id := range c.commitHooks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c.commitHooks[id](rows, meas)
+	}
+}
+
+// applyShippedBatch applies one leader-committed batch to a replica
+// cube. Rows are already in internal dimension order and were
+// validated on the leader. The replica's pending buffer must be empty
+// — replicas never buffer facts of their own — so the flush applies
+// exactly this batch and the replica's views and version counters
+// advance exactly as the leader's did for the same batch.
+func (c *Cube) applyShippedBatch(rows [][]uint32, meas []int64) error {
+	if len(rows) != len(meas) {
+		return fmt.Errorf("rolap: %d rows but %d measures", len(rows), len(meas))
+	}
+	c.ingMu.Lock()
+	defer c.ingMu.Unlock()
+	if c.pending != nil && c.pending.Len() > 0 {
+		return fmt.Errorf("rolap: replica has %d buffered facts; shipped batches must apply alone", c.pending.Len())
+	}
+	if c.pending == nil {
+		c.pending = record.New(len(c.in.schema.Dimensions), 0)
+	}
+	for i, row := range rows {
+		c.pending.Append(row, meas[i])
+	}
+	_, err := c.flushLocked()
+	return err
 }
 
 // applyResult folds one batch's costs into the cube's cumulative

@@ -213,7 +213,9 @@ func (q Query) Key() string {
 // result key (in result order), bounds the per-dimension row
 // restrictions. The source view is the smallest materialized superset
 // of everything referenced; columns are resolved against its
-// materialized order. A dimension may not be both grouped and bounded.
+// materialized order. A dimension may be both grouped and bounded —
+// the bound then restricts which groups survive ("group by store
+// where store = 3"), matching the gather-and-scan oracle.
 func (e *Engine) NewQuery(group []int, bounds map[int][2]uint32) (Query, error) {
 	need := lattice.Empty
 	for _, dim := range group {
@@ -223,9 +225,6 @@ func (e *Engine) NewQuery(group []int, bounds map[int][2]uint32) (Query, error) 
 		need = need.Add(dim)
 	}
 	for dim := range bounds {
-		if need.Has(dim) {
-			return Query{}, fmt.Errorf("queryengine: dimension %d both grouped and filtered", dim)
-		}
 		need = need.Add(dim)
 	}
 	src, err := e.PickSource(need)
@@ -255,6 +254,14 @@ func (e *Engine) NewQuery(group []int, bounds map[int][2]uint32) (Query, error) 
 type Metrics struct {
 	// Source is the view the query executed against.
 	Source lattice.ViewID
+	// Version is the source view's version counter at execution time.
+	// Execution holds the machine lock, which maintenance (the only
+	// version writer) also holds, so the result is guaranteed to be
+	// computed from exactly this version of the view's slices — cache
+	// entries must be stamped with it, not with a version read at plan
+	// time (a concurrent ingest between plan and execution would
+	// otherwise file a post-batch result under the pre-batch key).
+	Version uint64
 	// RowsScanned counts source rows read and tested across all
 	// processors (after index narrowing).
 	RowsScanned int64
@@ -289,6 +296,11 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Versions only change under Maintain, which holds e.mu, so the
+	// version read here is the one the whole execution runs against.
+	e.stateMu.Lock()
+	ver := e.versions[q.View]
+	e.stateMu.Unlock()
 	t0 := e.m.SimSeconds()
 	bytes0 := e.m.Stats().BytesMoved
 
@@ -322,6 +334,7 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 
 	met := Metrics{
 		Source:     q.View,
+		Version:    ver,
 		SimSeconds: e.m.SimSeconds() - t0,
 		BytesMoved: e.m.Stats().BytesMoved - bytes0,
 	}

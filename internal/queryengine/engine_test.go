@@ -196,8 +196,23 @@ func TestNewQueryValidation(t *testing.T) {
 	if _, err := e.NewQuery([]int{0, 0}, nil); err == nil {
 		t.Fatal("repeated group dimension accepted")
 	}
-	if _, err := e.NewQuery([]int{0}, map[int][2]uint32{0: {1, 1}}); err == nil {
-		t.Fatal("grouped+filtered dimension accepted")
+	// A bound on a grouped dimension is valid: it restricts which
+	// groups survive ("group by d0 where d0 = 1").
+	q, err := e.NewQuery([]int{0}, map[int][2]uint32{0: {1, 1}})
+	if err != nil {
+		t.Fatalf("grouped+filtered dimension rejected: %v", err)
+	}
+	got, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Dim(i, 0) != 1 {
+			t.Fatalf("row %d has group key %d, want only 1", i, got.Dim(i, 0))
+		}
+	}
+	if got.Len() != 1 {
+		t.Fatalf("grouped+filtered returned %d groups, want 1", got.Len())
 	}
 	if _, err := e.NewQuery([]int{1}, map[int][2]uint32{2: {5, 2}}); err == nil {
 		t.Fatal("inverted range accepted")

@@ -1,0 +1,535 @@
+// Package replica implements the replicated serving tier that splits
+// the read path off the ingest leader: N cube replicas, each
+// bootstrapped from a persist-v2 snapshot of the leader and advanced
+// by applying the leader's committed ingest batches in commit order.
+// Because the delta pipeline is deterministic and snapshots re-scatter
+// slices on the leader's partition boundaries, a replica that has
+// applied batch k is byte-identical to the leader as of batch k — same
+// view slices, same per-view version counters — so any replica within
+// the configured staleness bound can answer any read the leader could.
+//
+// The design follows the main-memory cluster OLAP playbook (Hespe et
+// al., see PAPERS.md): one writer, many readers, snapshot + delta
+// shipping, bounded-staleness reads. The leader never blocks on
+// replica progress: committing a batch is an append to the delta log
+// and a wakeup; per-replica shipping goroutines drain the log at their
+// own pace. Replica failures reuse the faults machinery from the
+// build's fault model — a seeded plan crashes a replica at an exact
+// batch sequence, and the crashed replica re-bootstraps from the
+// latest snapshot plus the delta log, deterministically.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/faults"
+)
+
+// ErrClosed is returned by Acquire and WaitCaughtUp after Close.
+var ErrClosed = errors.New("replica: group closed")
+
+// Batch is one committed leader ingest batch in the delta log. Rows
+// are in the cube's internal dimension order, exactly as the leader
+// applied them.
+type Batch struct {
+	Seq  uint64
+	Rows [][]uint32
+	Meas []int64
+}
+
+// Node is one replica's serving state: a cube bootstrapped from a
+// leader snapshot, advanced by applying shipped batches. Apply must be
+// deterministic — applying the same batches in the same order to the
+// same snapshot yields the same node state.
+type Node interface {
+	Apply(rows [][]uint32, meas []int64) error
+}
+
+// Config configures a replica group.
+type Config struct {
+	// Replicas is the number of read replicas (>= 1).
+	Replicas int
+	// MaxLag is the staleness bound in committed batches: a replica is
+	// eligible to serve only while leaderSeq - applied <= MaxLag. 0
+	// means replicas serve only when fully caught up.
+	MaxLag uint64
+	// Bootstrap builds a fresh Node from a leader snapshot. It is
+	// called once per replica at group creation and again whenever a
+	// crashed replica re-bootstraps.
+	Bootstrap func(snapshot []byte) (Node, error)
+	// Faults, when non-nil, injects deterministic replica crashes:
+	// Crash.Rank is the replica index and Crash.Superstep the batch
+	// sequence the replica dies at (just before applying it). A crash
+	// with Superstep 0 and Dimension -1 fires before the replica's
+	// first apply. Payload faults and stragglers in the plan are
+	// ignored — replication ships committed state, not h-relations.
+	Faults *faults.Plan
+	// BeforeApply, when non-nil, runs before a replica applies a batch
+	// — an instrumentation hook for modelling slow replicas in tests.
+	BeforeApply func(replica int, seq uint64)
+}
+
+// ReplicaStat is one replica's progress and routing counters.
+type ReplicaStat struct {
+	// Node is the replica's current serving node (nil while down). It
+	// is replaced wholesale by a re-bootstrap.
+	Node Node
+	// State is "live" (eligible), "catchingup" (running but beyond the
+	// staleness bound), "down" (crashed, awaiting re-bootstrap), or
+	// "failed" (bootstrap or re-apply failed permanently).
+	State string
+	// Applied is the last batch sequence applied; Lag is leaderSeq -
+	// Applied.
+	Applied uint64
+	Lag     uint64
+	// Inflight is the number of reads currently routed here.
+	Inflight int
+	// Routed counts reads ever routed here (survives re-bootstraps).
+	Routed int64
+	// Bootstraps counts node constructions (1 for a replica that never
+	// crashed); Crashes counts failures, injected or real.
+	Bootstraps int64
+	Crashes    int64
+}
+
+// Stats is a point-in-time snapshot of the group.
+type Stats struct {
+	// LeaderSeq is the last committed batch sequence; SnapSeq the
+	// sequence of the current bootstrap snapshot; LogLen the number of
+	// retained delta-log entries.
+	LeaderSeq uint64
+	SnapSeq   uint64
+	LogLen    int
+	// Routed counts reads routed across all replicas; Waits counts
+	// Acquire calls that had to block because no replica was within
+	// the staleness bound.
+	Routed int64
+	Waits  int64
+	// Replicas has one entry per replica, by index.
+	Replicas []ReplicaStat
+}
+
+type rep struct {
+	node        Node
+	applied     uint64
+	down        bool
+	failed      bool
+	inflight    int
+	routed      int64
+	bootstraps  int64
+	crashes     int64
+	lastFailSeq uint64 // batch whose Apply failed (0 = none): two failures in a row => failed
+}
+
+// Group manages N replicas: the delta log, per-replica shipping
+// goroutines, bounded-staleness routing, and crash/catch-up. All
+// methods are safe for concurrent use. The leader side (Commit,
+// SetSnapshot) never blocks on replica progress.
+type Group struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+
+	closed bool
+
+	// log holds committed batches not yet compacted, ascending and
+	// contiguous in Seq.
+	log       []Batch
+	leaderSeq uint64
+	snapshot  []byte
+	snapSeq   uint64
+
+	reps       []*rep
+	crashFired []bool
+
+	routed int64
+	waits  int64
+}
+
+// New bootstraps cfg.Replicas replicas from the snapshot (taken at
+// batch sequence snapSeq) and starts their shipping goroutines.
+func New(cfg Config, snapshot []byte, snapSeq uint64) (*Group, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("replica: group needs at least one replica, got %d", cfg.Replicas)
+	}
+	if cfg.Bootstrap == nil {
+		return nil, fmt.Errorf("replica: nil Bootstrap")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Replicas); err != nil {
+			return nil, err
+		}
+	}
+	g := &Group{
+		cfg:       cfg,
+		snapshot:  snapshot,
+		snapSeq:   snapSeq,
+		leaderSeq: snapSeq,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	if cfg.Faults != nil {
+		g.crashFired = make([]bool, len(cfg.Faults.Crashes))
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		node, err := cfg.Bootstrap(snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("replica %d: bootstrap: %w", i, err)
+		}
+		g.reps = append(g.reps, &rep{node: node, applied: snapSeq, bootstraps: 1})
+	}
+	for i := range g.reps {
+		g.wg.Add(1)
+		go g.ship(i)
+	}
+	return g, nil
+}
+
+// Commit appends one committed leader batch to the delta log and wakes
+// the shippers. It never blocks on replica progress — the leader's
+// ingest path returns immediately no matter how far behind any
+// replica is. Returns the batch's assigned sequence.
+func (g *Group) Commit(rows [][]uint32, meas []int64) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.leaderSeq++
+	g.log = append(g.log, Batch{Seq: g.leaderSeq, Rows: rows, Meas: meas})
+	g.cond.Broadcast()
+	return g.leaderSeq
+}
+
+// SetSnapshot installs a fresh bootstrap snapshot taken at batch
+// sequence seq and compacts the delta log: entries every running
+// replica has already applied (and that the snapshot supersedes for
+// re-bootstraps) are dropped. Down replicas restart from this snapshot
+// instead of replaying from the beginning.
+func (g *Group) SetSnapshot(snapshot []byte, seq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if seq < g.snapSeq {
+		return
+	}
+	g.snapshot, g.snapSeq = snapshot, seq
+	min := seq
+	for _, r := range g.reps {
+		if !r.down && !r.failed && r.node != nil && r.applied < min {
+			min = r.applied
+		}
+	}
+	drop := 0
+	for drop < len(g.log) && g.log[drop].Seq <= min {
+		drop++
+	}
+	g.log = g.log[drop:]
+}
+
+// LeaderSeq returns the last committed batch sequence.
+func (g *Group) LeaderSeq() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderSeq
+}
+
+// Crash takes replica i down as if it had failed. Its shipper
+// re-bootstraps it from the latest snapshot and replays the delta log.
+func (g *Group) Crash(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i < 0 || i >= len(g.reps) {
+		return fmt.Errorf("replica: index %d out of range 0..%d", i, len(g.reps)-1)
+	}
+	r := g.reps[i]
+	r.down, r.node = true, nil
+	r.crashes++
+	g.cond.Broadcast()
+	return nil
+}
+
+// Acquire picks the serving replica for one read and reserves a slot
+// on it: among replicas within the staleness bound, the one with the
+// fewest in-flight reads (ties to fewest total routed, then lowest
+// index). A nonzero affinity prefers the read's "home" replica
+// (affinity mod replicas) when it is eligible and not noticeably more
+// loaded, keeping repeat queries on the replica whose result cache
+// already holds them. When no replica is eligible the call blocks
+// until one catches up within the bound or ctx expires — that wait is
+// the bounded-staleness guarantee. The release func must be called
+// when the read completes.
+func (g *Group) Acquire(ctx context.Context, affinity uint64) (Node, func(), error) {
+	g.mu.Lock()
+	waited := false
+	for {
+		if g.closed {
+			g.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			g.mu.Unlock()
+			return nil, nil, err
+		}
+		if i := g.pickLocked(affinity); i >= 0 {
+			r := g.reps[i]
+			r.inflight++
+			r.routed++
+			g.routed++
+			node := r.node
+			g.mu.Unlock()
+			var once sync.Once
+			release := func() {
+				once.Do(func() {
+					g.mu.Lock()
+					r.inflight--
+					g.mu.Unlock()
+				})
+			}
+			return node, release, nil
+		}
+		if !waited {
+			waited = true
+			g.waits++
+		}
+		stop := context.AfterFunc(ctx, func() {
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		g.cond.Wait()
+		stop()
+	}
+}
+
+// WaitCaughtUp blocks until every non-failed replica has applied the
+// current leader sequence (useful after a burst of ingest, and for
+// deterministic tests).
+func (g *Group) WaitCaughtUp(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.closed {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done := true
+		for _, r := range g.reps {
+			if r.failed {
+				continue
+			}
+			if r.down || r.node == nil || r.applied != g.leaderSeq {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		stop := context.AfterFunc(ctx, func() {
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		g.cond.Wait()
+		stop()
+	}
+}
+
+// Stats snapshots the group's progress and routing counters.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := Stats{
+		LeaderSeq: g.leaderSeq,
+		SnapSeq:   g.snapSeq,
+		LogLen:    len(g.log),
+		Routed:    g.routed,
+		Waits:     g.waits,
+	}
+	for _, r := range g.reps {
+		st := ReplicaStat{
+			Node:       r.node,
+			Applied:    r.applied,
+			Lag:        g.leaderSeq - r.applied,
+			Inflight:   r.inflight,
+			Routed:     r.routed,
+			Bootstraps: r.bootstraps,
+			Crashes:    r.crashes,
+		}
+		switch {
+		case r.failed:
+			st.State = "failed"
+		case r.down || r.node == nil:
+			st.State = "down"
+		case st.Lag > g.cfg.MaxLag:
+			st.State = "catchingup"
+		default:
+			st.State = "live"
+		}
+		s.Replicas = append(s.Replicas, st)
+	}
+	return s
+}
+
+// Close stops the shipping goroutines and fails pending Acquires. It
+// does not touch the replicas' nodes (in-flight reads drain normally).
+func (g *Group) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	g.wg.Wait()
+}
+
+func (g *Group) eligibleLocked(r *rep) bool {
+	return r.node != nil && !r.down && !r.failed && g.leaderSeq-r.applied <= g.cfg.MaxLag
+}
+
+// pickLocked implements the routing policy described on Acquire.
+func (g *Group) pickLocked(affinity uint64) int {
+	best := -1
+	minIn := 0
+	for i, r := range g.reps {
+		if !g.eligibleLocked(r) {
+			continue
+		}
+		if best == -1 || r.inflight < minIn ||
+			(r.inflight == minIn && r.routed < g.reps[best].routed) {
+			best, minIn = i, r.inflight
+		}
+	}
+	if best == -1 {
+		return -1
+	}
+	if affinity != 0 {
+		h := int(affinity % uint64(len(g.reps)))
+		if rh := g.reps[h]; g.eligibleLocked(rh) && rh.inflight <= minIn+1 {
+			return h
+		}
+	}
+	return best
+}
+
+// needsWorkLocked reports whether replica r's shipper has anything to
+// do: a re-bootstrap, or unapplied committed batches.
+func (g *Group) needsWorkLocked(r *rep) bool {
+	if r.failed {
+		return false
+	}
+	return r.down || r.node == nil || r.applied < g.leaderSeq
+}
+
+// nextBatchLocked returns the logged batch with Seq == applied+1, or
+// nil when it has been compacted away (the replica must re-bootstrap
+// from the snapshot instead).
+func (g *Group) nextBatchLocked(applied uint64) *Batch {
+	if len(g.log) == 0 || g.log[0].Seq > applied+1 {
+		return nil
+	}
+	idx := int(applied + 1 - g.log[0].Seq)
+	if idx >= len(g.log) {
+		return nil
+	}
+	return &g.log[idx]
+}
+
+// fireCrashLocked consumes at most one matching planned crash for
+// replica i at batch sequence seq. Each crash fires once per group,
+// like the build-time fault model.
+func (g *Group) fireCrashLocked(i int, seq uint64) bool {
+	p := g.cfg.Faults
+	if p == nil {
+		return false
+	}
+	for k, c := range p.Crashes {
+		if g.crashFired[k] {
+			continue
+		}
+		if c.Matches(i, -1, "", int64(seq)) {
+			g.crashFired[k] = true
+			return true
+		}
+	}
+	return false
+}
+
+// ship is replica i's shipping loop: re-bootstrap when down, otherwise
+// apply the next committed batch, firing any planned crash at its
+// exact sequence. One goroutine per replica; the leader never waits on
+// it. The loop holds g.mu except across the Bootstrap/Apply calls
+// themselves.
+func (g *Group) ship(i int) {
+	defer g.wg.Done()
+	r := g.reps[i]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		for !g.closed && !g.needsWorkLocked(r) {
+			g.cond.Wait()
+		}
+		if g.closed {
+			return
+		}
+
+		if r.down || r.node == nil || g.nextBatchLocked(r.applied) == nil {
+			// Re-bootstrap from the latest snapshot; the delta log from
+			// snapSeq+1 replays through the normal apply path below.
+			snap, seq := g.snapshot, g.snapSeq
+			r.down, r.node = true, nil
+			g.mu.Unlock()
+			node, err := g.cfg.Bootstrap(snap)
+			g.mu.Lock()
+			if err != nil || node == nil {
+				// A snapshot that cannot be loaded will not load next
+				// time either: retire the replica instead of spinning.
+				r.failed = true
+			} else {
+				r.node = node
+				r.applied = seq
+				r.down = false
+				r.bootstraps++
+			}
+			g.cond.Broadcast()
+			continue
+		}
+
+		b := g.nextBatchLocked(r.applied)
+		if g.fireCrashLocked(i, b.Seq) {
+			r.down, r.node = true, nil
+			r.crashes++
+			g.cond.Broadcast()
+			continue
+		}
+		node := r.node
+		g.mu.Unlock()
+		if g.cfg.BeforeApply != nil {
+			g.cfg.BeforeApply(i, b.Seq)
+		}
+		err := node.Apply(b.Rows, b.Meas)
+		g.mu.Lock()
+		if err != nil {
+			// Treat an apply failure as a replica fault: take the
+			// replica down and re-bootstrap. If the very same batch
+			// fails again after a clean re-bootstrap the fault is
+			// deterministic — retire the replica rather than loop.
+			if r.lastFailSeq == b.Seq {
+				r.failed = true
+			}
+			r.lastFailSeq = b.Seq
+			r.down, r.node = true, nil
+			r.crashes++
+		} else {
+			r.applied = b.Seq
+			// Clear the failure marker only once the replica applies the
+			// previously failed batch (or passes it): a successful replay
+			// of *earlier* batches after a re-bootstrap says nothing
+			// about whether the failed batch will fail again.
+			if b.Seq >= r.lastFailSeq {
+				r.lastFailSeq = 0
+			}
+		}
+		g.cond.Broadcast()
+	}
+}

@@ -1,0 +1,331 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// fakeNode is a trivial deterministic Node: its state is the sum of a
+// bootstrap base and every applied batch's measures. Batches in these
+// tests carry their commit ordinal as the single measure, so equal
+// totals mean equal applied prefixes.
+type fakeNode struct {
+	mu    sync.Mutex
+	total int64
+	fail  int64 // Apply fails whenever a measure equals fail (0 = never)
+}
+
+func (n *fakeNode) Apply(rows [][]uint32, meas []int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range meas {
+		if n.fail != 0 && m == n.fail {
+			return errors.New("injected apply failure")
+		}
+		n.total += m
+	}
+	return nil
+}
+
+func (n *fakeNode) Total() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.total
+}
+
+// snapshotOf encodes a fakeNode bootstrap base; bootstrapFake decodes
+// it.
+func snapshotOf(total int64) []byte { return []byte(strconv.FormatInt(total, 10)) }
+
+func bootstrapFake(fail int64) func([]byte) (Node, error) {
+	return func(snap []byte) (Node, error) {
+		base, err := strconv.ParseInt(string(snap), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &fakeNode{total: base, fail: fail}, nil
+	}
+}
+
+// commitN commits batches carrying ordinals from..to inclusive and
+// returns their sum.
+func commitN(g *Group, from, to int64) int64 {
+	var sum int64
+	for k := from; k <= to; k++ {
+		g.Commit(nil, []int64{k})
+		sum += k
+	}
+	return sum
+}
+
+func waitCaughtUp(t *testing.T, g *Group) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := g.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("WaitCaughtUp: %v", err)
+	}
+}
+
+func TestCommitShipAndCatchUp(t *testing.T) {
+	g, err := New(Config{Replicas: 3, Bootstrap: bootstrapFake(0)}, snapshotOf(100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sum := commitN(g, 1, 5)
+	waitCaughtUp(t, g)
+	st := g.Stats()
+	if st.LeaderSeq != 5 {
+		t.Fatalf("LeaderSeq = %d, want 5", st.LeaderSeq)
+	}
+	for i, r := range st.Replicas {
+		if r.Applied != 5 || r.Lag != 0 || r.State != "live" || r.Bootstraps != 1 {
+			t.Fatalf("replica %d: %+v", i, r)
+		}
+		if got := r.Node.(*fakeNode).Total(); got != 100+sum {
+			t.Fatalf("replica %d total %d, want %d", i, got, 100+sum)
+		}
+	}
+}
+
+func TestBoundedStalenessBlocksAcquire(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	g, err := New(Config{
+		Replicas:  1,
+		MaxLag:    1,
+		Bootstrap: bootstrapFake(0),
+		BeforeApply: func(replica int, seq uint64) {
+			<-gate
+		},
+	}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	defer gateOnce.Do(func() { close(gate) })
+
+	commitN(g, 1, 3)
+	// The replica cannot apply anything while the gate is closed, so it
+	// is 3 batches behind a MaxLag of 1: reads must block until the
+	// deadline, not serve stale data.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, _, err = g.Acquire(ctx, 0)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire beyond the staleness bound: err = %v, want deadline", err)
+	}
+	if st := g.Stats(); st.Waits == 0 {
+		t.Fatalf("blocked Acquire not counted: %+v", st)
+	}
+
+	gateOnce.Do(func() { close(gate) })
+	waitCaughtUp(t, g)
+	node, release, err := g.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if got := node.(*fakeNode).Total(); got != 1+2+3 {
+		t.Fatalf("served total %d, want 6", got)
+	}
+}
+
+func TestRoutingLeastLoadedAndAffinity(t *testing.T) {
+	g, err := New(Config{Replicas: 3, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Without releases, three acquires must land on three distinct
+	// replicas (least-inflight routing).
+	ctx := context.Background()
+	seen := map[Node]bool{}
+	var releases []func()
+	for k := 0; k < 3; k++ {
+		n, rel, err := g.Acquire(ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n] = true
+		releases = append(releases, rel)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 concurrent reads used %d replicas", len(seen))
+	}
+	for _, rel := range releases {
+		rel()
+	}
+
+	// With an affinity hash, idle repeats stay on the home replica
+	// (5 mod 3 = replica 2) so its cache keeps the entry.
+	var home Node
+	for k := 0; k < 8; k++ {
+		n, rel, err := g.Acquire(ctx, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+		if home == nil {
+			home = n
+		} else if n != home {
+			t.Fatalf("affinity read %d routed away from home replica", k)
+		}
+	}
+	st := g.Stats()
+	// 1 from the spread phase plus all 8 affinity reads.
+	if st.Replicas[2].Routed != 9 {
+		t.Fatalf("home replica routed %d, want 9 (stats %+v)", st.Replicas[2].Routed, st)
+	}
+}
+
+func TestCrashReBootstrapAndCompaction(t *testing.T) {
+	g, err := New(Config{Replicas: 2, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	sum := commitN(g, 1, 4)
+	waitCaughtUp(t, g)
+	// Everyone applied through 4: a snapshot at 4 compacts the whole log.
+	g.SetSnapshot(snapshotOf(sum), 4)
+	if st := g.Stats(); st.LogLen != 0 || st.SnapSeq != 4 {
+		t.Fatalf("after compaction: %+v", st)
+	}
+
+	// Crash replica 1: it re-bootstraps from the seq-4 snapshot (the
+	// pre-snapshot log entries are gone) and lands on the same state.
+	if err := g.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	sum += commitN(g, 5, 6)
+	waitCaughtUp(t, g)
+	st := g.Stats()
+	r := st.Replicas[1]
+	if r.Crashes != 1 || r.Bootstraps != 2 || r.Applied != 6 || r.State != "live" {
+		t.Fatalf("crashed replica after catch-up: %+v", r)
+	}
+	for i, rep := range st.Replicas {
+		if got := rep.Node.(*fakeNode).Total(); got != sum {
+			t.Fatalf("replica %d total %d, want %d", i, got, sum)
+		}
+	}
+}
+
+func TestPlannedCrashIsDeterministic(t *testing.T) {
+	run := func() (Stats, []int64) {
+		g, err := New(Config{
+			Replicas:  2,
+			Bootstrap: bootstrapFake(0),
+			Faults: &faults.Plan{Crashes: []faults.Crash{
+				{Rank: 0, Dimension: -1, Superstep: 2},
+			}},
+		}, snapshotOf(0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		commitN(g, 1, 5)
+		waitCaughtUp(t, g)
+		st := g.Stats()
+		totals := make([]int64, len(st.Replicas))
+		for i, r := range st.Replicas {
+			totals[i] = r.Node.(*fakeNode).Total()
+		}
+		return st, totals
+	}
+	st1, tot1 := run()
+	st2, tot2 := run()
+	if st1.Replicas[0].Crashes != 1 || st1.Replicas[0].Bootstraps != 2 {
+		t.Fatalf("planned crash did not fire exactly once: %+v", st1.Replicas[0])
+	}
+	if st1.Replicas[1].Crashes != 0 {
+		t.Fatalf("crash leaked onto replica 1: %+v", st1.Replicas[1])
+	}
+	for i := range tot1 {
+		if tot1[i] != 1+2+3+4+5 || tot1[i] != tot2[i] {
+			t.Fatalf("replica %d totals across runs: %d vs %d", i, tot1[i], tot2[i])
+		}
+	}
+	// Node pointers differ run to run; everything else must not.
+	for i := range st1.Replicas {
+		a, b := st1.Replicas[i], st2.Replicas[i]
+		a.Node, b.Node = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("replica %d stats differ across identical runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestDeterministicApplyFailureRetiresReplica(t *testing.T) {
+	// Batch ordinal 2 always fails on this node: after a crash, a
+	// re-bootstrap, and a second identical failure, the group must
+	// retire the replica instead of looping forever.
+	g, err := New(Config{Replicas: 2, Bootstrap: bootstrapFake(2)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	commitN(g, 1, 3)
+	waitCaughtUp(t, g) // skips failed replicas
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := g.Stats()
+		if st.Replicas[0].State == "failed" && st.Replicas[1].State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas not retired: %+v", st.Replicas)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With every replica failed, reads fail by deadline rather than
+	// serving a corrupt node.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := g.Acquire(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire with all replicas failed: %v", err)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := New(Config{Replicas: 0, Bootstrap: bootstrapFake(0)}, nil, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	if _, err := New(Config{Replicas: 2}, nil, 0); err == nil {
+		t.Fatal("nil bootstrap accepted")
+	}
+	if _, err := New(Config{
+		Replicas:  2,
+		Bootstrap: bootstrapFake(0),
+		Faults:    &faults.Plan{Crashes: []faults.Crash{{Rank: 7}}},
+	}, snapshotOf(0), 0); err == nil {
+		t.Fatal("out-of-range crash rank accepted")
+	}
+	g, err := New(Config{Replicas: 1, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Crash(5); err == nil {
+		t.Fatal("out-of-range crash index accepted")
+	}
+	g.Close()
+	if _, _, err := g.Acquire(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Acquire after Close: %v", err)
+	}
+	if err := g.WaitCaughtUp(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitCaughtUp after Close: %v", err)
+	}
+}

@@ -64,6 +64,48 @@ type Metrics struct {
 	DeltaMergeBytes   int64
 }
 
+// ReplicaStats are one read replica's replication progress and serving
+// counters.
+type ReplicaStats struct {
+	// State is "live" (within the staleness bound), "catchingup"
+	// (running but beyond it), "down" (crashed, re-bootstrapping), or
+	// "failed" (retired permanently).
+	State string
+	// Applied is the last leader batch sequence applied; Lag is the
+	// replica's distance behind the leader in batches.
+	Applied uint64
+	Lag     uint64
+	// Routed counts reads ever routed to this replica (survives
+	// re-bootstraps).
+	Routed int64
+	// Bootstraps counts snapshot loads (1 for a replica that never
+	// crashed); Crashes counts failures, injected or real.
+	Bootstraps int64
+	Crashes    int64
+	// Server holds the replica's query-server counters. A re-bootstrap
+	// replaces the server, so these reset when a replica crashes.
+	Server ServerStats
+}
+
+// ReplicaSetStats snapshot a replica set's replication and serving
+// state.
+type ReplicaSetStats struct {
+	// LeaderSeq is the leader's last committed batch sequence;
+	// SnapshotSeq the sequence of the current bootstrap snapshot;
+	// DeltaLogLen the number of retained (uncompacted) delta-log
+	// batches.
+	LeaderSeq   uint64
+	SnapshotSeq uint64
+	DeltaLogLen int
+	// Routed counts reads routed across all replicas; StalenessWaits
+	// counts reads that had to block because no replica was within the
+	// staleness bound.
+	Routed         int64
+	StalenessWaits int64
+	// Replicas has one entry per replica, by index.
+	Replicas []ReplicaStats
+}
+
 // Metrics returns the cube's cumulative metrics (the build plus every
 // applied ingest batch). The maps are copies, stable against later
 // batches.

@@ -54,7 +54,25 @@ const savedCubeVersion = 2
 // Save serializes the cube (schema, dictionaries, metrics, every
 // materialized view, and any buffered facts) so it can be reloaded
 // with LoadCube, queried, and further maintained without rebuilding.
+//
+// Save is safe to call concurrently with Ingest: the pending-buffer
+// copy, the version-counter snapshot, and the gather of every view
+// slice all happen inside one maintenance critical section, so the
+// serialized cube is always a committed batch boundary — never a torn
+// mixture of pre-batch and post-batch views.
 func (c *Cube) Save(w io.Writer) error {
+	c.ingMu.Lock()
+	defer c.ingMu.Unlock()
+	return c.saveLocked(w, true)
+}
+
+// saveLocked is Save's body, for callers that already hold ingMu (the
+// replica tier snapshots the leader from inside its commit hook).
+// includePending controls whether buffered-but-unapplied facts are
+// serialized; replica bootstrap snapshots exclude them, because those
+// facts will arrive at the replica later as part of a shipped batch
+// and must not be double counted.
+func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
 	sc := savedCube{
 		Version:    savedCubeVersion,
 		Dimensions: c.in.schema.Dimensions,
@@ -64,33 +82,65 @@ func (c *Cube) Save(w io.Writer) error {
 		Hardware:   int(c.opts.Hardware),
 		MinSupport: c.opts.MinSupport,
 	}
+	snapshot := func() error {
+		if c.engine != nil {
+			sc.ViewVersions = map[uint32]uint64{}
+			for v, ver := range c.engine.Versions() {
+				sc.ViewVersions[uint32(v)] = ver
+			}
+		}
+		if includePending && c.pending != nil {
+			for i := 0; i < c.pending.Len(); i++ {
+				sc.PendingDims = append(sc.PendingDims, c.pending.Row(i)...)
+				sc.PendingMeas = append(sc.PendingMeas, c.pending.Meas(i))
+			}
+		}
+		for _, v := range c.views {
+			rows := c.gatherViewRaw(v)
+			sv := savedView{View: uint32(v), Order: c.orders[v]}
+			n := rows.Len()
+			sv.Dims = make([]uint32, 0, n*rows.D)
+			sv.Meas = make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				sv.Dims = append(sv.Dims, rows.Row(i)...)
+				sv.Meas = append(sv.Meas, rows.Meas(i))
+			}
+			sc.Views = append(sc.Views, sv)
+		}
+		return nil
+	}
+	// One maintenance section across every view: holding ingMu alone is
+	// not enough, because the per-view gathers would otherwise
+	// interleave with an engine-level slice replacement.
+	var err error
 	if c.engine != nil {
-		sc.ViewVersions = map[uint32]uint64{}
-		for v, ver := range c.engine.Versions() {
-			sc.ViewVersions[uint32(v)] = ver
-		}
+		err = c.engine.Maintain(snapshot)
+	} else {
+		err = snapshot()
 	}
-	c.ingMu.Lock()
-	if c.pending != nil {
-		for i := 0; i < c.pending.Len(); i++ {
-			sc.PendingDims = append(sc.PendingDims, c.pending.Row(i)...)
-			sc.PendingMeas = append(sc.PendingMeas, c.pending.Meas(i))
-		}
-	}
-	c.ingMu.Unlock()
-	for _, v := range c.views {
-		vw := c.gather(v)
-		sv := savedView{View: uint32(v), Order: c.orders[v]}
-		n := vw.rows.Len()
-		sv.Dims = make([]uint32, 0, n*vw.rows.D)
-		sv.Meas = make([]int64, 0, n)
-		for i := 0; i < n; i++ {
-			sv.Dims = append(sv.Dims, vw.rows.Row(i)...)
-			sv.Meas = append(sv.Meas, vw.rows.Meas(i))
-		}
-		sc.Views = append(sc.Views, sv)
+	if err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(sc)
+}
+
+// gatherViewRaw reads view v's slices into one table directly off the
+// processors' disks, without entering the engine's maintenance section
+// (Maintain is not reentrant; saveLocked already holds it).
+func (c *Cube) gatherViewRaw(v lattice.ViewID) *record.Table {
+	if c.machine == nil {
+		if t := c.cache[v]; t != nil {
+			return t
+		}
+		return record.New(v.Count(), 0)
+	}
+	rows := record.New(v.Count(), 0)
+	for r := 0; r < c.machine.P(); r++ {
+		if t, ok := c.machine.Proc(r).Disk().Get(core.ViewFile(v)); ok {
+			rows.AppendTable(t)
+		}
+	}
+	return rows
 }
 
 // LoadCube deserializes a cube written by Save and rehydrates the full

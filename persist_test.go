@@ -262,6 +262,100 @@ func TestSaveLoadPendingAndVersions(t *testing.T) {
 	checkCubesEqual(t, loaded, fresh)
 }
 
+// TestSaveDuringIngestNotTorn: Save racing a concurrent Ingest must
+// serialize at a committed batch boundary. Every snapshot taken while
+// batches land must reload to a cube in which all views agree on the
+// grand total, and that total is one of the committed prefix totals —
+// never a torn mixture of pre- and post-batch slices.
+func TestSaveDuringIngestNotTorn(t *testing.T) {
+	rows, meas := randomFacts(700, 311)
+	base := 300
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+
+	// Totals at every committed boundary.
+	allowed := map[int64]bool{}
+	var total int64
+	for _, m := range meas[:base] {
+		total += m
+	}
+	allowed[total] = true
+	const batch = 50
+	for lo := base; lo < len(rows); lo += batch {
+		for _, m := range meas[lo : lo+batch] {
+			total += m
+		}
+		allowed[total] = true
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for lo := base; lo < len(rows); lo += batch {
+			if _, err := cube.Ingest(rows[lo:lo+batch], meas[lo:lo+batch]); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	var snaps [][]byte
+	ingesting := true
+	for ingesting {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingesting = false
+		default:
+		}
+		var buf bytes.Buffer
+		if err := cube.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	}
+
+	for k, snap := range snaps {
+		loaded, err := LoadCube(bytes.NewReader(snap))
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", k, err)
+		}
+		grand, err := loaded.Aggregate(nil, nil)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", k, err)
+		}
+		if !allowed[grand] {
+			t.Fatalf("snapshot %d: grand total %d is not any committed boundary", k, grand)
+		}
+		// Every view of a Sum cube re-aggregates to the same grand
+		// total; a torn save (some views pre-batch, some post-batch)
+		// would disagree.
+		for _, dims := range loaded.Views() {
+			vw, err := loaded.View(dims)
+			if err != nil {
+				t.Fatalf("snapshot %d view %v: %v", k, dims, err)
+			}
+			var sum int64
+			for i := 0; i < vw.Len(); i++ {
+				_, m := vw.Row(i)
+				sum += m
+			}
+			if sum != grand {
+				t.Fatalf("snapshot %d: view %v sums to %d, grand total %d — torn save", k, dims, sum, grand)
+			}
+		}
+	}
+	// The last snapshot (taken after ingest finished) reloads to the
+	// complete stream: identical to a scratch rebuild on all the facts.
+	loaded, err := LoadCube(bytes.NewReader(snaps[len(snaps)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildFromFacts(t, rows, meas, Options{Processors: 2})
+	checkCubesEqual(t, loaded, fresh)
+}
+
 // TestLoadV1Snapshot: version-1 snapshots (no hardware, iceberg, or
 // version records) still load and serve queries, but reject ingest.
 func TestLoadV1Snapshot(t *testing.T) {

@@ -83,9 +83,19 @@ func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32) (*View, e
 	if _, err := c.in.viewOf(dims); err != nil {
 		return nil, err
 	}
+	// A filter may restrict a grouped dimension (the query is "group by
+	// store where store = 3"), so filter dims must be deduplicated
+	// against the group dims before forming the needed view — naively
+	// appending both lists makes viewOf reject the repeat.
+	grouped := make(map[string]bool, len(dims))
+	for _, name := range dims {
+		grouped[name] = true
+	}
 	filterDims := make([]string, 0, len(filters))
 	for name := range filters {
-		filterDims = append(filterDims, name)
+		if !grouped[name] {
+			filterDims = append(filterDims, name)
+		}
 	}
 	need, err := c.in.viewOf(append(append([]string{}, dims...), filterDims...))
 	if err != nil {

@@ -56,6 +56,13 @@ func TestDistributedGroupByMatchesGatherOracle(t *testing.T) {
 				filters[dims[u].Name] = uint32(rng.Intn(dims[u].Cardinality))
 			}
 		}
+		// Filters may also restrict grouped dimensions ("group by X
+		// where X = v"); both paths must agree on the restriction too.
+		for _, u := range perm[:ng] {
+			if rng.Intn(4) == 0 {
+				filters[dims[u].Name] = uint32(rng.Intn(dims[u].Cardinality))
+			}
+		}
 
 		got, err := cube.GroupBy(group, filters)
 		if err != nil {

@@ -76,8 +76,23 @@ func TestGroupByValidation(t *testing.T) {
 	if _, err := cube.GroupBy([]string{"bogus"}, nil); err == nil {
 		t.Fatal("unknown dimension accepted")
 	}
-	if _, err := cube.GroupBy([]string{"store"}, map[string]uint32{"store": 1}); err == nil {
-		t.Fatal("filter on grouped dimension accepted")
+	// A filter on a grouped dimension is a valid restriction ("group by
+	// store where store = 1"), and both serving paths must agree on it.
+	vw, err := cube.GroupBy([]string{"store"}, map[string]uint32{"store": 1})
+	if err != nil {
+		t.Fatalf("filter on grouped dimension rejected: %v", err)
+	}
+	for i := 0; i < vw.Len(); i++ {
+		if key, _ := vw.Row(i); key[0] != 1 {
+			t.Fatalf("row %d has store %d, want only 1", i, key[0])
+		}
+	}
+	gathered, err := cube.gatherGroupBy([]string{"store"}, map[string]uint32{"store": 1})
+	if err != nil {
+		t.Fatalf("gather path rejected grouped-dim filter: %v", err)
+	}
+	if gathered.Len() != vw.Len() {
+		t.Fatalf("paths disagree: gather %d rows, distributed %d", gathered.Len(), vw.Len())
 	}
 }
 

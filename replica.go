@@ -1,0 +1,280 @@
+package rolap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/replica"
+)
+
+// ReplicaOptions configures a replicated serving tier over one ingest
+// leader.
+type ReplicaOptions struct {
+	// Replicas is the number of read replicas (default 2).
+	Replicas int
+	// MaxLag is the staleness bound in committed batches: a replica
+	// serves reads only while it is within MaxLag batches of the
+	// leader. 0 means replicas serve only when fully caught up; reads
+	// block (up to their context deadline) while no replica is within
+	// the bound.
+	MaxLag uint64
+	// SnapshotEvery refreshes the bootstrap snapshot every N committed
+	// batches, compacting the delta log (default 16; negative disables
+	// refresh — crashed replicas then replay the whole log from the
+	// creation-time snapshot).
+	SnapshotEvery int
+	// Server configures each replica's query server (workers, queue,
+	// cache, timeout).
+	Server ServerOptions
+	// Faults, when non-nil, injects deterministic replica crashes:
+	// Crash.Processor is the replica index and Crash.Superstep the
+	// batch sequence it dies at, just before applying that batch. The
+	// crashed replica re-bootstraps from the latest snapshot and
+	// replays the delta log. Drops, corruptions and stragglers in the
+	// plan are ignored — replication ships committed batches, not
+	// h-relations.
+	Faults *FaultPlan
+}
+
+// ReplicaSet is a replicated serving tier: N read replicas, each a
+// full cube bootstrapped from a snapshot of the leader and advanced by
+// applying the leader's committed ingest batches in commit order.
+// Reads are load-balanced across the replicas within the staleness
+// bound, with cache affinity — repeat queries prefer the replica whose
+// result cache already holds them. The leader keeps ingesting through
+// its normal Ingest path and never blocks on replica progress.
+//
+// Because the delta pipeline is deterministic and snapshots re-scatter
+// view slices on the leader's partition boundaries, a replica that has
+// applied batch k serves exactly what the leader served as of batch k
+// — same views, same per-view version counters.
+type ReplicaSet struct {
+	leader *Cube
+	group  *replica.Group
+	hookID int
+	closed bool
+}
+
+// replicaNode is one replica's serving state: its own cube (loaded
+// from a leader snapshot, advanced by shipped batches) and a query
+// server with a private result cache and prefix indexes.
+type replicaNode struct {
+	cube *Cube
+	srv  *Server
+}
+
+// Apply implements replica.Node: one committed leader batch, rows in
+// internal dimension order.
+func (n *replicaNode) Apply(rows [][]uint32, meas []int64) error {
+	return n.cube.applyShippedBatch(rows, meas)
+}
+
+// NewReplicaSet bootstraps a replicated serving tier over the cube.
+// The snapshot, the replica bootstraps, and the commit-hook
+// registration happen atomically with respect to Ingest, so no batch
+// can slip between the snapshot and the delta stream.
+func (c *Cube) NewReplicaSet(opts ReplicaOptions) (*ReplicaSet, error) {
+	if c.engine == nil {
+		return nil, fmt.Errorf("rolap: cube has no cluster (loaded without a machine); cannot replicate")
+	}
+	n := opts.Replicas
+	if n == 0 {
+		n = 2
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("rolap: replica set needs at least one replica, got %d", n)
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 16
+	}
+	srvOpts := opts.Server
+
+	cfg := replica.Config{
+		Replicas: n,
+		MaxLag:   opts.MaxLag,
+		Faults:   opts.Faults.internal(),
+		Bootstrap: func(snapshot []byte) (replica.Node, error) {
+			cube, err := LoadCube(bytes.NewReader(snapshot))
+			if err != nil {
+				return nil, err
+			}
+			srv, err := cube.NewServer(srvOpts)
+			if err != nil {
+				return nil, err
+			}
+			return &replicaNode{cube: cube, srv: srv}, nil
+		},
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(n); err != nil {
+			return nil, fmt.Errorf("rolap: %w", err)
+		}
+	}
+
+	c.ingMu.Lock()
+	defer c.ingMu.Unlock()
+
+	// Bootstrap snapshots exclude the leader's pending buffer: those
+	// facts are not yet part of any committed batch, and when they
+	// commit they arrive at the replicas as a shipped batch — including
+	// them here would double count them.
+	var buf bytes.Buffer
+	if err := c.saveLocked(&buf, false); err != nil {
+		return nil, err
+	}
+	group, err := replica.New(cfg, buf.Bytes(), 0)
+	if err != nil {
+		return nil, err
+	}
+
+	rs := &ReplicaSet{leader: c, group: group}
+	rs.hookID = c.addCommitHookLocked(func(rows [][]uint32, meas []int64) {
+		seq := group.Commit(rows, meas)
+		if snapEvery > 0 && seq%uint64(snapEvery) == 0 {
+			// Refresh the bootstrap snapshot at this exact commit: the
+			// hook runs under ingMu with the pending buffer just
+			// cleared, so the serialized cube is precisely the
+			// post-batch-seq state. The gather is leader-local work —
+			// it never waits on replica progress.
+			var b bytes.Buffer
+			if err := c.saveLocked(&b, false); err == nil {
+				group.SetSnapshot(b.Bytes(), seq)
+			}
+		}
+	})
+	return rs, nil
+}
+
+// GroupBy serves an ad-hoc group-by with equality filters from a
+// replica within the staleness bound, like Server.GroupBy.
+func (r *ReplicaSet) GroupBy(ctx context.Context, dims []string, filters map[string]uint32) (*View, QueryMetrics, error) {
+	node, release, err := r.group.Acquire(ctx, groupByAffinity(dims, filters))
+	if err != nil {
+		return nil, QueryMetrics{}, err
+	}
+	defer release()
+	return node.(*replicaNode).srv.GroupBy(ctx, dims, filters)
+}
+
+// Aggregate serves a point lookup from a replica within the staleness
+// bound, like Server.Aggregate.
+func (r *ReplicaSet) Aggregate(ctx context.Context, dims []string, key []uint32) (int64, QueryMetrics, error) {
+	node, release, err := r.group.Acquire(ctx, rangeAffinity(dims, key, key))
+	if err != nil {
+		return 0, QueryMetrics{}, err
+	}
+	defer release()
+	return node.(*replicaNode).srv.Aggregate(ctx, dims, key)
+}
+
+// RangeAggregate serves a range aggregate from a replica within the
+// staleness bound, like Server.RangeAggregate.
+func (r *ReplicaSet) RangeAggregate(ctx context.Context, dims []string, lo, hi []uint32) (int64, QueryMetrics, error) {
+	node, release, err := r.group.Acquire(ctx, rangeAffinity(dims, lo, hi))
+	if err != nil {
+		return 0, QueryMetrics{}, err
+	}
+	defer release()
+	return node.(*replicaNode).srv.RangeAggregate(ctx, dims, lo, hi)
+}
+
+// WaitCaughtUp blocks until every non-failed replica has applied the
+// leader's last committed batch, or ctx expires.
+func (r *ReplicaSet) WaitCaughtUp(ctx context.Context) error {
+	return r.group.WaitCaughtUp(ctx)
+}
+
+// CrashReplica takes replica i down as if it had failed; its shipper
+// re-bootstraps it from the latest snapshot and replays the delta log.
+func (r *ReplicaSet) CrashReplica(i int) error {
+	return r.group.Crash(i)
+}
+
+// Stats snapshots the replica set's replication and serving counters.
+func (r *ReplicaSet) Stats() ReplicaSetStats {
+	gs := r.group.Stats()
+	s := ReplicaSetStats{
+		LeaderSeq:      gs.LeaderSeq,
+		SnapshotSeq:    gs.SnapSeq,
+		DeltaLogLen:    gs.LogLen,
+		Routed:         gs.Routed,
+		StalenessWaits: gs.Waits,
+	}
+	for _, rep := range gs.Replicas {
+		rs := ReplicaStats{
+			State:      rep.State,
+			Applied:    rep.Applied,
+			Lag:        rep.Lag,
+			Routed:     rep.Routed,
+			Bootstraps: rep.Bootstraps,
+			Crashes:    rep.Crashes,
+		}
+		if node, ok := rep.Node.(*replicaNode); ok && node != nil {
+			rs.Server = node.srv.Stats()
+		}
+		s.Replicas = append(s.Replicas, rs)
+	}
+	return s
+}
+
+// Close detaches the replica set from the leader's commit stream and
+// stops the shipping goroutines. The leader keeps ingesting; in-flight
+// reads drain normally.
+func (r *ReplicaSet) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.leader.removeCommitHook(r.hookID)
+	r.group.Close()
+}
+
+// groupByAffinity hashes a group-by request into a stable routing
+// affinity, so repeat queries land on the replica whose result cache
+// already holds them. Filters are folded in sorted key order to keep
+// the hash independent of map iteration.
+func groupByAffinity(dims []string, filters map[string]uint32) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "g")
+	for _, d := range dims {
+		io.WriteString(h, "|")
+		io.WriteString(h, d)
+	}
+	names := make([]string, 0, len(filters))
+	for name := range filters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "#%s=%d", name, filters[name])
+	}
+	return nonzero(h.Sum64())
+}
+
+// rangeAffinity hashes a range-aggregate request into a stable routing
+// affinity.
+func rangeAffinity(dims []string, lo, hi []uint32) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "s")
+	for _, d := range dims {
+		io.WriteString(h, "|")
+		io.WriteString(h, d)
+	}
+	for k := range lo {
+		fmt.Fprintf(h, "#%d..%d", lo[k], hi[k])
+	}
+	return nonzero(h.Sum64())
+}
+
+// nonzero keeps a hash out of the "no affinity" sentinel.
+func nonzero(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}

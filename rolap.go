@@ -256,6 +256,12 @@ type Cube struct {
 	// the next flush; ingMu serializes buffer access and flushes.
 	pending *record.Table
 	ingMu   sync.Mutex
+	// commitHooks are called after every successfully applied batch,
+	// in registration order, with ingMu held — so hooks observe batches
+	// in exactly commit order. The replica tier's delta shipping taps
+	// in here.
+	commitHooks map[int]func(rows [][]uint32, meas []int64)
+	nextHookID  int
 	// ingestFaults is a one-shot fault plan consumed by the next flush.
 	ingestFaults *faults.Plan
 	// loadedV1 marks cubes loaded from a version-1 snapshot, which

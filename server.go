@@ -74,12 +74,14 @@ var ErrServerOverloaded = errors.New("rolap: server overloaded, query rejected")
 // Server is a concurrent query front end over a built cube: a bounded
 // worker pool admits queries, a canonicalized-key LRU cache answers
 // repeats without touching the machine, and everything admitted
-// executes scatter–gather on the cube's simulated cluster. Cache keys
-// are stamped with the source view's version counter, so results
+// executes scatter–gather on the cube's simulated cluster. Each cache
+// entry is stamped with the source view's version counter as returned
+// by the execution itself (not as read at plan time, which would race
+// with a concurrent ingest commit), and a hit is served only when the
+// entry's version still matches the view's current version — results
 // cached before an ingest batch cannot be served after the batch
-// replaces that view's slices — stale entries simply stop matching and
-// age out of the LRU. Server is safe for concurrent use, including
-// concurrently with Cube.Ingest.
+// replaces that view's slices. Server is safe for concurrent use,
+// including concurrently with Cube.Ingest.
 type Server struct {
 	cube  *Cube
 	sem   chan struct{} // worker slots
@@ -132,9 +134,13 @@ func (c *Cube) NewServer(opts ServerOptions) (*Server, error) {
 // cached pairs a query's merged result table with the metrics of the
 // execution that produced it, so cache hits can still report the
 // source view. The table is immutable and safely shared across hits.
+// ver is the source view's version the execution ran against (from
+// queryengine.Metrics.Version); a hit is valid only while the view is
+// still at that version.
 type cached struct {
 	rows *record.Table
 	met  queryengine.Metrics
+	ver  uint64
 }
 
 // GroupBy serves an ad-hoc group-by with equality filters, like
@@ -162,8 +168,11 @@ func (s *Server) Aggregate(ctx context.Context, dims []string, key []uint32) (in
 	if len(dims) != len(key) {
 		return 0, QueryMetrics{}, fmt.Errorf("rolap: %d dims, %d key values", len(dims), len(key))
 	}
+	// lo and hi must be independent copies: sharing one slice would let
+	// any downstream mutation of one bound silently corrupt the other.
 	lo := append([]uint32(nil), key...)
-	return s.RangeAggregate(ctx, dims, lo, lo)
+	hi := append([]uint32(nil), key...)
+	return s.RangeAggregate(ctx, dims, lo, hi)
 }
 
 // RangeAggregate serves a range aggregate like Cube.RangeAggregate,
@@ -191,11 +200,14 @@ func (s *Server) RangeAggregate(ctx context.Context, dims []string, lo, hi []uin
 	return c.rows.Meas(0), qm, nil
 }
 
-// cacheKey canonicalizes a planned query into a cache key stamped with
-// the source view's current version, invalidating cached results for
-// exactly the views an ingest batch changed.
+// cacheKey canonicalizes a planned query into a cache key. The key is
+// deliberately version-free: stamping it with the version read at plan
+// time raced with concurrent ingest (execution happens after admission,
+// so a result computed post-commit could be filed under the pre-commit
+// version). Instead each cached entry carries the version its
+// execution actually ran against, validated on every hit.
 func (s *Server) cacheKey(kind string, q queryengine.Query) string {
-	return fmt.Sprintf("%s|%d|%s", kind, s.cube.engine.ViewVersion(q.View), q.Key())
+	return fmt.Sprintf("%s|%s", kind, q.Key())
 }
 
 // serve runs the admission → cache → execute pipeline for one planned
@@ -208,17 +220,23 @@ func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (ca
 	}
 
 	// Cache first: hits bypass admission entirely — they cost nothing
-	// on the simulated machine.
+	// on the simulated machine. A hit is honored only if the entry's
+	// stamped version still matches the source view's current version;
+	// a stale entry (the view was replaced by an ingest batch since the
+	// entry was computed) falls through to execution, which overwrites
+	// it under the same key with the fresh version.
 	if s.cache != nil {
 		if v, ok := s.cache.Get(key); ok {
 			c := v.(cached)
-			s.queries.Add(1)
-			s.hits.Add(1)
-			return c, QueryMetrics{
-				SourceView: s.cube.sourceViewNames(c.met.Source),
-				CacheHit:   true,
-				IndexUsed:  c.met.IndexUsed,
-			}, nil
+			if c.ver == s.cube.engine.ViewVersion(q.View) {
+				s.queries.Add(1)
+				s.hits.Add(1)
+				return c, QueryMetrics{
+					SourceView: s.cube.sourceViewNames(c.met.Source),
+					CacheHit:   true,
+					IndexUsed:  c.met.IndexUsed,
+				}, nil
+			}
 		}
 	}
 
@@ -242,7 +260,7 @@ func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (ca
 	if err != nil {
 		return cached{}, QueryMetrics{}, err
 	}
-	c := cached{rows: rows, met: em}
+	c := cached{rows: rows, met: em, ver: em.Version}
 	if s.cache != nil {
 		s.cache.Put(key, c)
 	}

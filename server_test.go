@@ -178,6 +178,134 @@ func TestServerConcurrentCorrectness(t *testing.T) {
 	}
 }
 
+// TestServerCacheVersionValidation pins the execution-time version
+// stamp: a result cached before an ingest batch must not be served
+// after the batch replaces its source view, and the refreshed entry
+// must carry the post-batch version (a stale plan-time stamp would
+// permanently poison the key).
+func TestServerCacheVersionValidation(t *testing.T) {
+	rows, meas := randomFacts(500, 419)
+	base := 400
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+	s, err := cube.NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var want int64
+	for _, m := range meas[:base] {
+		want += m
+	}
+	got, qm, err := s.Aggregate(ctx, nil, nil)
+	if err != nil || got != want {
+		t.Fatalf("pre-batch total %d (%v), want %d", got, err, want)
+	}
+	if qm.CacheHit {
+		t.Fatal("first query hit an empty cache")
+	}
+	if _, qm, err = s.Aggregate(ctx, nil, nil); err != nil || !qm.CacheHit {
+		t.Fatalf("repeat before the batch: hit=%v err=%v", qm.CacheHit, err)
+	}
+
+	// The batch bumps the grand-total view's version: the cached entry
+	// is stale and must fall through to execution, not serve the
+	// pre-batch value.
+	if _, err := cube.Ingest(rows[base:], meas[base:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range meas[base:] {
+		want += m
+	}
+	got, qm, err = s.Aggregate(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.CacheHit {
+		t.Fatal("stale cache entry served after the batch")
+	}
+	if got != want {
+		t.Fatalf("post-batch total %d, want %d", got, want)
+	}
+	// The refreshed entry is valid at the new version.
+	got, qm, err = s.Aggregate(ctx, nil, nil)
+	if err != nil || !qm.CacheHit || got != want {
+		t.Fatalf("repeat after refresh: total %d hit=%v err=%v, want %d hit", got, qm.CacheHit, err, want)
+	}
+}
+
+// TestServerCacheVersionUnderConcurrentIngest hammers the plan/execute
+// window the version stamp closes: queries race ingest batches, and
+// every served total must be a committed boundary value — a cache entry
+// filed under a stale version would replay an old total after newer
+// batches landed.
+func TestServerCacheVersionUnderConcurrentIngest(t *testing.T) {
+	rows, meas := randomFacts(900, 421)
+	base := 300
+	cube := buildFromFacts(t, rows[:base], meas[:base], Options{Processors: 2})
+	s, err := cube.NewServer(ServerOptions{Workers: 4, QueueDepth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allowed := map[int64]bool{}
+	var total int64
+	for _, m := range meas[:base] {
+		total += m
+	}
+	allowed[total] = true
+	lowWater := total
+	const batch = 60
+	for lo := base; lo < len(rows); lo += batch {
+		for _, m := range meas[lo : lo+batch] {
+			total += m
+		}
+		allowed[total] = true
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for lo := base; lo < len(rows); lo += batch {
+			if _, err := cube.Ingest(rows[lo:lo+batch], meas[lo:lo+batch]); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	ctx := context.Background()
+	ingesting := true
+	for ingesting {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingesting = false
+		default:
+		}
+		got, _, err := s.Aggregate(ctx, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !allowed[got] {
+			t.Fatalf("served total %d is not any committed boundary", got)
+		}
+		// Once a total is observed, nothing older may be served again:
+		// measures are non-negative, so boundaries increase with commit
+		// order, and a served regression means a stale cache replay.
+		if got < lowWater {
+			t.Fatalf("served total regressed from %d to %d — stale cache entry replayed", lowWater, got)
+		}
+		lowWater = got
+	}
+	got, _, err := s.Aggregate(ctx, nil, nil)
+	if err != nil || got != total {
+		t.Fatalf("final total %d (%v), want %d", got, err, total)
+	}
+}
+
 func TestServerRequiresCluster(t *testing.T) {
 	cube, _ := buildServedCube(t, 100, 2)
 	cube.engine = nil // simulate a snapshot-loaded cube

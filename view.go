@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/lattice"
 	"repro/internal/record"
 )
@@ -73,28 +72,15 @@ func (c *Cube) View(dims []string) (*View, error) {
 func (c *Cube) gather(v lattice.ViewID) *View {
 	order := c.orders[v]
 	var rows *record.Table
-	if c.machine == nil {
-		rows = c.cache[v]
-		if rows == nil {
-			rows = record.New(v.Count(), 0)
-		}
-	} else {
-		rows = record.New(v.Count(), 0)
-		read := func() error {
-			for r := 0; r < c.machine.P(); r++ {
-				if t, ok := c.machine.Proc(r).Disk().Get(core.ViewFile(v)); ok {
-					rows.AppendTable(t)
-				}
-			}
+	if c.machine != nil && c.engine != nil {
+		// Serialize against incremental ingest: a gather sees either
+		// the pre-batch or post-batch slices, never a mixture.
+		c.engine.Maintain(func() error {
+			rows = c.gatherViewRaw(v)
 			return nil
-		}
-		if c.engine != nil {
-			// Serialize against incremental ingest: a gather sees either
-			// the pre-batch or post-batch slices, never a mixture.
-			c.engine.Maintain(read)
-		} else {
-			read()
-		}
+		})
+	} else {
+		rows = c.gatherViewRaw(v)
 	}
 	return &View{
 		Attributes: c.in.namesOf(order),
