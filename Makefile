@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json
 
 tier1: build vet test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... .
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -75,3 +75,22 @@ qbench-replica-smoke:
 # 4 replicas with p99 within 1.5x.
 bench-replica-json:
 	$(GO) run ./cmd/qbench -rows 40000 -queries 600 -replicas 1,2,4 -workers 8 -out BENCH_PR6.json
+
+# Deterministic chaos smoke: serve a fixed workload through 4 replicas
+# while one crash-loops, a second straggles, and the breakers, retries,
+# hedges, and leader fallback mask it all. -verify checks every answer
+# against the leader and exits nonzero on any wrong or failed query, so
+# this is a CI gate on the resilience layer's correctness, not a perf
+# number.
+qbench-chaos-smoke:
+	$(GO) run ./cmd/qbench -chaos -verify -rows 4000 -queries 240 -chaos-replicas 4 -workers 8
+
+# Serving-resilience report (BENCH_PR7.json): the verified chaos
+# scenario (goodput and wall latency with 1-of-4 replicas
+# crash-looping) plus the flash-crowd comparison (coalescing +
+# stale-serve ladder vs a control with both disabled under a Zipf
+# hot-key stampede). Acceptance: goodput >= 90% with zero wrong
+# answers, and the resilient arm serving the full stream the control
+# sheds.
+bench-resilience-json:
+	$(GO) run ./cmd/qbench -chaos -flashcrowd -verify -rows 20000 -queries 800 -chaos-replicas 4 -workers 8 -out BENCH_PR7.json

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunChaosVerifySmall(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{
+		rows: 1200, queries: 60, workers: 4, cache: 64, seed: 7,
+		leaderP: 2, maxLag: 4, snapEvery: 2,
+		chaos: true, verify: true, chaosReplicas: 2,
+	}
+	rep, err := runChaos(cfg, &sb)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if rep.WrongAnswers != 0 || rep.Failed != 0 {
+		t.Fatalf("chaos run not clean: %+v", rep)
+	}
+	if rep.ServeCrashes == 0 {
+		t.Fatalf("no crash fired: %+v", rep)
+	}
+	if rep.GoodputPct < 90 {
+		t.Fatalf("goodput %.1f%% < 90%%", rep.GoodputPct)
+	}
+	if !strings.Contains(sb.String(), "verify: all") {
+		t.Fatalf("missing verify banner:\n%s", sb.String())
+	}
+}
+
+func TestRunFlashcrowdSmall(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{
+		rows: 1200, queries: 80, workers: 2, cache: 64, seed: 7,
+		leaderP: 2, ingBatches: 2, ingRows: 40,
+		flashcrowd: true, alpha: 1.2, hotKeys: 12, clients: 8,
+	}
+	rep, err := runFlashcrowd(cfg, &sb)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	issued := int64(cfg.queries)
+	if got := rep.Resilient.Served + rep.Resilient.Rejected + rep.Resilient.Expired; got != issued {
+		t.Fatalf("resilient arm accounts for %d of %d queries", got, issued)
+	}
+	if got := rep.Control.Served + rep.Control.Rejected + rep.Control.Expired; got != issued {
+		t.Fatalf("control arm accounts for %d of %d queries", got, issued)
+	}
+	if rep.Control.Coalesced != 0 || rep.Control.StaleServes != 0 {
+		t.Fatalf("control arm must not coalesce or stale-serve: %+v", rep.Control)
+	}
+	if !strings.Contains(sb.String(), "resilient") || !strings.Contains(sb.String(), "control") {
+		t.Fatalf("missing comparison rows:\n%s", sb.String())
+	}
+}
+
+func TestRunResilienceWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	cfg := config{
+		rows: 1000, queries: 40, workers: 4, cache: 64, seed: 7,
+		leaderP: 2, maxLag: 4, snapEvery: 2,
+		chaos: true, verify: true, chaosReplicas: 2, out: out,
+	}
+	if err := runResilience(cfg, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep resilienceReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bench != "resilience" || rep.Chaos == nil {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	if rep.Chaos.WrongAnswers != 0 || !rep.Chaos.Verified {
+		t.Fatalf("chaos section not verified-clean: %+v", rep.Chaos)
+	}
+	if rep.Flashcrowd != nil {
+		t.Fatal("flashcrowd section present without -flashcrowd")
+	}
+}

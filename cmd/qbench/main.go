@@ -55,6 +55,15 @@ type config struct {
 	ingBatches int
 	ingRows    int
 	out        string
+
+	// Resilience modes (-chaos and/or -flashcrowd).
+	chaos         bool
+	flashcrowd    bool
+	verify        bool
+	chaosReplicas int
+	alpha         float64
+	hotKeys       int
+	clients       int
 }
 
 func main() {
@@ -72,12 +81,21 @@ func main() {
 	ingBatches := flag.Int("ingest-batches", 8, "leader batches ingested while replicas serve")
 	ingRows := flag.Int("ingest-rows", 250, "rows per concurrent ingest batch")
 	out := flag.String("out", "", "write the replica-sweep report as JSON to this file")
+	chaos := flag.Bool("chaos", false, "run the chaos scenario: replicas serving under an injected crash loop, stragglers, and ship stalls")
+	flashcrowd := flag.Bool("flashcrowd", false, "run the flash-crowd scenario: a Zipf hot-key stampede against one server, coalescing+stale-serve vs a control")
+	verify := flag.Bool("verify", false, "with -chaos: disable concurrent ingest and check every answer against the leader, exiting nonzero on any mismatch")
+	chaosReplicas := flag.Int("chaos-replicas", 4, "replica count for -chaos (one of them crash-loops)")
+	alpha := flag.Float64("alpha", 1.2, "Zipf skew of the -flashcrowd hot-key mix")
+	hotKeys := flag.Int("hotkeys", 48, "distinct queries in the -flashcrowd key space")
+	clients := flag.Int("clients", 0, "concurrent -flashcrowd clients (0 = 6x workers)")
 	flag.Parse()
 
 	cfg := config{rows: *rows, queries: *queries, workers: *workers,
 		queue: *queue, cache: *cache, seed: *seed,
 		leaderP: *leaderP, maxLag: *maxLag, snapEvery: *snapEvery,
-		ingBatches: *ingBatches, ingRows: *ingRows, out: *out}
+		ingBatches: *ingBatches, ingRows: *ingRows, out: *out,
+		chaos: *chaos, flashcrowd: *flashcrowd, verify: *verify,
+		chaosReplicas: *chaosReplicas, alpha: *alpha, hotKeys: *hotKeys, clients: *clients}
 	parseCounts := func(s, what string) []int {
 		var counts []int
 		for _, f := range strings.Split(s, ",") {
@@ -91,6 +109,13 @@ func main() {
 		return counts
 	}
 	cfg.procs = parseCounts(*procsFlag, "processor")
+	if cfg.chaos || cfg.flashcrowd {
+		if err := runResilience(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *replicasFlag != "" {
 		cfg.replicas = parseCounts(*replicasFlag, "replica")
 		if err := runReplicas(cfg, os.Stdout); err != nil {
@@ -128,49 +153,52 @@ type op struct {
 	lo, hi    []uint32
 }
 
+// randomOp draws one workload query: a range aggregate 25% of the
+// time, otherwise a group-by with random filters.
+func randomOp(rng *rand.Rand, dims []rolap.Dimension) op {
+	if rng.Intn(4) == 0 { // 25% range aggregates
+		n := 1 + rng.Intn(2)
+		o := op{}
+		for _, u := range rng.Perm(len(dims))[:n] {
+			a := uint32(rng.Intn(dims[u].Cardinality))
+			b := uint32(rng.Intn(dims[u].Cardinality))
+			if a > b {
+				a, b = b, a
+			}
+			o.rangeDims = append(o.rangeDims, dims[u].Name)
+			o.lo = append(o.lo, a)
+			o.hi = append(o.hi, b)
+		}
+		return o
+	}
+	perm := rng.Perm(len(dims))
+	ng := 1 + rng.Intn(2)
+	o := op{filters: map[string]uint32{}}
+	for _, u := range perm[:ng] {
+		o.group = append(o.group, dims[u].Name)
+	}
+	nf := rng.Intn(3)
+	for _, u := range perm[ng : ng+nf] {
+		o.filters[dims[u].Name] = uint32(rng.Intn(dims[u].Cardinality))
+	}
+	return o
+}
+
 // makeWorkload builds a deterministic query stream: a hot pool of
 // distinct queries plus a 50% repeat rate, so the cache sees realistic
 // reuse.
 func makeWorkload(cfg config, rng *rand.Rand) []op {
 	dims := benchSchema().Dimensions
-	randomOp := func() op {
-		if rng.Intn(4) == 0 { // 25% range aggregates
-			n := 1 + rng.Intn(2)
-			o := op{}
-			for _, u := range rng.Perm(len(dims))[:n] {
-				a := uint32(rng.Intn(dims[u].Cardinality))
-				b := uint32(rng.Intn(dims[u].Cardinality))
-				if a > b {
-					a, b = b, a
-				}
-				o.rangeDims = append(o.rangeDims, dims[u].Name)
-				o.lo = append(o.lo, a)
-				o.hi = append(o.hi, b)
-			}
-			return o
-		}
-		perm := rng.Perm(len(dims))
-		ng := 1 + rng.Intn(2)
-		o := op{filters: map[string]uint32{}}
-		for _, u := range perm[:ng] {
-			o.group = append(o.group, dims[u].Name)
-		}
-		nf := rng.Intn(3)
-		for _, u := range perm[ng : ng+nf] {
-			o.filters[dims[u].Name] = uint32(rng.Intn(dims[u].Cardinality))
-		}
-		return o
-	}
 	pool := make([]op, 1+cfg.queries/8)
 	for i := range pool {
-		pool[i] = randomOp()
+		pool[i] = randomOp(rng, dims)
 	}
 	out := make([]op, cfg.queries)
 	for i := range out {
 		if rng.Intn(2) == 0 {
 			out[i] = pool[rng.Intn(len(pool))]
 		} else {
-			out[i] = randomOp()
+			out[i] = randomOp(rng, dims)
 		}
 	}
 	return out

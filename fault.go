@@ -105,6 +105,85 @@ func (f *FaultPlan) internal() *faults.Plan {
 	return p
 }
 
+// ServeFaultPlan is a deterministic fault-injection plan for the
+// serving tier's read path (ReplicaOptions.ServeFaults), the
+// query-time counterpart of FaultPlan. Replicas are addressed by
+// index; execution points by per-replica ordinals — a replica's
+// Query-th routed read, or the delta batch with a given commit
+// sequence — so the same plan against the same workload fires at the
+// same points on every run. Faults change when and where queries
+// execute, never what they compute: a run under any plan, with
+// failover enabled, returns the same answers as a fault-free run.
+type ServeFaultPlan struct {
+	// Crashes kill replicas at chosen points of the serving timeline;
+	// the hit query fails over and the replica re-bootstraps.
+	Crashes []ServeCrash
+	// Stragglers delay replicas' query executions (wall clock), the
+	// trigger for hedged requests.
+	Stragglers []ServeStraggler
+	// Stalls delay replicas' delta-batch applications (wall clock),
+	// spiking their lag so bounded-staleness routing steers around them.
+	Stalls []ShipStall
+}
+
+// ServeCrash kills one replica just as its Query-th routed read (a
+// 1-based per-replica ordinal, counted across re-bootstraps) is being
+// dispatched. Each crash fires at most once per replica set.
+type ServeCrash struct {
+	Replica int
+	Query   uint64
+}
+
+// ServeStraggler delays one replica's query executions by DelaySeconds
+// of wall clock for every routed read whose per-replica ordinal falls
+// in [FromQuery, ToQuery] (1-based, inclusive; ToQuery 0 means
+// FromQuery alone). Delays are capped at 10s.
+type ServeStraggler struct {
+	Replica            int
+	FromQuery, ToQuery uint64
+	DelaySeconds       float64
+}
+
+// ShipStall delays one replica's application of the delta batch with
+// commit sequence Batch by DelaySeconds of wall clock (capped at 10s).
+type ShipStall struct {
+	Replica      int
+	Batch        uint64
+	DelaySeconds float64
+}
+
+// ServeCrashLoop builds a crash-looping replica: it dies at its
+// first-th routed read and again every `every` reads thereafter, n
+// times in total.
+func ServeCrashLoop(replica int, first, every uint64, n int) []ServeCrash {
+	crashes := make([]ServeCrash, 0, n)
+	for _, c := range faults.CrashLoop(replica, first, every, n) {
+		crashes = append(crashes, ServeCrash{Replica: c.Replica, Query: c.Query})
+	}
+	return crashes
+}
+
+// internal converts the public serving-fault plan to the internal
+// representation.
+func (f *ServeFaultPlan) internal() *faults.ServePlan {
+	if f == nil {
+		return nil
+	}
+	p := &faults.ServePlan{}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, faults.ServeCrash{Replica: c.Replica, Query: c.Query})
+	}
+	for _, s := range f.Stragglers {
+		p.Stragglers = append(p.Stragglers, faults.ServeStraggler{
+			Replica: s.Replica, FromQuery: s.FromQuery, ToQuery: s.ToQuery, DelaySeconds: s.DelaySeconds,
+		})
+	}
+	for _, s := range f.Stalls {
+		p.Stalls = append(p.Stalls, faults.ShipStall{Replica: s.Replica, Batch: s.Batch, DelaySeconds: s.DelaySeconds})
+	}
+	return p
+}
+
 // FailedBuildError reports a build killed by a processor crash that
 // could not be recovered (no checkpointing enabled, a single-processor
 // machine, or a crash outside the recoverable region). It names where

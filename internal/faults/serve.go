@@ -1,0 +1,180 @@
+package faults
+
+import "fmt"
+
+// MaxServeDelaySeconds bounds injected serving-time delays (stragglers
+// and delta-ship stalls). Serving-time faults run on the wall clock —
+// they exist to provoke the hedging and routing machinery, not to model
+// simulated cost — so an unbounded delay would hang a test or a CI
+// smoke run forever.
+const MaxServeDelaySeconds = 10
+
+// ServePlan is a deterministic fault-injection plan for the serving
+// tier's read path, the query-time counterpart of the build-time Plan.
+// Replicas are addressed by index; execution points are addressed by
+// per-replica ordinals — a replica's Query-th routed read, or the
+// delta batch with a given commit sequence — so the same plan against
+// the same workload fires at the same points on every run. Faults
+// change *when and where* queries execute, never *what* they compute:
+// a run under any ServePlan, with failover enabled, returns the same
+// answers as a fault-free run.
+type ServePlan struct {
+	// Crashes kill replicas at chosen points of the serving timeline.
+	Crashes []ServeCrash
+	// Stragglers delay replicas' query executions (wall clock), the
+	// trigger for hedged requests.
+	Stragglers []ServeStraggler
+	// Stalls delay replicas' delta-batch applications (wall clock),
+	// spiking their lag so bounded-staleness routing steers around them.
+	Stalls []ShipStall
+}
+
+// ServeCrash kills one replica just as its Query-th routed read is
+// being dispatched: the read fails over to another replica and the
+// crashed replica re-bootstraps from the latest snapshot. Each crash
+// fires at most once per group.
+type ServeCrash struct {
+	// Replica is the replica index to kill.
+	Replica int
+	// Query is the 1-based ordinal of the replica's routed reads at
+	// which it dies (its Query-th read, counted across re-bootstraps).
+	Query uint64
+}
+
+// Matches reports whether the crash triggers for a replica dispatching
+// its q-th routed read.
+func (c ServeCrash) Matches(replica int, q uint64) bool {
+	return c.Replica == replica && c.Query == q
+}
+
+// ServeStraggler delays one replica's query executions by DelaySeconds
+// of wall clock for every routed read whose per-replica ordinal falls
+// in [FromQuery, ToQuery] (1-based, inclusive; ToQuery 0 means
+// FromQuery alone) — a degraded node that answers slowly without
+// failing, exactly what hedged requests exist to mask.
+type ServeStraggler struct {
+	Replica            int
+	FromQuery, ToQuery uint64
+	DelaySeconds       float64
+}
+
+// ShipStall delays one replica's application of the delta batch with
+// commit sequence Batch by DelaySeconds of wall clock — a slow
+// replication link. The replica's lag spikes past the staleness bound
+// and routing avoids it until the batch lands.
+type ShipStall struct {
+	Replica      int
+	Batch        uint64
+	DelaySeconds float64
+}
+
+// CrashIndex returns the index of the first unfired crash matching a
+// replica's q-th routed read, or -1. The caller owns the fired set
+// (one bool per plan crash), so one immutable plan can drive any
+// number of groups.
+func (p *ServePlan) CrashIndex(replica int, q uint64, fired []bool) int {
+	for k, c := range p.Crashes {
+		if k < len(fired) && fired[k] {
+			continue
+		}
+		if c.Matches(replica, q) {
+			return k
+		}
+	}
+	return -1
+}
+
+// StragglerDelay returns the combined injected delay, in wall-clock
+// seconds, for a replica's q-th routed read (0 when none applies).
+func (p *ServePlan) StragglerDelay(replica int, q uint64) float64 {
+	d := 0.0
+	for _, s := range p.Stragglers {
+		if s.Replica != replica {
+			continue
+		}
+		to := s.ToQuery
+		if to == 0 {
+			to = s.FromQuery
+		}
+		if q >= s.FromQuery && q <= to {
+			d += s.DelaySeconds
+		}
+	}
+	return d
+}
+
+// StallDelay returns the combined injected delay, in wall-clock
+// seconds, before a replica applies the delta batch with commit
+// sequence seq (0 when none applies).
+func (p *ServePlan) StallDelay(replica int, seq uint64) float64 {
+	d := 0.0
+	for _, s := range p.Stalls {
+		if s.Replica == replica && s.Batch == seq {
+			d += s.DelaySeconds
+		}
+	}
+	return d
+}
+
+// Validate checks the plan against a replica count.
+func (p *ServePlan) Validate(replicas int) error {
+	rank := func(kind string, r int) error {
+		if r < 0 || r >= replicas {
+			return fmt.Errorf("faults: %s replica %d out of range 0..%d", kind, r, replicas-1)
+		}
+		return nil
+	}
+	delay := func(kind string, d float64) error {
+		if d < 0 || d > MaxServeDelaySeconds {
+			return fmt.Errorf("faults: %s delay %vs (want 0..%ds)", kind, d, MaxServeDelaySeconds)
+		}
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if err := rank("serve-crash", c.Replica); err != nil {
+			return err
+		}
+		if c.Query < 1 {
+			return fmt.Errorf("faults: serve-crash query ordinal %d (want >= 1)", c.Query)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if err := rank("serve-straggler", s.Replica); err != nil {
+			return err
+		}
+		if s.FromQuery < 1 {
+			return fmt.Errorf("faults: serve-straggler from-query %d (want >= 1)", s.FromQuery)
+		}
+		if s.ToQuery != 0 && s.ToQuery < s.FromQuery {
+			return fmt.Errorf("faults: serve-straggler query range %d..%d inverted", s.FromQuery, s.ToQuery)
+		}
+		if err := delay("serve-straggler", s.DelaySeconds); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.Stalls {
+		if err := rank("ship-stall", s.Replica); err != nil {
+			return err
+		}
+		if s.Batch < 1 {
+			return fmt.Errorf("faults: ship-stall batch %d (want >= 1)", s.Batch)
+		}
+		if err := delay("ship-stall", s.DelaySeconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashLoop builds the crash-looping-replica scenario of the chaos
+// harness: replica dies at its first-th routed read and again every
+// `every` reads thereafter, n times in total.
+func CrashLoop(replica int, first, every uint64, n int) []ServeCrash {
+	crashes := make([]ServeCrash, 0, n)
+	q := first
+	for k := 0; k < n; k++ {
+		crashes = append(crashes, ServeCrash{Replica: replica, Query: q})
+		q += every
+	}
+	return crashes
+}

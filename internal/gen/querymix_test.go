@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueryMixDeterministic(t *testing.T) {
+	a, b := NewQueryMix(64, 1.2, 9), NewQueryMix(64, 1.2, 9)
+	for i := 0; i < 2000; i++ {
+		if a.Key(i) != b.Key(i) {
+			t.Fatalf("query %d differs between identical mixes", i)
+		}
+	}
+	c := NewQueryMix(64, 1.2, 10)
+	same := 0
+	for i := 0; i < 2000; i++ {
+		if a.Key(i) == c.Key(i) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("different seeds produced an identical query stream")
+	}
+}
+
+func TestQueryMixKeysWithinRange(t *testing.T) {
+	m := NewQueryMix(7, 2, 3)
+	for i := 0; i < 5000; i++ {
+		if k := m.Key(i); k < 0 || k >= 7 {
+			t.Fatalf("query %d key %d out of [0,7)", i, k)
+		}
+	}
+	if m.Keys() != 7 {
+		t.Fatalf("Keys() = %d, want 7", m.Keys())
+	}
+}
+
+func TestQueryMixSkewConcentratesOnHotKeys(t *testing.T) {
+	// A flash crowd: with alpha = 1.5 over 100 keys, the hottest key
+	// should take a large share; uniform should not.
+	mass := func(alpha float64) float64 {
+		m := NewQueryMix(100, alpha, 4)
+		zero := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if m.Key(i) == 0 {
+				zero++
+			}
+		}
+		return float64(zero) / n
+	}
+	if u := mass(0); u > 0.05 {
+		t.Fatalf("uniform mass on key 0 = %v", u)
+	}
+	if s := mass(1.5); s < 0.3 {
+		t.Fatalf("alpha=1.5 mass on key 0 = %v, want > 0.3", s)
+	}
+}
+
+func TestQueryMixHotMassMatchesEmpirical(t *testing.T) {
+	m := NewQueryMix(50, 1.0, 5)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if m.Key(i) < 5 {
+			hits++
+		}
+	}
+	got, want := float64(hits)/n, m.HotMass(5)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical top-5 mass %v vs HotMass %v", got, want)
+	}
+	if m.HotMass(0) != 0 || m.HotMass(50) != 1 || m.HotMass(99) != 1 {
+		t.Fatal("HotMass edge cases wrong")
+	}
+}
+
+func TestQueryMixValidationPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewQueryMix(0, 1, 1) },
+		func() { NewQueryMix(8, -0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,138 @@
+package replica
+
+import "time"
+
+// BreakerConfig configures the per-replica circuit breakers that gate
+// read routing. A breaker protects the fleet from a sick-but-alive
+// replica: one that keeps accepting reads and failing them (flaky
+// disk, poisoned cache, crash loop). Consecutive failures open the
+// breaker, routing steers around it for a cooldown, then a single
+// probe read decides whether it closes again.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (default 3; negative disables breakers entirely).
+	Threshold int
+	// Cooldown is how long an open breaker rejects routing before
+	// admitting a half-open probe (default 100ms).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	return c
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one replica's circuit breaker. It is driven entirely
+// under the group mutex (or a test's), so it needs no locking of its
+// own; time is passed in so tests can drive the state machine with a
+// fake clock.
+//
+// State machine: closed --(Threshold consecutive failures)--> open
+// --(Cooldown elapses)--> half-open --(probe succeeds)--> closed, or
+// --(probe fails)--> open again. While half-open exactly one read (the
+// probe) is admitted; a failure of an already-in-flight read while the
+// breaker is open does not re-arm the cooldown, so a loaded replica
+// cannot starve its own recovery probe.
+type breaker struct {
+	cfg       BreakerConfig
+	state     int
+	consec    int       // consecutive failures
+	openUntil time.Time // end of the open cooldown
+	probing   bool      // a half-open probe is in flight
+
+	opens, probes, closes int64 // lifetime transition counters
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+func (b *breaker) disabled() bool { return b.cfg.Threshold < 0 }
+
+// ready reports whether the breaker admits a read now. An expired open
+// cooldown transitions to half-open as a side effect; half-open admits
+// only while no probe is in flight.
+func (b *breaker) ready(now time.Time) bool {
+	if b.disabled() {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+	}
+	return !b.probing
+}
+
+// route marks the selected read: in half-open it becomes the probe.
+func (b *breaker) route() {
+	if b.state == breakerHalfOpen && !b.probing {
+		b.probing = true
+		b.probes++
+	}
+}
+
+// done records a read's outcome. Failures count toward the threshold;
+// a half-open probe's outcome alone moves the breaker out of
+// half-open.
+func (b *breaker) done(failed bool, now time.Time) {
+	if b.disabled() {
+		return
+	}
+	if failed {
+		b.consec++
+		if b.state == breakerHalfOpen ||
+			(b.state == breakerClosed && b.consec >= b.cfg.Threshold) {
+			b.state = breakerOpen
+			b.openUntil = now.Add(b.cfg.Cooldown)
+			b.probing = false
+			b.opens++
+		}
+		return
+	}
+	b.consec = 0
+	if b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.probing = false
+		b.closes++
+	}
+}
+
+// retryAt returns when an unready breaker will next admit a read (zero
+// when it already would, or never will by time alone).
+func (b *breaker) retryAt() time.Time {
+	if b.state == breakerOpen {
+		return b.openUntil
+	}
+	return time.Time{}
+}
+
+func (b *breaker) stateName() string {
+	if b.disabled() {
+		return "disabled"
+	}
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

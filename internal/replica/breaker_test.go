@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	// Closed admits; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.ready(now) {
+			t.Fatalf("closed breaker rejected read %d", i)
+		}
+		b.route()
+		b.done(true, now)
+	}
+	if b.stateName() != "closed" {
+		t.Fatalf("state after 2 failures = %s, want closed", b.stateName())
+	}
+	// A success resets the consecutive count.
+	b.done(false, now)
+	b.done(true, now)
+	b.done(true, now)
+	if b.stateName() != "closed" {
+		t.Fatalf("success did not reset the failure streak: %s", b.stateName())
+	}
+	// The third consecutive failure opens it.
+	b.done(true, now)
+	if b.stateName() != "open" || b.opens != 1 {
+		t.Fatalf("state after streak = %s (opens %d), want open/1", b.stateName(), b.opens)
+	}
+	if b.ready(now) || b.ready(now.Add(999*time.Millisecond)) {
+		t.Fatal("open breaker admitted a read inside the cooldown")
+	}
+	if got := b.retryAt(); !got.Equal(now.Add(time.Second)) {
+		t.Fatalf("retryAt = %v, want cooldown end", got)
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	now = now.Add(time.Second)
+	if !b.ready(now) {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.route()
+	if b.stateName() != "half-open" || b.probes != 1 {
+		t.Fatalf("state = %s probes = %d, want half-open/1", b.stateName(), b.probes)
+	}
+	if b.ready(now) {
+		t.Fatal("half-open admitted a second read while the probe was in flight")
+	}
+	// Probe fails: back to open, cooldown re-armed.
+	b.done(true, now)
+	if b.stateName() != "open" || b.opens != 2 {
+		t.Fatalf("failed probe left state %s (opens %d)", b.stateName(), b.opens)
+	}
+
+	// Next probe succeeds: closed again, admitting freely.
+	now = now.Add(time.Second)
+	if !b.ready(now) {
+		t.Fatal("second probe rejected")
+	}
+	b.route()
+	b.done(false, now)
+	if b.stateName() != "closed" || b.closes != 1 {
+		t.Fatalf("successful probe left state %s (closes %d)", b.stateName(), b.closes)
+	}
+	if !b.ready(now) || !b.ready(now) {
+		t.Fatal("closed breaker limited admission")
+	}
+}
+
+func TestBreakerOpenNotReArmedByStragglers(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	b.done(true, now) // opens
+	if b.stateName() != "open" {
+		t.Fatalf("state = %s, want open", b.stateName())
+	}
+	// A straggling in-flight read failing mid-cooldown must not push
+	// the cooldown out, or a loaded replica never gets its probe.
+	b.done(true, now.Add(900*time.Millisecond))
+	if !b.ready(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("late failure re-armed the open cooldown")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: -1})
+	for i := 0; i < 10; i++ {
+		b.done(true, now)
+	}
+	if !b.ready(now) || b.stateName() != "disabled" {
+		t.Fatalf("disabled breaker tripped: ready=%v state=%s", b.ready(now), b.stateName())
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b.cfg.Threshold != 3 || b.cfg.Cooldown != 100*time.Millisecond {
+		t.Fatalf("defaults = %+v", b.cfg)
+	}
+}

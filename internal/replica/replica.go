@@ -17,6 +17,13 @@
 // build's fault model — a seeded plan crashes a replica at an exact
 // batch sequence, and the crashed replica re-bootstraps from the
 // latest snapshot plus the delta log, deterministically.
+//
+// On top of replication the package carries the serving path's failure
+// policy: reads are handed out as leases whose release reports the
+// outcome, per-replica circuit breakers (see breaker.go) steer routing
+// away from replicas that keep failing reads, and a serving-time fault
+// plan (faults.ServePlan) injects deterministic query-time crashes,
+// stragglers, and delta-ship stalls for chaos testing.
 package replica
 
 import (
@@ -24,12 +31,34 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/faults"
 )
 
 // ErrClosed is returned by Acquire and WaitCaughtUp after Close.
 var ErrClosed = errors.New("replica: group closed")
+
+// ErrAllFailed is returned by Acquire when every replica has been
+// permanently retired: no amount of waiting will produce an eligible
+// replica, so the caller should fail over to the leader instead of
+// blocking out its deadline.
+var ErrAllFailed = errors.New("replica: every replica permanently failed")
+
+// ServeCrashError reports that the replica picked for a read was
+// killed by an injected serving-time crash (faults.ServePlan) while
+// the read was being dispatched. The read never executed; the caller
+// should fail over to another replica.
+type ServeCrashError struct {
+	// Replica is the crashed replica's index; Query the per-replica
+	// read ordinal the crash was keyed on.
+	Replica int
+	Query   uint64
+}
+
+func (e *ServeCrashError) Error() string {
+	return fmt.Sprintf("replica: replica %d crashed at its query %d (injected)", e.Replica, e.Query)
+}
 
 // Batch is one committed leader ingest batch in the delta log. Rows
 // are in the cube's internal dimension order, exactly as the leader
@@ -67,6 +96,15 @@ type Config struct {
 	// first apply. Payload faults and stragglers in the plan are
 	// ignored — replication ships committed state, not h-relations.
 	Faults *faults.Plan
+	// ServeFaults, when non-nil, injects deterministic serving-time
+	// faults: replica crashes keyed on per-replica read ordinals
+	// (surfaced to Acquire as *ServeCrashError), query stragglers
+	// (surfaced as Lease.Delay), and delta-ship stalls (wall-clock
+	// delays in the shipping loop).
+	ServeFaults *faults.ServePlan
+	// Breaker configures the per-replica circuit breakers (zero value
+	// = defaults; Threshold < 0 disables them).
+	Breaker BreakerConfig
 	// BeforeApply, when non-nil, runs before a replica applies a batch
 	// — an instrumentation hook for modelling slow replicas in tests.
 	BeforeApply func(replica int, seq uint64)
@@ -79,8 +117,12 @@ type ReplicaStat struct {
 	Node Node
 	// State is "live" (eligible), "catchingup" (running but beyond the
 	// staleness bound), "down" (crashed, awaiting re-bootstrap), or
-	// "failed" (bootstrap or re-apply failed permanently).
+	// "failed" (bootstrap or re-apply failed permanently, or retired
+	// by Retire).
 	State string
+	// Breaker is the replica's circuit-breaker state: "closed",
+	// "open", "half-open", or "disabled".
+	Breaker string
 	// Applied is the last batch sequence applied; Lag is leaderSeq -
 	// Applied.
 	Applied uint64
@@ -105,9 +147,14 @@ type Stats struct {
 	LogLen    int
 	// Routed counts reads routed across all replicas; Waits counts
 	// Acquire calls that had to block because no replica was within
-	// the staleness bound.
+	// the staleness bound (or breaker-admitted).
 	Routed int64
 	Waits  int64
+	// BreakerOpens, BreakerProbes, and BreakerCloses total the
+	// circuit-breaker transitions across all replicas.
+	BreakerOpens  int64
+	BreakerProbes int64
+	BreakerCloses int64
 	// Replicas has one entry per replica, by index.
 	Replicas []ReplicaStat
 }
@@ -119,22 +166,25 @@ type rep struct {
 	failed      bool
 	inflight    int
 	routed      int64
+	qseq        uint64 // per-replica routed-read ordinal (serve-fault key)
 	bootstraps  int64
 	crashes     int64
 	lastFailSeq uint64 // batch whose Apply failed (0 = none): two failures in a row => failed
+	br          *breaker
 }
 
 // Group manages N replicas: the delta log, per-replica shipping
-// goroutines, bounded-staleness routing, and crash/catch-up. All
-// methods are safe for concurrent use. The leader side (Commit,
-// SetSnapshot) never blocks on replica progress.
+// goroutines, bounded-staleness routing, breaker-gated leases, and
+// crash/catch-up. All methods are safe for concurrent use. The leader
+// side (Commit, SetSnapshot) never blocks on replica progress.
 type Group struct {
 	cfg  Config
 	mu   sync.Mutex
 	cond *sync.Cond
 	wg   sync.WaitGroup
 
-	closed bool
+	closed   bool
+	closedCh chan struct{}
 
 	// log holds committed batches not yet compacted, ascending and
 	// contiguous in Seq.
@@ -143,11 +193,50 @@ type Group struct {
 	snapshot  []byte
 	snapSeq   uint64
 
-	reps       []*rep
-	crashFired []bool
+	reps            []*rep
+	crashFired      []bool
+	serveCrashFired []bool
 
 	routed int64
 	waits  int64
+}
+
+// Lease is one read's reservation on a replica. Release must be called
+// exactly when the read completes; its outcome drives the replica's
+// circuit breaker.
+type Lease struct {
+	g     *Group
+	idx   int
+	node  Node
+	delay time.Duration
+	once  sync.Once
+}
+
+// Node returns the leased replica's serving node.
+func (l *Lease) Node() Node { return l.node }
+
+// Replica returns the leased replica's index.
+func (l *Lease) Replica() int { return l.idx }
+
+// Delay returns the injected straggler delay for this read (0 without
+// serve faults). The caller is expected to sleep it before executing,
+// modelling a slow replica.
+func (l *Lease) Delay() time.Duration { return l.delay }
+
+// Release returns the lease. failed reports whether the read failed in
+// a way that indicts the replica (crash, execution error) — overload
+// and caller-side deadline expiry are not the replica's fault and must
+// be released with failed=false. Release is idempotent.
+func (l *Lease) Release(failed bool) {
+	l.once.Do(func() {
+		g := l.g
+		g.mu.Lock()
+		r := g.reps[l.idx]
+		r.inflight--
+		r.br.done(failed, time.Now())
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
 }
 
 // New bootstraps cfg.Replicas replicas from the snapshot (taken at
@@ -164,22 +253,31 @@ func New(cfg Config, snapshot []byte, snapSeq uint64) (*Group, error) {
 			return nil, err
 		}
 	}
+	if cfg.ServeFaults != nil {
+		if err := cfg.ServeFaults.Validate(cfg.Replicas); err != nil {
+			return nil, err
+		}
+	}
 	g := &Group{
 		cfg:       cfg,
 		snapshot:  snapshot,
 		snapSeq:   snapSeq,
 		leaderSeq: snapSeq,
+		closedCh:  make(chan struct{}),
 	}
 	g.cond = sync.NewCond(&g.mu)
 	if cfg.Faults != nil {
 		g.crashFired = make([]bool, len(cfg.Faults.Crashes))
+	}
+	if cfg.ServeFaults != nil {
+		g.serveCrashFired = make([]bool, len(cfg.ServeFaults.Crashes))
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		node, err := cfg.Bootstrap(snapshot)
 		if err != nil {
 			return nil, fmt.Errorf("replica %d: bootstrap: %w", i, err)
 		}
-		g.reps = append(g.reps, &rep{node: node, applied: snapSeq, bootstraps: 1})
+		g.reps = append(g.reps, &rep{node: node, applied: snapSeq, bootstraps: 1, br: newBreaker(cfg.Breaker)})
 	}
 	for i := range g.reps {
 		g.wg.Add(1)
@@ -248,57 +346,161 @@ func (g *Group) Crash(i int) error {
 	return nil
 }
 
-// Acquire picks the serving replica for one read and reserves a slot
-// on it: among replicas within the staleness bound, the one with the
-// fewest in-flight reads (ties to fewest total routed, then lowest
-// index). A nonzero affinity prefers the read's "home" replica
+// Retire permanently removes replica i from service: no re-bootstrap,
+// no routing, as if its node were irrecoverably failed. In-flight
+// reads drain normally. Use it to take a replica out for maintenance
+// or after an operator decides it is beyond repair.
+func (g *Group) Retire(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i < 0 || i >= len(g.reps) {
+		return fmt.Errorf("replica: index %d out of range 0..%d", i, len(g.reps)-1)
+	}
+	g.reps[i].failed = true
+	g.cond.Broadcast()
+	return nil
+}
+
+// tryPickLocked routes one read: it returns a lease on the picked
+// replica, a *ServeCrashError when the pick fired an injected
+// serving-time crash (the replica is now down), or (nil, nil) when no
+// replica is currently admittable.
+func (g *Group) tryPickLocked(affinity uint64, avoid []bool) (*Lease, error) {
+	now := time.Now()
+	i := g.pickLocked(affinity, avoid, now)
+	if i < 0 {
+		return nil, nil
+	}
+	r := g.reps[i]
+	r.qseq++
+	if p := g.cfg.ServeFaults; p != nil {
+		if k := p.CrashIndex(i, r.qseq, g.serveCrashFired); k >= 0 {
+			// The replica dies as the read is dispatched: the read fails
+			// over, the shipper re-bootstraps the replica, and the crash
+			// counts against its breaker (a crash-looping replica should
+			// end up breaker-open between re-bootstraps).
+			g.serveCrashFired[k] = true
+			r.down, r.node = true, nil
+			r.crashes++
+			r.br.done(true, now)
+			g.cond.Broadcast()
+			return nil, &ServeCrashError{Replica: i, Query: r.qseq}
+		}
+	}
+	r.br.route()
+	r.inflight++
+	r.routed++
+	g.routed++
+	l := &Lease{g: g, idx: i, node: r.node}
+	if p := g.cfg.ServeFaults; p != nil {
+		if d := p.StragglerDelay(i, r.qseq); d > 0 {
+			l.delay = time.Duration(d * float64(time.Second))
+		}
+	}
+	return l, nil
+}
+
+// Acquire picks the serving replica for one read and leases a slot on
+// it: among replicas within the staleness bound whose breakers admit
+// reads, the one with the fewest in-flight reads (ties to fewest total
+// routed, then lowest index), skipping any in the avoid set (indexed
+// by replica; nil = none — failover retries pass the replicas they
+// already tried). A nonzero affinity prefers the read's "home" replica
 // (affinity mod replicas) when it is eligible and not noticeably more
 // loaded, keeping repeat queries on the replica whose result cache
-// already holds them. When no replica is eligible the call blocks
-// until one catches up within the bound or ctx expires — that wait is
-// the bounded-staleness guarantee. The release func must be called
-// when the read completes.
-func (g *Group) Acquire(ctx context.Context, affinity uint64) (Node, func(), error) {
+// already holds them.
+//
+// When no replica is admittable the call blocks until one catches up
+// within the bound (or a breaker cooldown expires) or ctx expires —
+// that wait is the bounded-staleness guarantee. When every replica is
+// permanently failed it returns ErrAllFailed immediately instead of
+// blocking, so callers can fail over to the leader. An injected
+// serving-time crash on the picked replica returns *ServeCrashError.
+func (g *Group) Acquire(ctx context.Context, affinity uint64, avoid []bool) (*Lease, error) {
 	g.mu.Lock()
 	waited := false
 	for {
 		if g.closed {
 			g.mu.Unlock()
-			return nil, nil, ErrClosed
+			return nil, ErrClosed
 		}
 		if err := ctx.Err(); err != nil {
 			g.mu.Unlock()
-			return nil, nil, err
+			return nil, err
 		}
-		if i := g.pickLocked(affinity); i >= 0 {
-			r := g.reps[i]
-			r.inflight++
-			r.routed++
-			g.routed++
-			node := r.node
+		if g.allFailedLocked() {
 			g.mu.Unlock()
-			var once sync.Once
-			release := func() {
-				once.Do(func() {
-					g.mu.Lock()
-					r.inflight--
-					g.mu.Unlock()
-				})
-			}
-			return node, release, nil
+			return nil, ErrAllFailed
+		}
+		l, err := g.tryPickLocked(affinity, avoid)
+		if l != nil || err != nil {
+			g.mu.Unlock()
+			return l, err
 		}
 		if !waited {
 			waited = true
 			g.waits++
 		}
-		stop := context.AfterFunc(ctx, func() {
-			g.mu.Lock()
-			g.cond.Broadcast()
-			g.mu.Unlock()
-		})
+		// Nothing admittable: wake on replica progress (cond broadcast),
+		// on the earliest breaker cooldown expiry (nothing else fires a
+		// broadcast at that moment), or on ctx.
+		var wake *time.Timer
+		if at := g.earliestBreakerRetryLocked(); !at.IsZero() {
+			if d := time.Until(at); d > 0 {
+				wake = time.AfterFunc(d, g.broadcast)
+			}
+		}
+		stop := context.AfterFunc(ctx, g.broadcast)
 		g.cond.Wait()
 		stop()
+		if wake != nil {
+			wake.Stop()
+		}
 	}
+}
+
+// TryAcquire is the non-blocking Acquire used for hedged requests: it
+// leases an admittable replica immediately or reports none. An
+// injected crash on the picked replica fires (taking the replica down)
+// and reports no lease.
+func (g *Group) TryAcquire(affinity uint64, avoid []bool) (*Lease, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, false
+	}
+	l, err := g.tryPickLocked(affinity, avoid)
+	return l, l != nil && err == nil
+}
+
+func (g *Group) broadcast() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *Group) allFailedLocked() bool {
+	for _, r := range g.reps {
+		if !r.failed {
+			return false
+		}
+	}
+	return true
+}
+
+// earliestBreakerRetryLocked returns the soonest open-breaker cooldown
+// expiry among otherwise-eligible replicas (zero when none is pending).
+func (g *Group) earliestBreakerRetryLocked() time.Time {
+	var at time.Time
+	for _, r := range g.reps {
+		if !g.eligibleLocked(r) {
+			continue
+		}
+		if t := r.br.retryAt(); !t.IsZero() && (at.IsZero() || t.Before(at)) {
+			at = t
+		}
+	}
+	return at
 }
 
 // WaitCaughtUp blocks until every non-failed replica has applied the
@@ -327,11 +529,7 @@ func (g *Group) WaitCaughtUp(ctx context.Context) error {
 		if done {
 			return nil
 		}
-		stop := context.AfterFunc(ctx, func() {
-			g.mu.Lock()
-			g.cond.Broadcast()
-			g.mu.Unlock()
-		})
+		stop := context.AfterFunc(ctx, g.broadcast)
 		g.cond.Wait()
 		stop()
 	}
@@ -351,6 +549,7 @@ func (g *Group) Stats() Stats {
 	for _, r := range g.reps {
 		st := ReplicaStat{
 			Node:       r.node,
+			Breaker:    r.br.stateName(),
 			Applied:    r.applied,
 			Lag:        g.leaderSeq - r.applied,
 			Inflight:   r.inflight,
@@ -368,6 +567,9 @@ func (g *Group) Stats() Stats {
 		default:
 			st.State = "live"
 		}
+		s.BreakerOpens += r.br.opens
+		s.BreakerProbes += r.br.probes
+		s.BreakerCloses += r.br.closes
 		s.Replicas = append(s.Replicas, st)
 	}
 	return s
@@ -377,7 +579,10 @@ func (g *Group) Stats() Stats {
 // does not touch the replicas' nodes (in-flight reads drain normally).
 func (g *Group) Close() {
 	g.mu.Lock()
-	g.closed = true
+	if !g.closed {
+		g.closed = true
+		close(g.closedCh)
+	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
 	g.wg.Wait()
@@ -388,11 +593,17 @@ func (g *Group) eligibleLocked(r *rep) bool {
 }
 
 // pickLocked implements the routing policy described on Acquire.
-func (g *Group) pickLocked(affinity uint64) int {
+func (g *Group) pickLocked(affinity uint64, avoid []bool, now time.Time) int {
+	admit := func(i int, r *rep) bool {
+		if avoid != nil && i < len(avoid) && avoid[i] {
+			return false
+		}
+		return g.eligibleLocked(r) && r.br.ready(now)
+	}
 	best := -1
 	minIn := 0
 	for i, r := range g.reps {
-		if !g.eligibleLocked(r) {
+		if !admit(i, r) {
 			continue
 		}
 		if best == -1 || r.inflight < minIn ||
@@ -405,7 +616,7 @@ func (g *Group) pickLocked(affinity uint64) int {
 	}
 	if affinity != 0 {
 		h := int(affinity % uint64(len(g.reps)))
-		if rh := g.reps[h]; g.eligibleLocked(rh) && rh.inflight <= minIn+1 {
+		if rh := g.reps[h]; admit(h, rh) && rh.inflight <= minIn+1 {
 			return h
 		}
 	}
@@ -453,6 +664,26 @@ func (g *Group) fireCrashLocked(i int, seq uint64) bool {
 		}
 	}
 	return false
+}
+
+// stallShip sleeps the injected delta-ship stall for replica i's
+// application of batch seq, interruptible by Close. Called without the
+// group mutex.
+func (g *Group) stallShip(i int, seq uint64) {
+	p := g.cfg.ServeFaults
+	if p == nil {
+		return
+	}
+	d := p.StallDelay(i, seq)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(time.Duration(d * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-g.closedCh:
+	}
 }
 
 // ship is replica i's shipping loop: re-bootstrap when down, otherwise
@@ -504,6 +735,7 @@ func (g *Group) ship(i int) {
 		}
 		node := r.node
 		g.mu.Unlock()
+		g.stallShip(i, b.Seq)
 		if g.cfg.BeforeApply != nil {
 			g.cfg.BeforeApply(i, b.Seq)
 		}

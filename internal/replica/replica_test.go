@@ -118,7 +118,7 @@ func TestBoundedStalenessBlocksAcquire(t *testing.T) {
 	// is 3 batches behind a MaxLag of 1: reads must block until the
 	// deadline, not serve stale data.
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	_, _, err = g.Acquire(ctx, 0)
+	_, err = g.Acquire(ctx, 0, nil)
 	cancel()
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Acquire beyond the staleness bound: err = %v, want deadline", err)
@@ -129,12 +129,12 @@ func TestBoundedStalenessBlocksAcquire(t *testing.T) {
 
 	gateOnce.Do(func() { close(gate) })
 	waitCaughtUp(t, g)
-	node, release, err := g.Acquire(context.Background(), 0)
+	l, err := g.Acquire(context.Background(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	release()
-	if got := node.(*fakeNode).Total(); got != 1+2+3 {
+	defer l.Release(false)
+	if got := l.Node().(*fakeNode).Total(); got != 1+2+3 {
 		t.Fatalf("served total %d, want 6", got)
 	}
 }
@@ -150,34 +150,34 @@ func TestRoutingLeastLoadedAndAffinity(t *testing.T) {
 	// replicas (least-inflight routing).
 	ctx := context.Background()
 	seen := map[Node]bool{}
-	var releases []func()
+	var leases []*Lease
 	for k := 0; k < 3; k++ {
-		n, rel, err := g.Acquire(ctx, 0)
+		l, err := g.Acquire(ctx, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		seen[n] = true
-		releases = append(releases, rel)
+		seen[l.Node()] = true
+		leases = append(leases, l)
 	}
 	if len(seen) != 3 {
 		t.Fatalf("3 concurrent reads used %d replicas", len(seen))
 	}
-	for _, rel := range releases {
-		rel()
+	for _, l := range leases {
+		l.Release(false)
 	}
 
 	// With an affinity hash, idle repeats stay on the home replica
 	// (5 mod 3 = replica 2) so its cache keeps the entry.
 	var home Node
 	for k := 0; k < 8; k++ {
-		n, rel, err := g.Acquire(ctx, 5)
+		l, err := g.Acquire(ctx, 5, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rel()
+		l.Release(false)
 		if home == nil {
-			home = n
-		} else if n != home {
+			home = l.Node()
+		} else if l.Node() != home {
 			t.Fatalf("affinity read %d routed away from home replica", k)
 		}
 	}
@@ -291,12 +291,13 @@ func TestDeterministicApplyFailureRetiresReplica(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// With every replica failed, reads fail by deadline rather than
-	// serving a corrupt node.
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	// With every replica permanently failed, reads must not block out
+	// their deadline: ErrAllFailed tells the caller to fail over to the
+	// leader immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	if _, _, err := g.Acquire(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("Acquire with all replicas failed: %v", err)
+	if _, err := g.Acquire(ctx, 0, nil); !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("Acquire with all replicas failed: %v, want ErrAllFailed", err)
 	}
 }
 
@@ -314,6 +315,13 @@ func TestGroupValidation(t *testing.T) {
 	}, snapshotOf(0), 0); err == nil {
 		t.Fatal("out-of-range crash rank accepted")
 	}
+	if _, err := New(Config{
+		Replicas:    2,
+		Bootstrap:   bootstrapFake(0),
+		ServeFaults: &faults.ServePlan{Crashes: []faults.ServeCrash{{Replica: 7, Query: 1}}},
+	}, snapshotOf(0), 0); err == nil {
+		t.Fatal("out-of-range serve-crash replica accepted")
+	}
 	g, err := New(Config{Replicas: 1, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -321,11 +329,445 @@ func TestGroupValidation(t *testing.T) {
 	if err := g.Crash(5); err == nil {
 		t.Fatal("out-of-range crash index accepted")
 	}
+	if err := g.Retire(5); err == nil {
+		t.Fatal("out-of-range retire index accepted")
+	}
 	g.Close()
-	if _, _, err := g.Acquire(context.Background(), 0); !errors.Is(err, ErrClosed) {
+	if _, err := g.Acquire(context.Background(), 0, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Acquire after Close: %v", err)
 	}
 	if err := g.WaitCaughtUp(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WaitCaughtUp after Close: %v", err)
 	}
+	if _, ok := g.TryAcquire(0, nil); ok {
+		t.Fatal("TryAcquire after Close leased")
+	}
+}
+
+func TestServeCrashFiresOnExactOrdinalAndReBootstraps(t *testing.T) {
+	// One replica, crash at its 3rd routed read: the first two reads
+	// serve, the third gets a ServeCrashError, the shipper re-bootstraps
+	// the replica, and later reads serve again.
+	g, err := New(Config{
+		Replicas:    1,
+		Bootstrap:   bootstrapFake(0),
+		ServeFaults: &faults.ServePlan{Crashes: []faults.ServeCrash{{Replica: 0, Query: 3}}},
+	}, snapshotOf(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	for k := 0; k < 2; k++ {
+		l, err := g.Acquire(ctx, 0, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", k, err)
+		}
+		l.Release(false)
+	}
+	_, err = g.Acquire(ctx, 0, nil)
+	var sc *ServeCrashError
+	if !errors.As(err, &sc) || sc.Replica != 0 || sc.Query != 3 {
+		t.Fatalf("3rd read: err = %v, want ServeCrashError{0, 3}", err)
+	}
+	waitCaughtUp(t, g)
+	l, err := g.Acquire(ctx, 0, nil)
+	if err != nil {
+		t.Fatalf("read after re-bootstrap: %v", err)
+	}
+	if got := l.Node().(*fakeNode).Total(); got != 7 {
+		t.Fatalf("re-bootstrapped total %d, want 7", got)
+	}
+	l.Release(false)
+	st := g.Stats().Replicas[0]
+	if st.Crashes != 1 || st.Bootstraps != 2 {
+		t.Fatalf("after serve crash: %+v", st)
+	}
+}
+
+func TestServeCrashIsDeterministicAcrossRuns(t *testing.T) {
+	plan := &faults.ServePlan{Crashes: faults.CrashLoop(1, 2, 3, 2)}
+	run := func() []uint64 {
+		g, err := New(Config{Replicas: 2, Bootstrap: bootstrapFake(0), ServeFaults: plan}, snapshotOf(0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		ctx := context.Background()
+		var crashedAt []uint64
+		// Sequential reads with alternating affinity walk both replicas
+		// deterministically; record which global read ordinals crash.
+		for k := 0; k < 12; k++ {
+			waitCaughtUp(t, g) // let re-bootstraps settle so routing is deterministic
+			l, err := g.Acquire(ctx, uint64(k%2)+2, nil)
+			if err != nil {
+				var sc *ServeCrashError
+				if !errors.As(err, &sc) {
+					t.Fatalf("read %d: %v", k, err)
+				}
+				crashedAt = append(crashedAt, uint64(k))
+				continue
+			}
+			l.Release(false)
+		}
+		return crashedAt
+	}
+	a, b := run(), run()
+	if len(a) != 2 {
+		t.Fatalf("crash loop fired %d times, want 2 (at %v)", len(a), a)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("serve crashes fired at different points across identical runs: %v vs %v", a, b)
+	}
+}
+
+func TestStragglerDelaySurfacesOnLease(t *testing.T) {
+	g, err := New(Config{
+		Replicas:  1,
+		Bootstrap: bootstrapFake(0),
+		ServeFaults: &faults.ServePlan{Stragglers: []faults.ServeStraggler{
+			{Replica: 0, FromQuery: 2, ToQuery: 3, DelaySeconds: 0.5},
+		}},
+	}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+	want := []time.Duration{0, 500 * time.Millisecond, 500 * time.Millisecond, 0}
+	for k, w := range want {
+		l, err := g.Acquire(ctx, 0, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", k, err)
+		}
+		if l.Delay() != w {
+			t.Fatalf("read %d delay = %v, want %v", k, l.Delay(), w)
+		}
+		l.Release(false)
+	}
+}
+
+func TestBreakerOpensOnFailedReleasesAndRecovers(t *testing.T) {
+	g, err := New(Config{
+		Replicas:  2,
+		Bootstrap: bootstrapFake(0),
+		Breaker:   BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+	}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	// Fail two consecutive reads on replica 0: its breaker opens and
+	// routing steers everything to replica 1.
+	for k := 0; k < 2; k++ {
+		l, err := g.Acquire(ctx, 0, []bool{false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Replica() != 0 {
+			t.Fatalf("avoid set ignored: routed to %d", l.Replica())
+		}
+		l.Release(true)
+	}
+	st := g.Stats()
+	if st.Replicas[0].Breaker != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("breaker after 2 failures: %+v", st.Replicas[0])
+	}
+	for k := 0; k < 4; k++ {
+		l, err := g.Acquire(ctx, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Replica() != 1 {
+			t.Fatalf("read %d routed to breaker-open replica", k)
+		}
+		l.Release(false)
+	}
+
+	// After the cooldown a single probe is admitted; its success closes
+	// the breaker and replica 0 serves again.
+	time.Sleep(60 * time.Millisecond)
+	l, err := g.Acquire(ctx, 0, []bool{false, true})
+	if err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if l.Replica() != 0 {
+		t.Fatalf("probe routed to %d", l.Replica())
+	}
+	l.Release(false)
+	st = g.Stats()
+	if st.Replicas[0].Breaker != "closed" || st.BreakerProbes != 1 || st.BreakerCloses != 1 {
+		t.Fatalf("breaker after successful probe: %+v (totals %d/%d/%d)",
+			st.Replicas[0], st.BreakerOpens, st.BreakerProbes, st.BreakerCloses)
+	}
+}
+
+func TestBreakerCooldownWakesBlockedAcquire(t *testing.T) {
+	// Single replica, breaker opens: a blocked Acquire must wake when
+	// the cooldown expires (nothing else broadcasts at that moment) and
+	// get the half-open probe instead of sleeping out its deadline.
+	g, err := New(Config{
+		Replicas:  1,
+		Bootstrap: bootstrapFake(0),
+		Breaker:   BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond},
+	}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	l, err := g.Acquire(ctx, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release(true) // opens the breaker
+
+	start := time.Now()
+	actx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	l, err = g.Acquire(actx, 0, nil)
+	if err != nil {
+		t.Fatalf("Acquire across breaker cooldown: %v", err)
+	}
+	l.Release(false)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("blocked Acquire slept %v past a 50ms cooldown", elapsed)
+	}
+}
+
+func TestTryAcquireAvoidsAndReportsExhaustion(t *testing.T) {
+	g, err := New(Config{Replicas: 2, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	l, ok := g.TryAcquire(0, []bool{true, false})
+	if !ok || l.Replica() != 1 {
+		t.Fatalf("TryAcquire with avoid[0]: ok=%v lease=%+v", ok, l)
+	}
+	defer l.Release(false)
+	if _, ok := g.TryAcquire(0, []bool{true, true}); ok {
+		t.Fatal("TryAcquire leased an avoided replica")
+	}
+}
+
+func TestRetireRemovesReplicaPermanently(t *testing.T) {
+	g, err := New(Config{Replicas: 2, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	if err := g.Retire(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		l, err := g.Acquire(ctx, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Replica() != 1 {
+			t.Fatalf("read %d routed to retired replica", k)
+		}
+		l.Release(false)
+	}
+	if st := g.Stats().Replicas[0]; st.State != "failed" {
+		t.Fatalf("retired replica state = %s", st.State)
+	}
+
+	// Retiring the last replica flips Acquire to ErrAllFailed.
+	if err := g.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(ctx, 0, nil); !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("Acquire with all retired: %v, want ErrAllFailed", err)
+	}
+	// Committed batches still ship nowhere without wedging the leader.
+	commitN(g, 1, 2)
+	if got := g.LeaderSeq(); got != 2 {
+		t.Fatalf("LeaderSeq = %d, want 2", got)
+	}
+}
+
+func TestShipStallSpikesLagThenRecovers(t *testing.T) {
+	// Stall replica 0's application of batch 1 by 200ms: with MaxLag 0
+	// reads route to replica 1 during the stall, and the stalled replica
+	// catches up to the identical state afterwards.
+	g, err := New(Config{
+		Replicas:    2,
+		Bootstrap:   bootstrapFake(0),
+		ServeFaults: &faults.ServePlan{Stalls: []faults.ShipStall{{Replica: 0, Batch: 1, DelaySeconds: 0.2}}},
+	}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sum := commitN(g, 1, 3)
+
+	// Replica 1 catches up quickly; replica 0 is stuck in the stall.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := g.Stats()
+		if st.Replicas[1].Applied == 3 {
+			if st.Replicas[0].Applied != 0 {
+				t.Skip("stall too short to observe on this machine")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 1 never caught up: %+v", st.Replicas)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l, err := g.Acquire(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Replica() != 0 {
+		// Routing steered around the lagging replica.
+		l.Release(false)
+	} else {
+		t.Fatal("read routed to a replica beyond the staleness bound")
+	}
+
+	waitCaughtUp(t, g)
+	for i, r := range g.Stats().Replicas {
+		if got := r.Node.(*fakeNode).Total(); got != sum {
+			t.Fatalf("replica %d total %d after stall, want %d", i, got, sum)
+		}
+	}
+}
+
+func TestAcquireRacesSnapshotRefreshAtBatchBoundary(t *testing.T) {
+	// Satellite race test: bounded-staleness Acquire racing SetSnapshot
+	// compaction at a batch boundary, with concurrent commits and a
+	// crash-loop forcing re-bootstraps from the moving snapshot. The
+	// race detector is the assertion; totals are checked at the end.
+	g, err := New(Config{Replicas: 2, MaxLag: 4, Bootstrap: bootstrapFake(0)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var sum int64
+	wg.Add(1)
+	go func() { // leader: commit batches and refresh the snapshot at each boundary
+		defer wg.Done()
+		var s int64
+		for k := int64(1); k <= 200; k++ {
+			g.Commit(nil, []int64{k})
+			s += k
+			if k%10 == 0 {
+				g.SetSnapshot(snapshotOf(s), uint64(k))
+			}
+		}
+		sum = s
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() { // chaos: crash replica 0 now and then
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = g.Crash(0)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // readers: acquire within the staleness bound
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+				l, err := g.Acquire(tctx, uint64(w), nil)
+				cancel()
+				if err == nil {
+					_ = l.Node().(*fakeNode).Total()
+					l.Release(false)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitCaughtUp(t, g)
+	for i, r := range g.Stats().Replicas {
+		if got := r.Node.(*fakeNode).Total(); got != sum {
+			t.Fatalf("replica %d total %d after race, want %d", i, got, sum)
+		}
+	}
+}
+
+func TestRetirementRacesConcurrentQueries(t *testing.T) {
+	// Satellite race test: a deterministic apply failure retiring a
+	// replica (lastFailSeq path) while queries hammer Acquire/Release.
+	// No read may ever land on the retired replica's dead node.
+	g, err := New(Config{Replicas: 2, MaxLag: 1000, Bootstrap: bootstrapFake(5)}, snapshotOf(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				l, err := g.Acquire(tctx, uint64(w), nil)
+				cancel()
+				if err == nil {
+					if l.Node() == nil {
+						t.Error("lease on a nil node")
+						l.Release(true)
+						return
+					}
+					_ = l.Node().(*fakeNode).Total()
+					l.Release(false)
+				}
+			}
+		}(w)
+	}
+	// Batch carrying measure 5 deterministically fails on both replicas:
+	// both retire while the readers run.
+	commitN(g, 1, 10)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := g.Stats()
+		if st.Replicas[0].State == "failed" && st.Replicas[1].State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("replicas not retired under load: %+v", st.Replicas)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -71,6 +71,9 @@ type ReplicaStats struct {
 	// (running but beyond it), "down" (crashed, re-bootstrapping), or
 	// "failed" (retired permanently).
 	State string
+	// Breaker is the replica's circuit-breaker state: "closed",
+	// "open", "half-open", or "disabled".
+	Breaker string
 	// Applied is the last leader batch sequence applied; Lag is the
 	// replica's distance behind the leader in batches.
 	Applied uint64
@@ -102,8 +105,44 @@ type ReplicaSetStats struct {
 	// staleness bound.
 	Routed         int64
 	StalenessWaits int64
+	// Resilience totals the serving path's failure-policy activity.
+	Resilience ResilienceStats
 	// Replicas has one entry per replica, by index.
 	Replicas []ReplicaStats
+	// LeaderServer holds the leader fallback server's counters (zero
+	// when fallback is disabled). Queries here were served by the
+	// leader's own cube because no replica could take them.
+	LeaderServer ServerStats
+}
+
+// ResilienceStats total the replica set's failure-policy activity:
+// what the retry, breaker, hedging, and fallback machinery actually
+// did. All counters are cumulative over the set's lifetime.
+type ResilienceStats struct {
+	// Retries counts failover retries (a query re-attempted on a
+	// different replica after a failure or overload); Failovers counts
+	// queries that ultimately succeeded on a replica other than their
+	// first. Retries >= Failovers.
+	Retries   int64
+	Failovers int64
+	// LeaderFallbacks counts queries served by the leader's own cube
+	// because no replica could take them (all crashed/retired, retries
+	// exhausted, or none eligible within the failover wait).
+	LeaderFallbacks int64
+	// HedgesLaunched counts second attempts started because the first
+	// exceeded the latency threshold; HedgesWon of those finished
+	// first, HedgesLost lost the race to the original.
+	HedgesLaunched int64
+	HedgesWon      int64
+	HedgesLost     int64
+	// ServeCrashes counts injected serving-time replica crashes
+	// observed by the read path (ReplicaOptions.ServeFaults).
+	ServeCrashes int64
+	// BreakerOpens, BreakerProbes, and BreakerCloses total the
+	// per-replica circuit-breaker transitions.
+	BreakerOpens  int64
+	BreakerProbes int64
+	BreakerCloses int64
 }
 
 // Metrics returns the cube's cumulative metrics (the build plus every

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,13 @@ type QueryMetrics struct {
 	// IndexUsed reports whether any processor answered from its
 	// sorted-prefix index instead of a full slice scan.
 	IndexUsed bool
+	// Coalesced reports that the query piggybacked on an identical
+	// in-flight query instead of executing (single-flight).
+	Coalesced bool
+	// StaleVersions is how many ingest batches behind the live view
+	// the answer was when the overload shed ladder served it from the
+	// cache (0 for a fresh answer).
+	StaleVersions uint64
 }
 
 // ServerOptions configures a query server.
@@ -41,7 +49,8 @@ type ServerOptions struct {
 	Workers int
 	// QueueDepth bounds how many queries may wait for a worker slot
 	// beyond the admitted ones (default 4×Workers). Arrivals beyond
-	// the queue are rejected with ErrServerOverloaded.
+	// the queue are shed: served stale from the cache when possible,
+	// rejected with a typed *OverloadError otherwise.
 	QueueDepth int
 	// Timeout, when > 0, bounds each query's wall-clock wait+execution
 	// via a context deadline.
@@ -49,27 +58,104 @@ type ServerOptions struct {
 	// CacheSize is the result cache capacity in entries (default 256;
 	// negative disables caching).
 	CacheSize int
+	// StaleLimit bounds the first rung of the overload shed ladder: an
+	// overloaded query may be answered with a cached result at most
+	// StaleLimit ingest batches behind the live view (default 1;
+	// negative disables stale serving entirely). Under hard overload
+	// (queue full, as opposed to a deadline expiring in the queue) the
+	// ladder widens to any cached staleness before rejecting.
+	StaleLimit int
+	// NoCoalesce disables single-flight coalescing of identical
+	// concurrent queries.
+	NoCoalesce bool
 }
 
 // ServerStats are cumulative counters over a server's lifetime.
 type ServerStats struct {
 	// Queries counts completed queries, including cache hits.
 	Queries int64
-	// CacheHits counts queries answered from the result cache.
+	// CacheHits counts queries answered from the result cache,
+	// including stale shed-ladder serves.
 	CacheHits int64
-	// Rejected counts arrivals refused by admission control.
+	// Rejected counts arrivals refused because the queue was full.
 	Rejected int64
 	// Expired counts queries that hit their deadline before executing.
 	Expired int64
+	// Coalesced counts queries that piggybacked on an identical
+	// in-flight query instead of executing.
+	Coalesced int64
+	// StaleServes counts overloaded queries answered with a cached
+	// result within the StaleLimit bound; StaleWidened counts those
+	// answered beyond it on the widened rung (queue-full overload
+	// only).
+	StaleServes  int64
+	StaleWidened int64
+	// QueueFullRejects and QueueDeadlineRejects split the typed
+	// overload rejections actually returned to callers: arrivals shed
+	// because the queue was full versus queries whose deadline expired
+	// while waiting in the queue (the latter are also counted in
+	// Expired).
+	QueueFullRejects     int64
+	QueueDeadlineRejects int64
 	// SimSeconds is total simulated machine time spent executing.
 	SimSeconds float64
 	// RowsScanned is total source rows scanned.
 	RowsScanned int64
 }
 
-// ErrServerOverloaded is returned when a query arrives while Workers
-// queries are executing and QueueDepth more are already waiting.
+// ErrServerOverloaded is the sentinel for overload rejections: every
+// *OverloadError matches it under errors.Is, whatever its Reason.
 var ErrServerOverloaded = errors.New("rolap: server overloaded, query rejected")
+
+// OverloadReason says which admission limit shed an overloaded query.
+type OverloadReason int
+
+const (
+	// OverloadQueueFull: the query arrived while Workers queries were
+	// executing and QueueDepth more were already waiting.
+	OverloadQueueFull OverloadReason = iota
+	// OverloadQueueDeadline: the query got a queue slot but its
+	// deadline expired before a worker freed up.
+	OverloadQueueDeadline
+)
+
+func (r OverloadReason) String() string {
+	if r == OverloadQueueDeadline {
+		return "queue-deadline"
+	}
+	return "queue-full"
+}
+
+// OverloadError is the typed overload rejection: it says which limit
+// shed the query, how deep the queue was, and when retrying is worth
+// it. It matches ErrServerOverloaded under errors.Is; a
+// queue-deadline rejection also matches the context error that
+// expired (via Unwrap), so deadline-aware callers keep working.
+type OverloadError struct {
+	Reason OverloadReason
+	// QueueDepth is the number of queries waiting when the query was
+	// shed.
+	QueueDepth int
+	// RetryAfter estimates when a retry could be admitted, from the
+	// observed per-query wall time and the queue depth.
+	RetryAfter time.Duration
+	// Cause is the context error for queue-deadline rejections (nil
+	// for queue-full).
+	Cause error
+}
+
+func (e *OverloadError) Error() string {
+	msg := fmt.Sprintf("rolap: server overloaded (%s, queue depth %d, retry after %v)",
+		e.Reason, e.QueueDepth, e.RetryAfter)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *OverloadError) Is(target error) bool { return target == ErrServerOverloaded }
+
+func (e *OverloadError) Unwrap() error { return e.Cause }
 
 // Server is a concurrent query front end over a built cube: a bounded
 // worker pool admits queries, a canonicalized-key LRU cache answers
@@ -82,6 +168,14 @@ var ErrServerOverloaded = errors.New("rolap: server overloaded, query rejected")
 // cached before an ingest batch cannot be served after the batch
 // replaces that view's slices. Server is safe for concurrent use,
 // including concurrently with Cube.Ingest.
+//
+// Under overload the server degrades instead of falling over:
+// identical concurrent queries coalesce into one execution
+// (single-flight), and queries the admission queue sheds are answered
+// from the result cache at bounded staleness when possible — first
+// within StaleLimit ingest batches of the live view, then (for
+// queue-full overload) at any cached staleness — before the typed
+// *OverloadError is returned.
 type Server struct {
 	cube  *Cube
 	sem   chan struct{} // worker slots
@@ -91,12 +185,34 @@ type Server struct {
 	timeout time.Duration
 	cache   *queryengine.Cache
 
-	queries   atomic.Int64
-	hits      atomic.Int64
-	rejected  atomic.Int64
-	expired   atomic.Int64
-	simMicros atomic.Int64 // SimSeconds accumulated in microseconds
-	rowsTotal atomic.Int64
+	staleLimit int // -1 disables stale serving
+	coalesce   bool
+	flMu       sync.Mutex
+	flights    map[string]*flight
+
+	queries       atomic.Int64
+	hits          atomic.Int64
+	rejected      atomic.Int64
+	expired       atomic.Int64
+	coalesced     atomic.Int64
+	staleServes   atomic.Int64
+	staleWidened  atomic.Int64
+	queueFull     atomic.Int64
+	queueDeadline atomic.Int64
+	simMicros     atomic.Int64 // SimSeconds accumulated in microseconds
+	rowsTotal     atomic.Int64
+	wallMicros    atomic.Int64 // wall time of completed executions
+	wallCount     atomic.Int64
+}
+
+// flight is one in-flight execution identical queries coalesce onto:
+// the first arrival (the leader) executes, later arrivals block on
+// done and share the outcome.
+type flight struct {
+	done chan struct{}
+	c    cached
+	qm   QueryMetrics
+	err  error
 }
 
 // NewServer returns a query server over the cube. Only cluster-backed
@@ -120,7 +236,22 @@ func (c *Cube) NewServer(opts ServerOptions) (*Server, error) {
 	if depth < 0 {
 		depth = 0
 	}
-	s := &Server{cube: c, sem: make(chan struct{}, w), depth: depth, timeout: opts.Timeout}
+	stale := opts.StaleLimit
+	if stale == 0 {
+		stale = 1
+	}
+	if stale < 0 {
+		stale = -1
+	}
+	s := &Server{
+		cube:       c,
+		sem:        make(chan struct{}, w),
+		depth:      depth,
+		timeout:    opts.Timeout,
+		staleLimit: stale,
+		coalesce:   !opts.NoCoalesce,
+		flights:    make(map[string]*flight),
+	}
 	size := opts.CacheSize
 	if size == 0 {
 		size = 256
@@ -210,8 +341,9 @@ func (s *Server) cacheKey(kind string, q queryengine.Query) string {
 	return fmt.Sprintf("%s|%s", kind, q.Key())
 }
 
-// serve runs the admission → cache → execute pipeline for one planned
-// query and returns the cached entry (fresh or reused) plus metrics.
+// serve runs the cache → coalesce → admission → execute pipeline for
+// one planned query and returns the cached entry (fresh or reused)
+// plus metrics.
 func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (cached, QueryMetrics, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -240,10 +372,64 @@ func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (ca
 		}
 	}
 
-	// Admission: try for a worker slot; if all busy, join the bounded
-	// queue or reject.
-	if err := s.admit(ctx); err != nil {
-		return cached{}, QueryMetrics{}, err
+	if !s.coalesce {
+		return s.execute(ctx, key, q)
+	}
+
+	// Single-flight: identical concurrent queries ride one execution.
+	// Flights register before admission, so a stampede of one hot query
+	// consumes one queue slot, not the whole queue — the flash-crowd
+	// failure mode is exactly N identical misses arriving at once.
+	s.flMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return cached{}, QueryMetrics{}, f.err
+			}
+			s.queries.Add(1)
+			s.coalesced.Add(1)
+			qm := f.qm
+			qm.Coalesced = true
+			// The leader paid for the execution; followers report a free
+			// ride (like a cache hit) so cost accounting stays single-count.
+			qm.RowsScanned, qm.BytesMoved, qm.SimSeconds = 0, 0, 0
+			return f.c, qm, nil
+		case <-ctx.Done():
+			s.expired.Add(1)
+			return cached{}, QueryMetrics{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flMu.Unlock()
+
+	c, qm, err := s.execute(ctx, key, q)
+	f.c, f.qm, f.err = c, qm, err
+	s.flMu.Lock()
+	delete(s.flights, key)
+	s.flMu.Unlock()
+	close(f.done)
+	return c, qm, err
+}
+
+// execute runs the admission → deadline → machine pipeline, degrading
+// through the shed ladder when admission refuses the query.
+func (s *Server) execute(ctx context.Context, key string, q queryengine.Query) (cached, QueryMetrics, error) {
+	if oe := s.admit(ctx); oe != nil {
+		if c, qm, ok := s.serveStale(key, q, oe.Reason); ok {
+			return c, qm, nil
+		}
+		switch oe.Reason {
+		case OverloadQueueFull:
+			s.rejected.Add(1)
+			s.queueFull.Add(1)
+		case OverloadQueueDeadline:
+			s.expired.Add(1)
+			s.queueDeadline.Add(1)
+		}
+		return cached{}, QueryMetrics{}, oe
 	}
 	defer func() { <-s.sem }()
 
@@ -256,10 +442,13 @@ func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (ca
 	default:
 	}
 
+	start := time.Now()
 	rows, em, err := s.cube.engine.Execute(q)
 	if err != nil {
 		return cached{}, QueryMetrics{}, err
 	}
+	s.wallMicros.Add(time.Since(start).Microseconds())
+	s.wallCount.Add(1)
 	c := cached{rows: rows, met: em, ver: em.Version}
 	if s.cache != nil {
 		s.cache.Put(key, c)
@@ -276,9 +465,44 @@ func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (ca
 	}, nil
 }
 
+// serveStale is the overload shed ladder's cache rung: answer a shed
+// query with the cached result for its key, first within the
+// StaleLimit bound, then — only under hard queue-full overload — at
+// any staleness. Freshness is measured in ingest batches behind the
+// live view (version distance). Reports false when no rung applies
+// and the query must be rejected.
+func (s *Server) serveStale(key string, q queryengine.Query, reason OverloadReason) (cached, QueryMetrics, bool) {
+	if s.cache == nil || s.staleLimit < 0 {
+		return cached{}, QueryMetrics{}, false
+	}
+	v, ok := s.cache.Get(key)
+	if !ok {
+		return cached{}, QueryMetrics{}, false
+	}
+	c := v.(cached)
+	dist := s.cube.engine.ViewVersion(q.View) - c.ver
+	if dist <= uint64(s.staleLimit) {
+		s.staleServes.Add(1)
+	} else if reason == OverloadQueueFull {
+		s.staleWidened.Add(1)
+	} else {
+		return cached{}, QueryMetrics{}, false
+	}
+	s.queries.Add(1)
+	s.hits.Add(1)
+	return c, QueryMetrics{
+		SourceView:    s.cube.sourceViewNames(c.met.Source),
+		CacheHit:      true,
+		IndexUsed:     c.met.IndexUsed,
+		StaleVersions: dist,
+	}, true
+}
+
 // admit acquires a worker slot, respecting the queue depth and the
-// caller's deadline.
-func (s *Server) admit(ctx context.Context) error {
+// caller's deadline. A refusal comes back as a typed *OverloadError
+// (not yet counted — the caller records it only if the shed ladder
+// fails to rescue the query).
+func (s *Server) admit(ctx context.Context) *OverloadError {
 	select {
 	case s.sem <- struct{}{}: // fast path: free worker
 		return nil
@@ -286,27 +510,54 @@ func (s *Server) admit(ctx context.Context) error {
 	}
 	if s.waiting.Add(1) > int64(s.depth) {
 		s.waiting.Add(-1)
-		s.rejected.Add(1)
-		return ErrServerOverloaded
+		return &OverloadError{
+			Reason:     OverloadQueueFull,
+			QueueDepth: int(s.waiting.Load()),
+			RetryAfter: s.retryAfter(),
+		}
 	}
 	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		s.expired.Add(1)
-		return ctx.Err()
+		return &OverloadError{
+			Reason:     OverloadQueueDeadline,
+			QueueDepth: int(s.waiting.Load()),
+			RetryAfter: s.retryAfter(),
+			Cause:      ctx.Err(),
+		}
 	}
+}
+
+// retryAfter estimates how long until a shed query could be admitted:
+// the observed mean wall time per execution, scaled by how many
+// queued queries must drain through the worker pool first.
+func (s *Server) retryAfter() time.Duration {
+	per := time.Millisecond
+	if n := s.wallCount.Load(); n > 0 {
+		per = time.Duration(s.wallMicros.Load()/n) * time.Microsecond
+		if per < 100*time.Microsecond {
+			per = 100 * time.Microsecond
+		}
+	}
+	waves := s.waiting.Load()/int64(cap(s.sem)) + 1
+	return time.Duration(waves) * per
 }
 
 // Stats returns the server's cumulative counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Queries:     s.queries.Load(),
-		CacheHits:   s.hits.Load(),
-		Rejected:    s.rejected.Load(),
-		Expired:     s.expired.Load(),
-		SimSeconds:  float64(s.simMicros.Load()) / 1e6,
-		RowsScanned: s.rowsTotal.Load(),
+		Queries:              s.queries.Load(),
+		CacheHits:            s.hits.Load(),
+		Rejected:             s.rejected.Load(),
+		Expired:              s.expired.Load(),
+		Coalesced:            s.coalesced.Load(),
+		StaleServes:          s.staleServes.Load(),
+		StaleWidened:         s.staleWidened.Load(),
+		QueueFullRejects:     s.queueFull.Load(),
+		QueueDeadlineRejects: s.queueDeadline.Load(),
+		SimSeconds:           float64(s.simMicros.Load()) / 1e6,
+		RowsScanned:          s.rowsTotal.Load(),
 	}
 }
