@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json qbench-advisor-smoke bench-advisor-json
 
 tier1: build vet test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... ./internal/advisor/... .
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -84,6 +84,21 @@ bench-replica-json:
 # number.
 qbench-chaos-smoke:
 	$(GO) run ./cmd/qbench -chaos -verify -rows 4000 -queries 240 -chaos-replicas 4 -workers 8
+
+# Adaptive-materialization smoke: the three-arm advisor scenario
+# (full / static-minimal / advisor) on a small workload with the gate
+# on — the advisor arm must strictly improve p50 over static-minimal,
+# converge to <= 1.25x the full-cube p50 within the 35% view budget,
+# and answer every query identically to the full cube.
+qbench-advisor-smoke:
+	$(GO) run ./cmd/qbench -advisor -smoke -rows 4000 -queries 200 -p 2 -advise-every 25
+
+# Advisor-convergence report (BENCH_PR8.json): the full-size scenario
+# with the per-step trajectory (views, storage, window p50/p99), the
+# p50-vs-full and view-fraction acceptance ratios, and the oracle
+# check counts.
+bench-advisor-json:
+	$(GO) run ./cmd/qbench -advisor -smoke -rows 20000 -queries 400 -p 4 -advise-every 40 -out BENCH_PR8.json
 
 # Serving-resilience report (BENCH_PR7.json): the verified chaos
 # scenario (goodput and wall latency with 1-of-4 replicas

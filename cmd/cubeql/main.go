@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	rolap "repro"
@@ -49,16 +50,17 @@ func main() {
 	whereFlag := flag.String("where", "", "comma-separated equality filters, dim=value")
 	minSupport := flag.Int64("min-support", 0, "iceberg threshold (keep groups with aggregate >= this)")
 	agg := flag.String("agg", "sum", "aggregate: sum, min, max")
-	stats := flag.Bool("stats", false, "print per-query cost metrics (source view, rows scanned, sim time) to stderr")
+	stats := flag.Bool("stats", false, "print per-query cost metrics and the per-view demand table to stderr")
+	advise := flag.Int("advise", 0, "run N workload-driven advisor steps after the query: materialize hot fallback targets, retire cold views")
 	flag.Parse()
 
-	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *ingestPath, *groupFlag, *whereFlag, *minSupport, *agg, *stats); err != nil {
+	if err := run(*csvPath, *measure, *procs, *selectFlag, *save, *snapshot, *ingestPath, *groupFlag, *whereFlag, *minSupport, *agg, *stats, *advise); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestPath, groupFlag, whereFlag string, minSupport int64, agg string, stats bool) error {
+func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestPath, groupFlag, whereFlag string, minSupport int64, agg string, stats bool, advise int) error {
 	var cube *rolap.Cube
 	var in *rolap.Input
 
@@ -139,7 +141,7 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 	}
 
 	if groupFlag == "" {
-		return nil
+		return runAdvise(cube, advise)
 	}
 	dims := splitList(groupFlag)
 	// Queries on a snapshot have no *Input dictionaries accessible here;
@@ -160,6 +162,7 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 			}
 			fmt.Fprintf(os.Stderr, "query: source=[%s] rows_scanned=%d bytes_moved=%d sim_s=%.6f index=%v cache_hit=%v\n",
 				strings.Join(qm.SourceView, ","), qm.RowsScanned, qm.BytesMoved, qm.SimSeconds, qm.IndexUsed, qm.CacheHit)
+			printViewDemand(srv.Stats())
 		} else {
 			fmt.Fprintln(os.Stderr, "stats unavailable for snapshot cubes (no simulated cluster); answering directly")
 		}
@@ -169,6 +172,9 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 		if err != nil {
 			return err
 		}
+	}
+	if err := runAdvise(cube, advise); err != nil {
+		return err
 	}
 	if in != nil {
 		return vw.WriteCSV(os.Stdout, in)
@@ -184,6 +190,62 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 		parts = append(parts, fmt.Sprint(m))
 		fmt.Println(strings.Join(parts, ","))
 	}
+	return nil
+}
+
+// printViewDemand renders the serving tier's per-target-view demand
+// table — the signal the materialization advisor mines.
+func printViewDemand(st rolap.ServerStats) {
+	if len(st.Views) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(st.Views))
+	for k := range st.Views {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(os.Stderr, "per-view demand:")
+	for _, k := range keys {
+		vs := st.Views[k]
+		name := k
+		if name == "" {
+			name = "(grand total)"
+		}
+		fmt.Fprintf(os.Stderr, "  [%s] hits=%d fallbacks=%d cache_hits=%d rows_scanned=%d\n",
+			name, vs.Hits, vs.Fallbacks, vs.CacheHits, vs.RowsScanned)
+	}
+	if st.Replans > 0 {
+		fmt.Fprintf(os.Stderr, "replans: %d\n", st.Replans)
+	}
+}
+
+// runAdvise runs n advisor steps against the live cube, printing each
+// executed action.
+func runAdvise(cube *rolap.Cube, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	adv, err := cube.NewAdvisor(rolap.AdvisorOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		recs, err := adv.Step()
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			name := strings.Join(r.View, ",")
+			if name == "" {
+				name = "(grand total)"
+			}
+			fmt.Fprintf(os.Stderr, "advise step %d: %s [%s] from [%s] score=%.1f rows=%d\n",
+				i+1, r.Action, name, strings.Join(r.From, ","), r.Score, r.EstRows)
+		}
+	}
+	st := adv.Stats()
+	fmt.Fprintf(os.Stderr, "advisor: %d steps, %d materialized, %d retired; %d views live, %d bytes\n",
+		st.Steps, st.Materialized, st.Retired, st.CurrentViews, st.StorageBytes)
 	return nil
 }
 

@@ -55,18 +55,18 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Build + save + query.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "", 0, "sum", false); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "", 0, "sum", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Query the snapshot.
-	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", false); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
-	if err := run("", "measure", 2, "", "", "", "", "", "", 0, "sum", false); err == nil {
+	if err := run("", "measure", 2, "", "", "", "", "", "", 0, "sum", false, 0); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
-	if err := run(csvPath, "measure", 2, "", "", "", "", "", "", 0, "bogus", false); err == nil {
+	if err := run(csvPath, "measure", 2, "", "", "", "", "", "", 0, "bogus", false, 0); err == nil {
 		t.Fatal("bad aggregate accepted")
 	}
 }
@@ -80,12 +80,40 @@ func TestRunWithStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Stats route through the query server on a built cube.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "product=widget", 0, "sum", true); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "region", "product=widget", 0, "sum", true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// On a snapshot there is no cluster: stats degrade gracefully.
-	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", true); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "sum", true, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithAdvise(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	facts := "region,product,measure\neast,widget,10\neast,nut,5\nwest,widget,7\n"
+	if err := os.WriteFile(csvPath, []byte(facts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Minimal cube + a query + advisor steps: the demand mined from the
+	// query drives the steps; on this tiny input they may or may not
+	// act, but the path must run cleanly.
+	if err := run(csvPath, "measure", 2, "region,product", "", "", "", "region", "", 0, "sum", true, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Advise without a query (no demand): steps are no-ops but legal.
+	if err := run(csvPath, "measure", 2, "", "", "", "", "", "", 0, "sum", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot loads rebuild the simulated machine, so advising a
+	// reloaded cube works too.
+	snapPath := filepath.Join(dir, "cube.bin")
+	if err := run(csvPath, "measure", 2, "", snapPath, "", "", "", "", 0, "sum", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "measure", 2, "", "", snapPath, "", "", "", 0, "sum", false, 1); err != nil {
+		t.Fatalf("advise on a reloaded cube: %v", err)
 	}
 }
 
@@ -104,11 +132,11 @@ func TestRunIngestFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Build + ingest in one shot, saving the maintained cube.
-	if err := run(csvPath, "measure", 2, "", snapPath, "", batchPath, "region", "", 0, "sum", false); err != nil {
+	if err := run(csvPath, "measure", 2, "", snapPath, "", batchPath, "region", "", 0, "sum", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// The saved snapshot reflects the batch: ingest again on load.
-	if err := run("", "measure", 2, "", "", snapPath, batchPath, "region", "", 0, "sum", false); err != nil {
+	if err := run("", "measure", 2, "", "", snapPath, batchPath, "region", "", 0, "sum", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// A batch naming an unknown dictionary value is rejected.
@@ -116,7 +144,7 @@ func TestRunIngestFlag(t *testing.T) {
 	if err := os.WriteFile(badPath, []byte("region,product,measure\nnorth,widget,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "measure", 2, "", "", snapPath, badPath, "", "", 0, "sum", false); err == nil {
+	if err := run("", "measure", 2, "", "", snapPath, badPath, "", "", 0, "sum", false, 0); err == nil {
 		t.Fatal("unknown dictionary value accepted")
 	}
 }

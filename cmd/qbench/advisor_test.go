@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMakeAdvisorMixDeterministic(t *testing.T) {
+	cfg := config{queries: 50, seed: 9}
+	pa, ka := makeAdvisorMix(cfg)
+	pb, kb := makeAdvisorMix(cfg)
+	if len(pa) != len(pb) || len(ka) != 50 {
+		t.Fatalf("pool %d/%d, picks %d", len(pa), len(pb), len(ka))
+	}
+	for i := range pa {
+		if strings.Join(pa[i].group, ",") != strings.Join(pb[i].group, ",") {
+			t.Fatalf("pool %d differs across identical seeds", i)
+		}
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("pick %d differs across identical seeds", i)
+		}
+	}
+	// The mix must actually be skewed: shape 0 dominates.
+	counts := map[int]int{}
+	for _, k := range ka {
+		counts[k]++
+	}
+	if counts[0] < len(ka)/4 {
+		t.Fatalf("head shape drew only %d of %d", counts[0], len(ka))
+	}
+}
+
+// TestRunAdvisorSmoke runs the full three-arm scenario small, with the
+// smoke gate on: the advisor must strictly improve on static-minimal,
+// converge under the view cap, and never change an answer.
+func TestRunAdvisorSmoke(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	cfg := config{
+		rows:      4000,
+		procs:     []int{2},
+		queries:   200,
+		seed:      42,
+		stepEvery: 25,
+		smoke:     true,
+		out:       outPath,
+	}
+	if err := runAdvisor(cfg, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "converged=true") {
+		t.Fatalf("did not converge:\n%s", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep advisorReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "advisor-convergence" || !rep.Converged {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.OracleMismatches != 0 || rep.OracleChecked != 2*cfg.queries {
+		t.Fatalf("oracle accounting: %d mismatches of %d checked", rep.OracleMismatches, rep.OracleChecked)
+	}
+	if len(rep.Trajectory) != cfg.queries/cfg.stepEvery {
+		t.Fatalf("trajectory has %d points, want %d", len(rep.Trajectory), cfg.queries/cfg.stepEvery)
+	}
+	if rep.Advisor.Views <= 1 || rep.ViewFraction > 0.35 {
+		t.Fatalf("advisor views %d (fraction %.2f)", rep.Advisor.Views, rep.ViewFraction)
+	}
+	if rep.FinalP50Ms >= rep.Static.P50Ms {
+		t.Fatalf("final p50 %.3f did not beat static %.3f", rep.FinalP50Ms, rep.Static.P50Ms)
+	}
+}

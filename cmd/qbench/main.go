@@ -64,6 +64,11 @@ type config struct {
 	alpha         float64
 	hotKeys       int
 	clients       int
+
+	// Advisor mode (-advisor): adaptive partial cube vs static arms.
+	advisor   bool
+	smoke     bool
+	stepEvery int
 }
 
 func main() {
@@ -88,6 +93,9 @@ func main() {
 	alpha := flag.Float64("alpha", 1.2, "Zipf skew of the -flashcrowd hot-key mix")
 	hotKeys := flag.Int("hotkeys", 48, "distinct queries in the -flashcrowd key space")
 	clients := flag.Int("clients", 0, "concurrent -flashcrowd clients (0 = 6x workers)")
+	advisor := flag.Bool("advisor", false, "run the advisor scenario: adaptive partial cube under a Zipf query mix vs full-cube and static-minimal arms")
+	smoke := flag.Bool("smoke", false, "with -advisor: exit nonzero unless the advisor arm strictly improves p50 over static-minimal and every answer matches the full cube")
+	stepEvery := flag.Int("advise-every", 40, "advisor steps every N queries")
 	flag.Parse()
 
 	cfg := config{rows: *rows, queries: *queries, workers: *workers,
@@ -95,7 +103,8 @@ func main() {
 		leaderP: *leaderP, maxLag: *maxLag, snapEvery: *snapEvery,
 		ingBatches: *ingBatches, ingRows: *ingRows, out: *out,
 		chaos: *chaos, flashcrowd: *flashcrowd, verify: *verify,
-		chaosReplicas: *chaosReplicas, alpha: *alpha, hotKeys: *hotKeys, clients: *clients}
+		chaosReplicas: *chaosReplicas, alpha: *alpha, hotKeys: *hotKeys, clients: *clients,
+		advisor: *advisor, smoke: *smoke, stepEvery: *stepEvery}
 	parseCounts := func(s, what string) []int {
 		var counts []int
 		for _, f := range strings.Split(s, ",") {
@@ -109,6 +118,13 @@ func main() {
 		return counts
 	}
 	cfg.procs = parseCounts(*procsFlag, "processor")
+	if cfg.advisor {
+		if err := runAdvisor(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cfg.chaos || cfg.flashcrowd {
 		if err := runResilience(cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

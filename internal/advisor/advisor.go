@@ -1,0 +1,318 @@
+// Package advisor turns serving-time demand evidence into
+// materialization decisions: which views to build online and which to
+// retire. It is the two-tier cube playbook — a small rollup set
+// answers the hot queries directly, everything else falls back to a
+// smallest-superset scan — with the rollup set *learned* from traffic
+// instead of fixed at build time.
+//
+// The package is pure decision logic: it consumes a decayed demand
+// window (per-target-view hit and fallback counters maintained by the
+// query engine), the current materialized set with row counts, and a
+// size estimator, and emits a deterministic, ordered recommendation
+// list. Executing recommendations (building views through the ingest
+// machinery, retiring behind the drain barrier) is the public
+// rolap.Advisor's job, so this layer stays trivially testable.
+package advisor
+
+import (
+	"sort"
+
+	"repro/internal/estimate"
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// Action distinguishes recommendation kinds.
+type Action int
+
+const (
+	// Materialize builds View online from its smallest materialized
+	// strict superset (From).
+	Materialize Action = iota
+	// Retire drops View; its traffic falls back to From, the smallest
+	// remaining strict superset.
+	Retire
+)
+
+func (a Action) String() string {
+	if a == Retire {
+		return "retire"
+	}
+	return "materialize"
+}
+
+// Demand is one target view's decayed traffic window (the advisor's
+// copy of queryengine.ViewDemand, decayed so old traffic ages out).
+type Demand struct {
+	Hits          float64
+	Fallbacks     float64
+	FallbackRows  float64
+	SourceQueries float64
+}
+
+// Config bounds and seeds a recommendation pass.
+type Config struct {
+	// D is the cube dimensionality.
+	D int
+	// MaxViews caps the materialized set size (0 = no cap).
+	MaxViews int
+	// StorageBudgetBytes caps total estimated view storage (0 = no
+	// cap). Existing views count against it at their actual size.
+	StorageBudgetBytes int64
+	// MinFallbacks is the least (decayed) fallback traffic a target
+	// view needs before it is considered for materialization.
+	MinFallbacks float64
+	// ColdSourceQueries is the most (decayed) source traffic a
+	// materialized view may carry and still be considered cold enough
+	// to retire.
+	ColdSourceQueries float64
+	// MaterializePerStep / RetirePerStep bound one pass's actions.
+	MaterializePerStep int
+	RetirePerStep      int
+	// CostWeight scales the one-time build cost (source rows scanned
+	// plus target rows written) against the recurring per-window scan
+	// savings when scoring a materialization.
+	CostWeight float64
+	// Seed fixes the hash used to break score ties, so a fixed seed
+	// and traffic transcript always yield the same recommendations.
+	Seed int64
+}
+
+// Recommendation is one advised action, with the evidence that scored
+// it.
+type Recommendation struct {
+	Action Action
+	// View is the view to build or drop.
+	View lattice.ViewID
+	// From is the smallest materialized strict superset: the build
+	// source for Materialize, the fallback target for Retire.
+	From lattice.ViewID
+	// Score is the net benefit in row-scan units per demand window
+	// (Materialize) or the estimated storage rows reclaimed (Retire).
+	Score float64
+	// EstRows is the estimated (Materialize) or actual (Retire) global
+	// row count of View.
+	EstRows int64
+}
+
+// Recommend scores every candidate against the current materialized
+// set and returns the pass's actions: materializations first (best
+// score first), then retirements. materialized maps each live view to
+// its actual global row count. The result is deterministic: maps are
+// walked in sorted key order and score ties break by a seeded hash,
+// then by ViewID.
+func Recommend(cfg Config, window map[lattice.ViewID]Demand, materialized map[lattice.ViewID]int64, sizer estimate.Sizer) []Recommendation {
+	if cfg.CostWeight == 0 {
+		cfg.CostWeight = 0.25
+	}
+	if cfg.MaterializePerStep == 0 {
+		cfg.MaterializePerStep = 2
+	}
+	if cfg.RetirePerStep == 0 {
+		cfg.RetirePerStep = 1
+	}
+
+	var recs []Recommendation
+	recs = append(recs, materializeCandidates(cfg, window, materialized, sizer)...)
+	recs = append(recs, retireCandidates(cfg, window, materialized)...)
+	return recs
+}
+
+// materializeCandidates picks the fallback targets worth building.
+func materializeCandidates(cfg Config, window map[lattice.ViewID]Demand, materialized map[lattice.ViewID]int64, sizer estimate.Sizer) []Recommendation {
+	targets := sortedViews(window)
+	var cands []Recommendation
+	for _, v := range targets {
+		if _, live := materialized[v]; live {
+			continue
+		}
+		d := window[v]
+		if d.Fallbacks < cfg.MinFallbacks {
+			continue
+		}
+		src, srcRows, ok := smallestSuperset(v, materialized)
+		if !ok {
+			continue // nothing covers it; not answerable anyway
+		}
+		est := sizer.EstimateView(v)
+		if est >= float64(srcRows) {
+			continue // no coarser than its source: nothing to gain
+		}
+		// Benefit: the window's fallback scans would have read est
+		// rows each instead of what they actually read. Cost: one
+		// build (scan the source, write the view), amortized by
+		// CostWeight.
+		saved := d.FallbackRows - d.Fallbacks*est
+		cost := cfg.CostWeight * (float64(srcRows) + est)
+		score := saved - cost
+		if score <= 0 {
+			continue
+		}
+		cands = append(cands, Recommendation{
+			Action:  Materialize,
+			View:    v,
+			From:    src,
+			Score:   score,
+			EstRows: int64(est + 0.5),
+		})
+	}
+	sortRecs(cands, cfg.Seed)
+
+	// Apply budgets in score order.
+	liveCount := len(materialized)
+	var usedBytes int64
+	if cfg.StorageBudgetBytes > 0 {
+		for v, rows := range materialized {
+			usedBytes += rows * int64(record.RowBytes(v.Count()))
+		}
+	}
+	out := cands[:0]
+	for _, r := range cands {
+		if len(out) >= cfg.MaterializePerStep {
+			break
+		}
+		if cfg.MaxViews > 0 && liveCount >= cfg.MaxViews {
+			break
+		}
+		bytes := r.EstRows * int64(record.RowBytes(r.View.Count()))
+		if cfg.StorageBudgetBytes > 0 && usedBytes+bytes > cfg.StorageBudgetBytes {
+			continue
+		}
+		out = append(out, r)
+		liveCount++
+		usedBytes += bytes
+	}
+	return out
+}
+
+// retireCandidates picks cold views whose traffic another view can
+// absorb. Candidates are evaluated against a working copy of the
+// materialized set so a pass never retires a view and its only
+// remaining superset together.
+func retireCandidates(cfg Config, window map[lattice.ViewID]Demand, materialized map[lattice.ViewID]int64) []Recommendation {
+	var cands []Recommendation
+	for _, v := range sortedViewRows(materialized) {
+		d := window[v]
+		if d.SourceQueries > cfg.ColdSourceQueries {
+			continue
+		}
+		if _, _, ok := smallestSuperset(v, materialized); !ok {
+			continue // frontier view: retiring would lose answerability
+		}
+		rows := materialized[v]
+		cands = append(cands, Recommendation{
+			Action:  Retire,
+			View:    v,
+			Score:   float64(rows * int64(record.RowBytes(v.Count()))),
+			EstRows: rows,
+		})
+	}
+	sortRecs(cands, cfg.Seed)
+
+	working := make(map[lattice.ViewID]int64, len(materialized))
+	for v, n := range materialized {
+		working[v] = n
+	}
+	out := cands[:0]
+	for _, r := range cands {
+		if len(out) >= cfg.RetirePerStep {
+			break
+		}
+		src, _, ok := smallestSuperset(r.View, working)
+		if !ok {
+			continue // its cover was retired earlier in this pass
+		}
+		r.From = src
+		delete(working, r.View)
+		out = append(out, r)
+	}
+	return out
+}
+
+// smallestSuperset returns the materialized strict superset of v with
+// the fewest rows (ties to the smaller ViewID), mirroring the
+// engine's rewrite rule.
+func smallestSuperset(v lattice.ViewID, materialized map[lattice.ViewID]int64) (lattice.ViewID, int64, bool) {
+	best := lattice.ViewID(0)
+	bestRows := int64(-1)
+	for u, rows := range materialized {
+		if u == v || !v.SubsetOf(u) {
+			continue
+		}
+		if bestRows == -1 || rows < bestRows || (rows == bestRows && u < best) {
+			best, bestRows = u, rows
+		}
+	}
+	return best, bestRows, bestRows != -1
+}
+
+// sortRecs orders by score descending, breaking ties with a seeded
+// hash and finally the ViewID, so equal-scored candidates are picked
+// reproducibly but without a fixed lattice bias.
+func sortRecs(recs []Recommendation, seed int64) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		ha, hb := tieHash(seed, a.View), tieHash(seed, b.View)
+		if ha != hb {
+			return ha < hb
+		}
+		return a.View < b.View
+	})
+}
+
+// tieHash is the seeded mix partialcube.SelectPercent uses, reused so
+// tie-breaks are stable across packages.
+func tieHash(seed int64, v lattice.ViewID) uint64 {
+	x := uint64(seed)<<32 ^ uint64(v)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func sortedViews(m map[lattice.ViewID]Demand) []lattice.ViewID {
+	out := make([]lattice.ViewID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedViewRows(m map[lattice.ViewID]int64) []lattice.ViewID {
+	out := make([]lattice.ViewID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Decay ages a demand window in place by factor (0..1) and folds in
+// the latest counter deltas: w = w*factor + delta. Entries that decay
+// to negligible mass are dropped so the window doesn't grow without
+// bound over a long-lived server.
+func Decay(window map[lattice.ViewID]Demand, factor float64, delta map[lattice.ViewID]Demand) {
+	for v, w := range window {
+		w.Hits *= factor
+		w.Fallbacks *= factor
+		w.FallbackRows *= factor
+		w.SourceQueries *= factor
+		if w.Hits+w.Fallbacks+w.FallbackRows+w.SourceQueries < 1e-6 {
+			delete(window, v)
+			continue
+		}
+		window[v] = w
+	}
+	for v, d := range delta {
+		w := window[v]
+		w.Hits += d.Hits
+		w.Fallbacks += d.Fallbacks
+		w.FallbackRows += d.FallbackRows
+		w.SourceQueries += d.SourceQueries
+		window[v] = w
+	}
+}

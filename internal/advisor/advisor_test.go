@@ -1,0 +1,215 @@
+package advisor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// tableSizer returns fixed estimates, defaulting to def for views not
+// listed.
+type tableSizer struct {
+	est map[lattice.ViewID]float64
+	def float64
+}
+
+func (s tableSizer) EstimateView(v lattice.ViewID) float64 {
+	if e, ok := s.est[v]; ok {
+		return e
+	}
+	return s.def
+}
+
+func cfg() Config {
+	return Config{
+		D:                  3,
+		MinFallbacks:       2,
+		ColdSourceQueries:  0.5,
+		MaterializePerStep: 2,
+		RetirePerStep:      1,
+		CostWeight:         0.25,
+		Seed:               42,
+	}
+}
+
+func v(dims ...int) lattice.ViewID {
+	out := lattice.Empty
+	for _, d := range dims {
+		out = out.Add(d)
+	}
+	return out
+}
+
+func TestRecommendMaterializesHotFallback(t *testing.T) {
+	full := v(0, 1, 2)
+	window := map[lattice.ViewID]Demand{
+		v(0): {Fallbacks: 100, FallbackRows: 100 * 1000}, // hot, scans full
+		v(1): {Fallbacks: 1, FallbackRows: 1000},         // below MinFallbacks
+	}
+	mat := map[lattice.ViewID]int64{full: 1000}
+	sizer := tableSizer{def: 10}
+	recs := Recommend(cfg(), window, mat, sizer)
+	if len(recs) != 1 {
+		t.Fatalf("got %d recs, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Action != Materialize || r.View != v(0) || r.From != full {
+		t.Fatalf("unexpected rec %+v", r)
+	}
+	// saved = 100000 - 100*10 = 99000; cost = 0.25*(1000+10) = 252.5
+	want := 99000.0 - 252.5
+	if r.Score != want {
+		t.Fatalf("score %v, want %v", r.Score, want)
+	}
+}
+
+func TestRecommendSkipsWhenNoGain(t *testing.T) {
+	full := v(0, 1, 2)
+	// Estimated size equals the source: materializing saves nothing.
+	window := map[lattice.ViewID]Demand{
+		v(0, 1): {Fallbacks: 50, FallbackRows: 50 * 1000},
+	}
+	mat := map[lattice.ViewID]int64{full: 1000}
+	recs := Recommend(cfg(), window, mat, tableSizer{def: 1000})
+	if len(recs) != 0 {
+		t.Fatalf("expected no recs, got %+v", recs)
+	}
+}
+
+func TestRecommendRespectsMaxViewsAndBudget(t *testing.T) {
+	full := v(0, 1, 2)
+	window := map[lattice.ViewID]Demand{
+		v(0): {Fallbacks: 100, FallbackRows: 1e6},
+		v(1): {Fallbacks: 90, FallbackRows: 9e5},
+	}
+	mat := map[lattice.ViewID]int64{full: 1000}
+	c := cfg()
+	c.MaxViews = 2 // one slot beyond the existing view
+	recs := Recommend(c, window, mat, tableSizer{def: 10})
+	var made int
+	for _, r := range recs {
+		if r.Action == Materialize {
+			made++
+		}
+	}
+	if made != 1 {
+		t.Fatalf("MaxViews=2 admitted %d materializations, want 1", made)
+	}
+
+	c = cfg()
+	c.StorageBudgetBytes = 1 // nothing fits
+	recs = Recommend(c, window, mat, tableSizer{def: 10})
+	for _, r := range recs {
+		if r.Action == Materialize {
+			t.Fatalf("budget 1 byte admitted %+v", r)
+		}
+	}
+}
+
+func TestRecommendRetiresColdCoveredView(t *testing.T) {
+	full := v(0, 1, 2)
+	cold := v(0, 1)
+	window := map[lattice.ViewID]Demand{
+		full: {SourceQueries: 50},
+		cold: {SourceQueries: 0.1}, // cold
+	}
+	mat := map[lattice.ViewID]int64{full: 1000, cold: 400}
+	recs := Recommend(cfg(), window, mat, tableSizer{def: 10})
+	if len(recs) != 1 {
+		t.Fatalf("got %d recs, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Action != Retire || r.View != cold || r.From != full {
+		t.Fatalf("unexpected rec %+v", r)
+	}
+}
+
+func TestRecommendNeverRetiresFrontier(t *testing.T) {
+	// The full view is cold but nothing covers it: it must stay.
+	full := v(0, 1, 2)
+	mat := map[lattice.ViewID]int64{full: 1000}
+	recs := Recommend(cfg(), map[lattice.ViewID]Demand{}, mat, tableSizer{def: 10})
+	if len(recs) != 0 {
+		t.Fatalf("retired the frontier: %+v", recs)
+	}
+}
+
+func TestRecommendRetirePassKeepsCover(t *testing.T) {
+	// Both a view and its only cover are cold; a single pass with
+	// RetirePerStep=2 must not retire both (the second loses cover
+	// once the first goes).
+	full := v(0, 1, 2)
+	mid := v(0, 1)
+	low := v(0)
+	mat := map[lattice.ViewID]int64{full: 1000, mid: 400, low: 100}
+	c := cfg()
+	c.RetirePerStep = 3
+	recs := Recommend(c, map[lattice.ViewID]Demand{}, mat, tableSizer{def: 10})
+	retired := map[lattice.ViewID]bool{}
+	for _, r := range recs {
+		if r.Action == Retire {
+			retired[r.View] = true
+		}
+	}
+	if !retired[mid] || !retired[low] {
+		t.Fatalf("expected mid+low retired, got %+v", recs)
+	}
+	if retired[full] {
+		t.Fatalf("retired the frontier full view: %+v", recs)
+	}
+}
+
+func TestRecommendDeterministicTieBreak(t *testing.T) {
+	full := v(0, 1, 2)
+	// Identical demand on two targets: order decided by seeded hash.
+	window := map[lattice.ViewID]Demand{
+		v(0): {Fallbacks: 10, FallbackRows: 1e5},
+		v(1): {Fallbacks: 10, FallbackRows: 1e5},
+	}
+	mat := map[lattice.ViewID]int64{full: 1000}
+	c := cfg()
+	c.MaterializePerStep = 1
+	first := Recommend(c, window, mat, tableSizer{def: 10})
+	for i := 0; i < 10; i++ {
+		again := Recommend(c, window, mat, tableSizer{def: 10})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, first, again)
+		}
+	}
+	// A different seed may (and here does, for some seed) pick the
+	// other view — the tie-break must depend on the seed, not on a
+	// fixed lattice bias.
+	c2 := c
+	var flipped bool
+	for s := int64(0); s < 32; s++ {
+		c2.Seed = s
+		if got := Recommend(c2, window, mat, tableSizer{def: 10}); got[0].View != first[0].View {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatalf("tie-break ignored the seed: always %v", first[0].View)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	w := map[lattice.ViewID]Demand{
+		v(0): {Hits: 10, Fallbacks: 4, FallbackRows: 100, SourceQueries: 2},
+		v(1): {Hits: 1e-8}, // decays to nothing
+	}
+	Decay(w, 0.5, map[lattice.ViewID]Demand{
+		v(0): {Hits: 2},
+		v(2): {Fallbacks: 3},
+	})
+	if got := w[v(0)]; got.Hits != 7 || got.Fallbacks != 2 || got.FallbackRows != 50 || got.SourceQueries != 1 {
+		t.Fatalf("decayed window %+v", got)
+	}
+	if _, ok := w[v(1)]; ok {
+		t.Fatalf("negligible entry survived")
+	}
+	if got := w[v(2)]; got.Fallbacks != 3 {
+		t.Fatalf("new entry %+v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// hotDomain separates the hot-key draws from the base row stream and
+// from the query mix's counter space, so composing generators over
+// the same seed never correlates them accidentally.
+const hotDomain = uint64(0x48) << 56 // 'H'
+
+// Correlation ties one dimension's value to another's: with
+// probability Strength, row[Dim] is a deterministic function of
+// row[Anchor] instead of an independent draw. This is the adversarial
+// build-side structure (the row counterpart of the Zipf query mix):
+// correlated dimensions collapse the effective key space, so group
+// sizes — and with them per-processor partition weights — concentrate
+// far beyond what independent Zipf marginals produce.
+type Correlation struct {
+	Dim      int     // the dependent dimension
+	Anchor   int     // the dimension it follows
+	Strength float64 // probability in [0,1] the tie applies per row
+}
+
+// HotSpec describes an adversarial hot-key data set: a base Spec plus
+// a hot set in one dimension that soaks up a fixed fraction of all
+// rows, and optional cross-dimension correlations.
+type HotSpec struct {
+	Base Spec
+	// HotDim is the dimension carrying the hot keys.
+	HotDim int
+	// HotKeys is the number of hot values (drawn from the low end of
+	// the dictionary) and HotMass the fraction of rows forced into
+	// them — HotMass 0.8 over 4 keys out of 10k is the "one key swamps
+	// a processor" regime the γ-shift alone cannot fix.
+	HotKeys int
+	HotMass float64
+	// Correlations are applied after the hot-key override, in order.
+	Correlations []Correlation
+}
+
+// Validate checks the spec.
+func (s HotSpec) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.HotDim < 0 || s.HotDim >= s.Base.D {
+		return fmt.Errorf("gen: hot dimension %d out of range 0..%d", s.HotDim, s.Base.D-1)
+	}
+	if s.HotKeys < 1 || s.HotKeys > s.Base.Cards[s.HotDim] {
+		return fmt.Errorf("gen: %d hot keys out of range 1..%d", s.HotKeys, s.Base.Cards[s.HotDim])
+	}
+	if s.HotMass < 0 || s.HotMass > 1 {
+		return fmt.Errorf("gen: hot mass %v out of range [0,1]", s.HotMass)
+	}
+	for _, c := range s.Correlations {
+		if c.Dim < 0 || c.Dim >= s.Base.D || c.Anchor < 0 || c.Anchor >= s.Base.D {
+			return fmt.Errorf("gen: correlation %d<-%d out of range", c.Dim, c.Anchor)
+		}
+		if c.Dim == c.Anchor {
+			return fmt.Errorf("gen: dimension %d correlated with itself", c.Dim)
+		}
+		if c.Strength < 0 || c.Strength > 1 {
+			return fmt.Errorf("gen: correlation strength %v out of range [0,1]", c.Strength)
+		}
+	}
+	return nil
+}
+
+// HotGenerator produces rows of a HotSpec. Like the base Generator it
+// is counter-based: row i is a pure function of (spec, i), so slices
+// generated on different processors compose to the same data set.
+type HotGenerator struct {
+	spec HotSpec
+	base *Generator
+}
+
+// NewHot builds an adversarial hot-key generator. It panics on an
+// invalid spec (specs are code, not user input).
+func NewHot(spec HotSpec) *HotGenerator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &HotGenerator{spec: spec, base: New(spec.Base)}
+}
+
+// Spec returns the generator's spec.
+func (g *HotGenerator) Spec() HotSpec { return g.spec }
+
+// Row writes row i's dimension values into buf (length >= D).
+func (g *HotGenerator) Row(i int, buf []uint32) {
+	g.base.Row(i, buf)
+	s := g.spec
+	seed := uint64(s.Base.Seed) << 20
+	// Hot-key override: a HotMass fraction of rows lands on one of
+	// HotKeys values, themselves Zipf-ish (key k gets ~2x key k+1).
+	h := splitmix64(hotDomain ^ seed ^ uint64(i)*0x9e3779b97f4a7c15)
+	if float64(h>>11)/float64(1<<53) < s.HotMass {
+		k := splitmix64(h)
+		key := 0
+		for key < s.HotKeys-1 && k&1 == 0 {
+			key++
+			k >>= 1
+		}
+		buf[s.HotDim] = uint32(key)
+	}
+	// Correlations: the dependent value is a pure function of the
+	// anchor's value, so equal anchors always map to equal dependents
+	// — the tie survives any row order or partitioning.
+	for ci, c := range s.Correlations {
+		u := splitmix64(hotDomain ^ seed ^ uint64(i)*0x632be59bd9b4e019 ^ uint64(ci)<<40)
+		if float64(u>>11)/float64(1<<53) >= c.Strength {
+			continue
+		}
+		f := splitmix64(hotDomain ^ uint64(c.Dim)<<32 ^ uint64(buf[c.Anchor]))
+		buf[c.Dim] = uint32(f % uint64(s.Base.Cards[c.Dim]))
+	}
+}
+
+// Table materializes rows [lo, hi) with unit measures.
+func (g *HotGenerator) Table(lo, hi int) *record.Table {
+	if lo < 0 || hi > g.spec.Base.N || lo > hi {
+		panic(fmt.Sprintf("gen: range [%d,%d) out of bounds for n=%d", lo, hi, g.spec.Base.N))
+	}
+	t := record.New(g.spec.Base.D, hi-lo)
+	buf := make([]uint32, g.spec.Base.D)
+	for i := lo; i < hi; i++ {
+		g.Row(i, buf)
+		t.Append(buf, 1)
+	}
+	return t
+}
+
+// All materializes the full data set.
+func (g *HotGenerator) All() *record.Table { return g.Table(0, g.spec.Base.N) }
+
+// Slice materializes processor rank's share of an even split across p
+// processors; the union of all slices is exactly All(), independent
+// of p.
+func (g *HotGenerator) Slice(rank, p int) *record.Table {
+	if p < 1 || rank < 0 || rank >= p {
+		panic(fmt.Sprintf("gen: bad slice rank %d of %d", rank, p))
+	}
+	lo := rank * g.spec.Base.N / p
+	hi := (rank + 1) * g.spec.Base.N / p
+	return g.Table(lo, hi)
+}

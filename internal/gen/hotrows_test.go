@@ -1,0 +1,97 @@
+package gen
+
+import "testing"
+
+func hotSpec() HotSpec {
+	return HotSpec{
+		Base:    Spec{N: 20000, D: 4, Cards: []int{64, 32, 16, 8}, Seed: 7},
+		HotDim:  0,
+		HotKeys: 3,
+		HotMass: 0.7,
+		Correlations: []Correlation{
+			{Dim: 1, Anchor: 0, Strength: 0.9},
+		},
+	}
+}
+
+func TestHotRowsDeterministicAcrossSplits(t *testing.T) {
+	g := NewHot(hotSpec())
+	all := g.All()
+	for _, p := range []int{2, 3, 5} {
+		i := 0
+		for r := 0; r < p; r++ {
+			s := g.Slice(r, p)
+			for k := 0; k < s.Len(); k++ {
+				for c := 0; c < all.D; c++ {
+					if s.Dim(k, c) != all.Dim(i, c) {
+						t.Fatalf("p=%d row %d col %d: slice %d != all %d", p, i, c, s.Dim(k, c), all.Dim(i, c))
+					}
+				}
+				i++
+			}
+		}
+		if i != all.Len() {
+			t.Fatalf("p=%d covers %d of %d rows", p, i, all.Len())
+		}
+	}
+}
+
+func TestHotRowsMass(t *testing.T) {
+	spec := hotSpec()
+	g := NewHot(spec)
+	all := g.All()
+	hot := 0
+	for i := 0; i < all.Len(); i++ {
+		if int(all.Dim(i, spec.HotDim)) < spec.HotKeys {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(all.Len())
+	// The override alone contributes HotMass; base draws add a little.
+	if frac < spec.HotMass || frac > spec.HotMass+0.15 {
+		t.Fatalf("hot fraction %.3f, want ~%.2f", frac, spec.HotMass)
+	}
+}
+
+func TestHotRowsCorrelationIsFunctional(t *testing.T) {
+	// A correlated value, when the tie fires, must be a pure function
+	// of the anchor value: each anchor maps to exactly one tied value.
+	spec := hotSpec()
+	spec.Correlations[0].Strength = 1 // always tie
+	g := NewHot(spec)
+	all := g.All()
+	seen := map[uint32]uint32{}
+	for i := 0; i < all.Len(); i++ {
+		a, v := all.Dim(i, 0), all.Dim(i, 1)
+		if prev, ok := seen[a]; ok && prev != v {
+			t.Fatalf("anchor %d maps to both %d and %d", a, prev, v)
+		}
+		seen[a] = v
+	}
+	// Full-strength correlation collapses the (D0,D1) key space to at
+	// most |D0| combinations (vs |D0|*|D1| independent).
+	if len(seen) > spec.Base.Cards[0] {
+		t.Fatalf("%d anchor values exceed cardinality %d", len(seen), spec.Base.Cards[0])
+	}
+}
+
+func TestHotSpecValidate(t *testing.T) {
+	bad := []HotSpec{
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 2, HotKeys: 1},
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 0, HotKeys: 0},
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 0, HotKeys: 8},
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 0, HotKeys: 1, HotMass: 1.5},
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 0, HotKeys: 1,
+			Correlations: []Correlation{{Dim: 1, Anchor: 1, Strength: 0.5}}},
+		{Base: Spec{N: 10, D: 2, Cards: []int{4, 4}}, HotDim: 0, HotKeys: 1,
+			Correlations: []Correlation{{Dim: 1, Anchor: 0, Strength: 2}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d: expected validation error", i)
+		}
+	}
+	if err := hotSpec().Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}

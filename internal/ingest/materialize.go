@@ -1,0 +1,151 @@
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/extsort"
+	"repro/internal/lattice"
+	"repro/internal/mergepart"
+	"repro/internal/record"
+	"repro/internal/samplesort"
+)
+
+// PhaseAdvise covers online view materialization and retirement (the
+// advisor's build/drop work), so its simulated cost is separable from
+// builds, ingest batches, and queries in the phase accounting.
+const PhaseAdvise = "advise"
+
+// MaterializeOptions parameterizes one online view build.
+type MaterializeOptions struct {
+	// Src is the materialized ancestor to aggregate from (a strict
+	// superset of the target view, normally the smallest one) and
+	// SrcOrder its live attribute order.
+	Src      lattice.ViewID
+	SrcOrder lattice.Order
+	// View is the target and Order the attribute order to materialize
+	// it in (Order.View() must equal View).
+	View  lattice.ViewID
+	Order lattice.Order
+	// MergeGamma is the sample-sort rebalance threshold (default 3%).
+	MergeGamma float64
+	// Agg is the aggregate operator (default record.OpSum).
+	Agg record.AggOp
+}
+
+// MaterializeResult reports what one online materialization cost.
+type MaterializeResult struct {
+	// Rows is the new view's global row count.
+	Rows int64
+	// SrcRows is the number of ancestor rows scanned (globally).
+	SrcRows int64
+	// SimSeconds is the simulated makespan added, all under the
+	// "advise" phase; BytesMoved is the redistribution volume.
+	SimSeconds float64
+	BytesMoved int64
+}
+
+// MaterializeView builds one view online from a materialized ancestor,
+// without touching the raw fact table or any other view: every
+// processor scans its local slice of the ancestor, projects it onto
+// the target's attribute order, sorts and partially aggregates, then a
+// presorted sample sort redistributes so the new view is globally
+// sorted and range-partitioned like every build-time view (p = 1
+// skips the exchange). The slices land under a stage name and are
+// renamed to the live view file only after a commit barrier, so an
+// error leaves the cube untouched. Call it under the engine's
+// Maintain drain barrier; it runs supersteps on the machine.
+func MaterializeView(m *cluster.Machine, opts MaterializeOptions) (MaterializeResult, error) {
+	if opts.MergeGamma == 0 {
+		opts.MergeGamma = 0.03
+	}
+	if opts.MergeGamma <= 0 || opts.MergeGamma >= 1 {
+		return MaterializeResult{}, fmt.Errorf("ingest: merge gamma %v out of range (0,1)", opts.MergeGamma)
+	}
+	if opts.Order.View() != opts.View {
+		return MaterializeResult{}, fmt.Errorf("ingest: order %v does not cover view %v", opts.Order, opts.View)
+	}
+	if opts.SrcOrder.View() != opts.Src {
+		return MaterializeResult{}, fmt.Errorf("ingest: source order %v does not cover view %v", opts.SrcOrder, opts.Src)
+	}
+	if !opts.View.SubsetOf(opts.Src) || opts.View == opts.Src {
+		return MaterializeResult{}, fmt.Errorf("ingest: view %v is not a strict subset of source %v", opts.View, opts.Src)
+	}
+
+	// Column of each source dimension in the ancestor's layout.
+	col := make(map[int]int, len(opts.SrcOrder))
+	for c, dim := range opts.SrcOrder {
+		col[dim] = c
+	}
+	proj := make([]int, len(opts.Order))
+	for j, dim := range opts.Order {
+		c, ok := col[dim]
+		if !ok {
+			return MaterializeResult{}, fmt.Errorf("ingest: source %v lacks dimension %d", opts.Src, dim)
+		}
+		proj[j] = c
+	}
+
+	sf := stageFile(opts.View)
+	srcFile := core.ViewFile(opts.Src)
+	np := m.P()
+	srcRows := make([]int64, np)
+	t0 := m.SimSeconds()
+	bytes0 := m.Stats().BytesMoved
+	err := m.Run(func(p *cluster.Proc) {
+		p.SetPhase(PhaseAdvise)
+		disk := p.Disk()
+		clk := p.Clock()
+		var local *record.Table
+		if disk.Len(srcFile) > 0 {
+			local = disk.MustGet(srcFile) // charged read
+		} else {
+			local = record.New(len(opts.SrcOrder), 0)
+		}
+		srcRows[p.Rank()] = int64(local.Len())
+		clk.AddCompute(costmodel.ScanOps(local.Len()))
+		disk.Put(sf, local.Project(proj))
+		// Local sort + adjacent aggregation; the ancestor slice is
+		// sorted in SrcOrder, which need not sort the projection.
+		extsort.Sort(disk, sf)
+		localAggregate(p, sf, opts.Agg)
+		if np > 1 {
+			// Redistribute to the global order; equal keys arriving
+			// from different processors collapse during the merge and
+			// at the boundaries.
+			samplesort.SortPresorted(p, sf, opts.MergeGamma, opts.Agg)
+			mergepart.BoundaryAgglomerate(p, sf, opts.Agg)
+		}
+		cluster.Barrier(p) // commit: every slice staged successfully
+		disk.Remove(core.ViewFile(opts.View))
+		disk.Rename(sf, core.ViewFile(opts.View))
+	})
+	if err != nil {
+		for r := 0; r < np; r++ {
+			m.Proc(r).Disk().Remove(sf)
+		}
+		return MaterializeResult{}, err
+	}
+	res := MaterializeResult{
+		Rows:       core.ViewGlobalRows(m, opts.View),
+		SimSeconds: m.SimSeconds() - t0,
+		BytesMoved: m.Stats().BytesMoved - bytes0,
+	}
+	for _, n := range srcRows {
+		res.SrcRows += n
+	}
+	return res, nil
+}
+
+// RetireView deletes a view's slices on every processor. It is
+// metadata-only (simulated deletes are free, like every Remove in the
+// build) and must run under the engine's Maintain drain barrier after
+// the view is removed from planning, so no in-flight query holds it.
+func RetireView(m *cluster.Machine, v lattice.ViewID) {
+	file := core.ViewFile(v)
+	for r := 0; r < m.P(); r++ {
+		m.Proc(r).Disk().Remove(file)
+	}
+}

@@ -1,0 +1,161 @@
+package queryengine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/record"
+)
+
+// partialEngine builds a full cube but registers only the given views
+// with the engine, so the others exist on disk yet are invisible to
+// planning — the partial-cube serving setup the advisor mutates.
+func partialEngine(t *testing.T, views []lattice.ViewID) (*Engine, map[lattice.ViewID]lattice.Order) {
+	t.Helper()
+	m, met, _ := buildTestCube(t, 3000, 4, 2, []int{16, 8, 6, 4})
+	orders := map[lattice.ViewID]lattice.Order{}
+	rows := map[lattice.ViewID]int64{}
+	for _, v := range views {
+		orders[v] = met.ViewOrders[v]
+		rows[v] = met.ViewRows[v]
+	}
+	return New(m, orders, rows, record.OpSum), met.ViewOrders
+}
+
+func TestDemandCounters(t *testing.T) {
+	full := lattice.Full(4)
+	sub := lattice.Full(4).Remove(3)
+	e, _ := partialEngine(t, []lattice.ViewID{full, sub})
+
+	run := func(group []int) {
+		q, err := e.NewQuery(group, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run([]int{0, 1, 2})    // exact hit on sub
+	run([]int{0, 1, 2})    // again
+	run([]int{0, 1, 2, 3}) // exact hit on full
+	run([]int{0})          // fallback: {0} not materialized
+	run([]int{0})          // fallback again
+
+	d := e.DemandSnapshot()
+	if got := d[sub]; got.Hits != 2 || got.Fallbacks != 0 {
+		t.Fatalf("sub demand %+v, want 2 hits", got)
+	}
+	if got := d[full]; got.Hits != 1 {
+		t.Fatalf("full demand %+v, want 1 hit", got)
+	}
+	want := lattice.Empty.Add(0)
+	got := d[want]
+	if got.Hits != 0 || got.Fallbacks != 2 {
+		t.Fatalf("fallback target demand %+v, want 2 fallbacks", got)
+	}
+	if got.FallbackRows <= 0 {
+		t.Fatalf("fallback target scanned no rows: %+v", got)
+	}
+	// Source-side attribution: sub served its own 2 hits plus the 2
+	// fallbacks (it is the smallest superset of {0}); full served 1.
+	if d[sub].SourceQueries != 4 {
+		t.Fatalf("sub SourceQueries = %d, want 4", d[sub].SourceQueries)
+	}
+	if d[full].SourceQueries != 1 {
+		t.Fatalf("full SourceQueries = %d, want 1", d[full].SourceQueries)
+	}
+
+	// Snapshots are copies: mutating one must not leak into the engine.
+	d[sub] = ViewDemand{Hits: 999}
+	if e.DemandSnapshot()[sub].Hits != 2 {
+		t.Fatal("DemandSnapshot aliases engine state")
+	}
+}
+
+func TestAddRemoveViewChangesPlanning(t *testing.T) {
+	full := lattice.Full(4)
+	sub := full.Remove(3)
+	e, orders := partialEngine(t, []lattice.ViewID{full})
+
+	q1, err := e.NewQuery([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.View != full {
+		t.Fatalf("planned against %v before AddView, want %v", q1.View, full)
+	}
+	want1, _, err := e.Execute(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Register the sub-view (its slices already exist from the build);
+	// the same logical query now plans against it and agrees.
+	e.AddView(sub, orders[sub], e.Rows(full)) // row count only guides planning
+	q2, err := e.NewQuery([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.View != sub {
+		t.Fatalf("planned against %v after AddView, want %v", q2.View, sub)
+	}
+	got, _, err := e.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equal(got, want1) {
+		t.Fatal("answer changed after AddView")
+	}
+
+	// Removing it sends planning back to the full view.
+	e.RemoveView(sub)
+	q3, err := e.NewQuery([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.View != full {
+		t.Fatalf("planned against %v after RemoveView, want %v", q3.View, full)
+	}
+	if vs := e.Views(); len(vs) != 1 || vs[0] != full {
+		t.Fatalf("Views() = %v after remove", vs)
+	}
+}
+
+func TestExecuteStalePlan(t *testing.T) {
+	full := lattice.Full(4)
+	sub := full.Remove(3)
+	e, orders := partialEngine(t, []lattice.ViewID{full, sub})
+
+	// Plan against sub, retire it, then execute: the plan is stale.
+	q, err := e.NewQuery([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.View != sub {
+		t.Fatalf("planned against %v, want %v", q.View, sub)
+	}
+	e.RemoveView(sub)
+	if _, _, err := e.Execute(q); !errors.Is(err, ErrStalePlan) {
+		t.Fatalf("executing against retired view: %v, want ErrStalePlan", err)
+	}
+
+	// Re-adding with a different attribute order is also stale: the
+	// plan's column references no longer describe the slices.
+	reord := append(lattice.Order{}, orders[sub]...)
+	reord[0], reord[1] = reord[1], reord[0]
+	e.AddView(sub, reord, 100)
+	if _, _, err := e.Execute(q); !errors.Is(err, ErrStalePlan) {
+		t.Fatalf("executing against re-ordered view: %v, want ErrStalePlan", err)
+	}
+
+	// A replan against the current topology succeeds.
+	q2, err := e.NewQuery([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(q2); err != nil {
+		t.Fatal(err)
+	}
+}

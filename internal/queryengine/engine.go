@@ -20,6 +20,7 @@
 package queryengine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,25 +33,55 @@ import (
 	"repro/internal/record"
 )
 
+// ErrStalePlan reports that a query was planned against a view set
+// that has since changed: the source view was retired, or it was
+// rebuilt under a different attribute order, so the planned column
+// indices no longer mean what they meant. Callers replan and retry —
+// the materialization advisor mutates the view set online, so any
+// plan can go stale between planning and execution.
+var ErrStalePlan = errors.New("queryengine: plan is stale (materialized view set changed)")
+
 // Engine executes queries against a built cube's machine. Queries
 // reuse the machine's SPMD supersteps, whose exchange state admits one
 // collective at a time, so executions are serialized internally; the
 // concurrent front end (admission control, caching) layers above.
 type Engine struct {
-	m      *cluster.Machine
-	op     record.AggOp
-	orders map[lattice.ViewID]lattice.Order
+	m  *cluster.Machine
+	op record.AggOp
 
 	mu sync.Mutex // serializes machine access across Execute/Maintain
 
-	// stateMu guards the mutable query-side state: planning row counts,
-	// per-view version counters, and the lazily built slice indexes.
+	// stateMu guards the mutable query-side state: the materialized
+	// view set and its orders (the advisor adds and retires views
+	// online), planning row counts, per-view version counters, the
+	// lazily built slice indexes, and the per-view demand counters.
 	// Incremental ingest rewrites view slices, so this state must be
 	// readable concurrently with queries and invalidatable per view.
 	stateMu  sync.Mutex
+	orders   map[lattice.ViewID]lattice.Order
 	rows     map[lattice.ViewID]int64
 	versions map[lattice.ViewID]uint64
 	indexes  map[idxKey]*Index
+	demand   map[lattice.ViewID]*ViewDemand
+}
+
+// ViewDemand accumulates traffic evidence for one *target* view (the
+// exact set of dimensions a query needed, before superset rewrite) —
+// the advisor's raw input. SourceQueries is the flip side: how often
+// the view served as the *source* of some query, which is what a
+// retirement decision must consult (a view can have zero direct
+// demand yet carry heavy fallback traffic for its subsets).
+type ViewDemand struct {
+	// Hits counts queries whose needed view was materialized exactly.
+	Hits int64
+	// Fallbacks counts queries for this target that were rewritten to
+	// a strict-superset scan, and FallbackRows the source rows those
+	// scans read — the scan cost a materialization would eliminate.
+	Fallbacks    int64
+	FallbackRows int64
+	// SourceQueries counts queries (of any target) answered *from*
+	// this view.
+	SourceQueries int64
 }
 
 type idxKey struct {
@@ -70,13 +101,25 @@ func New(m *cluster.Machine, orders map[lattice.ViewID]lattice.Order, rows map[l
 			rows[v] = core.ViewGlobalRows(m, v)
 		}
 	}
+	// Copy both maps: the engine's view set mutates online (AddView /
+	// RemoveView) under its own lock, so it must not alias the
+	// caller's maps.
+	os := make(map[lattice.ViewID]lattice.Order, len(orders))
+	for v, o := range orders {
+		os[v] = append(lattice.Order(nil), o...)
+	}
+	rs := make(map[lattice.ViewID]int64, len(rows))
+	for v, n := range rows {
+		rs[v] = n
+	}
 	return &Engine{
 		m:        m,
 		op:       op,
-		orders:   orders,
-		rows:     rows,
+		orders:   os,
+		rows:     rs,
 		versions: make(map[lattice.ViewID]uint64, len(orders)),
 		indexes:  make(map[idxKey]*Index),
+		demand:   make(map[lattice.ViewID]*ViewDemand),
 	}
 }
 
@@ -127,7 +170,9 @@ func (e *Engine) InvalidateView(v lattice.ViewID, rows int64) {
 
 // Maintain runs fn while holding the machine exclusively, blocking
 // Execute for the duration — the hook incremental ingest uses to run
-// its delta supersteps without interleaving with query supersteps.
+// its delta supersteps without interleaving with query supersteps,
+// and the drain barrier the advisor retires views behind (in-flight
+// executions finish before fn runs).
 func (e *Engine) Maintain(fn func() error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -139,8 +184,100 @@ func (e *Engine) P() int { return e.m.P() }
 
 // Order returns the materialized attribute order of view v.
 func (e *Engine) Order(v lattice.ViewID) (lattice.Order, bool) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	o, ok := e.orders[v]
 	return o, ok
+}
+
+// Views returns the materialized view set, sorted by ViewID.
+func (e *Engine) Views() []lattice.ViewID {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	out := make([]lattice.ViewID, 0, len(e.orders))
+	for v := range e.orders {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rows returns view v's global planning row count (0 if not
+// materialized).
+func (e *Engine) Rows(v lattice.ViewID) int64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.rows[v]
+}
+
+// AddView registers a newly materialized view: its attribute order,
+// its planning row count, and a version bump so any result-cache
+// entries from a previous incarnation of the view (retired and
+// rebuilt, possibly under a different order) miss. Call under
+// Maintain, after the view's slices are committed on disk.
+func (e *Engine) AddView(v lattice.ViewID, order lattice.Order, rows int64) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	e.orders[v] = append(lattice.Order(nil), order...)
+	e.rows[v] = rows
+	e.versions[v]++
+	for r := 0; r < e.m.P(); r++ {
+		delete(e.indexes, idxKey{view: v, rank: r})
+	}
+}
+
+// RemoveView retires view v from planning: plans already holding it
+// fail with ErrStalePlan and replan, per-rank prefix indexes are
+// dropped, and the version counter is bumped so cached results for
+// the view miss. Call under Maintain (the drain barrier), before or
+// after deleting the slices on disk.
+func (e *Engine) RemoveView(v lattice.ViewID) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	delete(e.orders, v)
+	delete(e.rows, v)
+	e.versions[v]++
+	for r := 0; r < e.m.P(); r++ {
+		delete(e.indexes, idxKey{view: v, rank: r})
+	}
+}
+
+// DemandSnapshot copies the cumulative per-view demand counters. The
+// counters only grow; consumers (the advisor's decayed window) diff
+// successive snapshots.
+func (e *Engine) DemandSnapshot() map[lattice.ViewID]ViewDemand {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	out := make(map[lattice.ViewID]ViewDemand, len(e.demand))
+	for v, d := range e.demand {
+		out[v] = *d
+	}
+	return out
+}
+
+// noteDemand records one executed query: need is the exact target
+// view, src the view it was answered from, scanned the source rows
+// read.
+func (e *Engine) noteDemand(need, src lattice.ViewID, scanned int64) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	nd := e.demand[need]
+	if nd == nil {
+		nd = &ViewDemand{}
+		e.demand[need] = nd
+	}
+	if need == src {
+		nd.Hits++
+	} else {
+		nd.Fallbacks++
+		nd.FallbackRows += scanned
+	}
+	sd := e.demand[src]
+	if sd == nil {
+		sd = &ViewDemand{}
+		e.demand[src] = sd
+	}
+	sd.SourceQueries++
 }
 
 // PickSource returns the materialized view with the fewest global rows
@@ -187,6 +324,18 @@ type Query struct {
 	// NoIndex forces full scans even when the bounds cover a prefix of
 	// the view's sort order (for the indexed-vs-scan comparison).
 	NoIndex bool
+	// Need is the exact target view (every grouped or bounded
+	// dimension); when Need != View the query is a superset fallback.
+	// NewQuery sets it; it feeds the per-view demand counters, not the
+	// execution plan, so it is not part of Key.
+	Need lattice.ViewID
+	// Order is the source view's attribute order the plan's column
+	// indices were resolved against. Execute rejects the query with
+	// ErrStalePlan if the view's current order differs (retired, or
+	// retired and rebuilt under another order) — without this check a
+	// stale plan could silently aggregate the wrong columns. Nil skips
+	// the check (hand-built queries in tests).
+	Order lattice.Order
 }
 
 // Key canonicalizes the query for result caching. Bounds are kept
@@ -231,12 +380,17 @@ func (e *Engine) NewQuery(group []int, bounds map[int][2]uint32) (Query, error) 
 	if err != nil {
 		return Query{}, err
 	}
-	order := e.orders[src]
+	order, ok := e.Order(src)
+	if !ok {
+		// The view set changed between PickSource and the order read;
+		// callers treat this like any other stale plan and replan.
+		return Query{}, fmt.Errorf("%w: view %v retired during planning", ErrStalePlan, src)
+	}
 	col := make(map[int]int, len(order)) // dimension -> source column
 	for c, dim := range order {
 		col[dim] = c
 	}
-	q := Query{View: src, OutCols: make([]int, len(group))}
+	q := Query{View: src, OutCols: make([]int, len(group)), Need: need, Order: order}
 	for k, dim := range group {
 		q.OutCols[k] = col[dim]
 	}
@@ -279,9 +433,20 @@ type Metrics struct {
 // columns, globally aggregated and sorted in OutCols order. All work
 // is charged on the simulated clocks under the "query" phase.
 func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Validate under e.mu: the view set only changes under Maintain,
+	// which holds e.mu, so a plan that passes here stays valid for the
+	// whole execution.
+	e.stateMu.Lock()
 	order, ok := e.orders[q.View]
+	ver := e.versions[q.View]
+	e.stateMu.Unlock()
 	if !ok {
-		return nil, Metrics{}, fmt.Errorf("queryengine: view %v not materialized", q.View)
+		return nil, Metrics{}, fmt.Errorf("%w: view %v not materialized", ErrStalePlan, q.View)
+	}
+	if q.Order != nil && !orderEqual(q.Order, order) {
+		return nil, Metrics{}, fmt.Errorf("%w: view %v order changed since planning", ErrStalePlan, q.View)
 	}
 	for _, c := range q.OutCols {
 		if c < 0 || c >= len(order) {
@@ -293,14 +458,6 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 			return nil, Metrics{}, fmt.Errorf("queryengine: bound column %d out of range for view %v", b.Col, q.View)
 		}
 	}
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	// Versions only change under Maintain, which holds e.mu, so the
-	// version read here is the one the whole execution runs against.
-	e.stateMu.Lock()
-	ver := e.versions[q.View]
-	e.stateMu.Unlock()
 	t0 := e.m.SimSeconds()
 	bytes0 := e.m.Stats().BytesMoved
 
@@ -345,7 +502,20 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 	if out == nil { // defensive: rank 0 always produces a table
 		out = record.New(len(q.OutCols), 0)
 	}
+	e.noteDemand(q.Need, q.View, met.RowsScanned)
 	return out, met, nil
+}
+
+func orderEqual(a, b lattice.Order) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // scanLocal runs the query's local half on one processor: narrow the

@@ -373,7 +373,10 @@ func TestLoadV1Snapshot(t *testing.T) {
 		Metrics:    cube.Metrics(),
 	}
 	for _, v := range cube.views {
-		vw := cube.gather(v)
+		vw, ok := cube.gather(v)
+		if !ok {
+			t.Fatalf("view %v not materialized", v)
+		}
 		sv := savedView{View: uint32(v), Order: cube.orders[v]}
 		for i := 0; i < vw.rows.Len(); i++ {
 			sv.Dims = append(sv.Dims, vw.rows.Row(i)...)

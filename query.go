@@ -1,6 +1,7 @@
 package rolap
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,20 +30,37 @@ func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) 
 	if c.engine == nil {
 		return c.gatherGroupBy(dims, filters)
 	}
-	q, err := c.planQuery(dims, filters)
-	if err != nil {
-		return nil, err
+	// The advisor can retire a plan's source view between planning and
+	// execution; a stale plan is rejected (never silently misread) and
+	// simply replanned against the current view set.
+	for attempt := 0; ; attempt++ {
+		q, err := c.planQuery(dims, filters)
+		if err != nil {
+			if errors.Is(err, queryengine.ErrStalePlan) && attempt < staleReplanLimit {
+				continue
+			}
+			return nil, err
+		}
+		rows, _, err := c.engine.Execute(q)
+		if err != nil {
+			if errors.Is(err, queryengine.ErrStalePlan) && attempt < staleReplanLimit {
+				continue
+			}
+			return nil, err
+		}
+		return &View{
+			Attributes: append([]string(nil), dims...),
+			order:      queryOrder(c, dims),
+			rows:       rows,
+		}, nil
 	}
-	rows, _, err := c.engine.Execute(q)
-	if err != nil {
-		return nil, err
-	}
-	return &View{
-		Attributes: append([]string(nil), dims...),
-		order:      queryOrder(c, dims),
-		rows:       rows,
-	}, nil
 }
+
+// staleReplanLimit bounds replan retries after ErrStalePlan. Each
+// retry replans against the then-current view set; the set always
+// contains a cover for any answerable query (retirement requires a
+// surviving superset), so one retry normally suffices.
+const staleReplanLimit = 4
 
 // planQuery validates a GroupBy request and plans its distributed
 // execution: dimension names are resolved to internal indices, filters
@@ -106,10 +124,13 @@ func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32) (*View, e
 	if err != nil {
 		return nil, err
 	}
-	vw := c.gather(src)
+	vw, ok := c.gather(src)
+	if !ok {
+		return nil, fmt.Errorf("rolap: view retired while gathering; retry")
+	}
 
 	// Column bookkeeping in the source view's layout.
-	srcOrder := c.orders[src]
+	srcOrder := vw.order
 	filterCol := map[int]uint32{} // column -> required value
 	for name, val := range filters {
 		one, err := c.in.viewOf([]string{name})
@@ -180,6 +201,8 @@ func queryOrder(c *Cube, dims []string) lattice.Order {
 // smaller ViewID, so the choice is deterministic regardless of map
 // iteration order (and matches the engine's planner).
 func (c *Cube) smallestSuperset(need lattice.ViewID) (lattice.ViewID, error) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	best := lattice.ViewID(0)
 	bestRows := int64(-1)
 	for v := range c.orders {
@@ -220,18 +243,26 @@ func (c *Cube) RangeAggregate(dims []string, lo, hi []uint32) (int64, error) {
 	if c.engine == nil {
 		return c.gatherRangeAggregate(dims, lo, hi)
 	}
-	q, err := c.planRange(dims, lo, hi)
-	if err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		q, err := c.planRange(dims, lo, hi)
+		if err != nil {
+			if errors.Is(err, queryengine.ErrStalePlan) && attempt < staleReplanLimit {
+				continue
+			}
+			return 0, err
+		}
+		rows, _, err := c.engine.Execute(q)
+		if err != nil {
+			if errors.Is(err, queryengine.ErrStalePlan) && attempt < staleReplanLimit {
+				continue
+			}
+			return 0, err
+		}
+		if rows.Len() == 0 {
+			return 0, nil
+		}
+		return rows.Meas(0), nil
 	}
-	rows, _, err := c.engine.Execute(q)
-	if err != nil {
-		return 0, err
-	}
-	if rows.Len() == 0 {
-		return 0, nil
-	}
-	return rows.Meas(0), nil
 }
 
 // planRange validates a RangeAggregate request and plans its
@@ -267,8 +298,11 @@ func (c *Cube) gatherRangeAggregate(dims []string, lo, hi []uint32) (int64, erro
 	if err != nil {
 		return 0, err
 	}
-	vw := c.gather(src)
-	srcOrder := c.orders[src]
+	vw, ok := c.gather(src)
+	if !ok {
+		return 0, fmt.Errorf("rolap: view retired while gathering; retry")
+	}
+	srcOrder := vw.order
 	// Map each queried dim to its source column and bounds.
 	type bound struct {
 		col    int

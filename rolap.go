@@ -235,6 +235,10 @@ type Cube struct {
 	machine *cluster.Machine // nil for cubes loaded from a v1 snapshot
 	views   []lattice.ViewID
 	orders  map[lattice.ViewID]lattice.Order
+	// topoMu guards views/orders/trees against the advisor's online
+	// materialize/retire (writers additionally hold ingMu and the
+	// engine maintenance lock; gather-path readers take the read lock).
+	topoMu  sync.RWMutex
 	metrics Metrics
 	op      record.AggOp
 	// engine serves distributed queries; nil for cubes loaded from a

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,28 @@ type ServerStats struct {
 	SimSeconds float64
 	// RowsScanned is total source rows scanned.
 	RowsScanned int64
+	// Views breaks served queries down by *target* view — the exact
+	// dimension set each query needed (comma-joined sorted names),
+	// before any superset rewrite. This is the advisor's raw material:
+	// a view with heavy Fallbacks and RowsScanned is paying superset
+	// scans that materializing it would eliminate.
+	Views map[string]ViewServeStats
+	// Replans counts queries that were replanned after their source
+	// view was retired mid-flight by the advisor.
+	Replans int64
+}
+
+// ViewServeStats are one target view's cumulative serving counters.
+type ViewServeStats struct {
+	// Hits counts queries answered from the exact view; Fallbacks
+	// counts queries rewritten to a superset scan.
+	Hits      int64
+	Fallbacks int64
+	// CacheHits counts the subset of queries (hit or fallback)
+	// answered from the result cache.
+	CacheHits int64
+	// RowsScanned is total source rows scanned for this target.
+	RowsScanned int64
 }
 
 // ErrServerOverloaded is the sentinel for overload rejections: every
@@ -190,6 +213,9 @@ type Server struct {
 	flMu       sync.Mutex
 	flights    map[string]*flight
 
+	vsMu      sync.Mutex
+	viewStats map[string]*ViewServeStats
+
 	queries       atomic.Int64
 	hits          atomic.Int64
 	rejected      atomic.Int64
@@ -199,6 +225,7 @@ type Server struct {
 	staleWidened  atomic.Int64
 	queueFull     atomic.Int64
 	queueDeadline atomic.Int64
+	replans       atomic.Int64
 	simMicros     atomic.Int64 // SimSeconds accumulated in microseconds
 	rowsTotal     atomic.Int64
 	wallMicros    atomic.Int64 // wall time of completed executions
@@ -251,6 +278,7 @@ func (c *Cube) NewServer(opts ServerOptions) (*Server, error) {
 		staleLimit: stale,
 		coalesce:   !opts.NoCoalesce,
 		flights:    make(map[string]*flight),
+		viewStats:  make(map[string]*ViewServeStats),
 	}
 	size := opts.CacheSize
 	if size == 0 {
@@ -278,19 +306,38 @@ type cached struct {
 // Cube.GroupBy but with admission control, deadline, caching, and
 // per-query cost metrics.
 func (s *Server) GroupBy(ctx context.Context, dims []string, filters map[string]uint32) (*View, QueryMetrics, error) {
-	q, err := s.cube.planQuery(dims, filters)
-	if err != nil {
-		return nil, QueryMetrics{}, err
+	for attempt := 0; ; attempt++ {
+		q, err := s.cube.planQuery(dims, filters)
+		if err != nil {
+			if s.replanable(err, attempt) {
+				continue
+			}
+			return nil, QueryMetrics{}, err
+		}
+		c, qm, err := s.serve(ctx, s.cacheKey("g", q), q)
+		if err != nil {
+			if s.replanable(err, attempt) {
+				continue
+			}
+			return nil, qm, err
+		}
+		return &View{
+			Attributes: append([]string(nil), dims...),
+			order:      queryOrder(s.cube, dims),
+			rows:       c.rows,
+		}, qm, nil
 	}
-	c, qm, err := s.serve(ctx, s.cacheKey("g", q), q)
-	if err != nil {
-		return nil, qm, err
+}
+
+// replanable reports whether a serve error means the plan's source
+// view was retired (or rebuilt) mid-flight and the query should be
+// replanned against the current view set.
+func (s *Server) replanable(err error, attempt int) bool {
+	if attempt < staleReplanLimit && errors.Is(err, queryengine.ErrStalePlan) {
+		s.replans.Add(1)
+		return true
 	}
-	return &View{
-		Attributes: append([]string(nil), dims...),
-		order:      queryOrder(s.cube, dims),
-		rows:       c.rows,
-	}, qm, nil
+	return false
 }
 
 // Aggregate serves a point lookup: the aggregate of the single group
@@ -317,18 +364,26 @@ func (s *Server) RangeAggregate(ctx context.Context, dims []string, lo, hi []uin
 			return 0, QueryMetrics{}, fmt.Errorf("rolap: empty range on %q", dims[k])
 		}
 	}
-	q, err := s.cube.planRange(dims, lo, hi)
-	if err != nil {
-		return 0, QueryMetrics{}, err
+	for attempt := 0; ; attempt++ {
+		q, err := s.cube.planRange(dims, lo, hi)
+		if err != nil {
+			if s.replanable(err, attempt) {
+				continue
+			}
+			return 0, QueryMetrics{}, err
+		}
+		c, qm, err := s.serve(ctx, s.cacheKey("s", q), q)
+		if err != nil {
+			if s.replanable(err, attempt) {
+				continue
+			}
+			return 0, qm, err
+		}
+		if c.rows.Len() == 0 {
+			return 0, qm, nil
+		}
+		return c.rows.Meas(0), qm, nil
 	}
-	c, qm, err := s.serve(ctx, s.cacheKey("s", q), q)
-	if err != nil {
-		return 0, qm, err
-	}
-	if c.rows.Len() == 0 {
-		return 0, qm, nil
-	}
-	return c.rows.Meas(0), qm, nil
 }
 
 // cacheKey canonicalizes a planned query into a cache key. The key is
@@ -341,10 +396,44 @@ func (s *Server) cacheKey(kind string, q queryengine.Query) string {
 	return fmt.Sprintf("%s|%s", kind, q.Key())
 }
 
-// serve runs the cache → coalesce → admission → execute pipeline for
-// one planned query and returns the cached entry (fresh or reused)
-// plus metrics.
+// serve runs one planned query through the pipeline and, on success,
+// folds it into the per-target-view counters the advisor mines.
 func (s *Server) serve(ctx context.Context, key string, q queryengine.Query) (cached, QueryMetrics, error) {
+	c, qm, err := s.servePipeline(ctx, key, q)
+	if err == nil {
+		s.noteViewServe(q, qm)
+	}
+	return c, qm, err
+}
+
+// noteViewServe credits one served query to its target view's
+// counters: a hit if the need was answered from the exact view, a
+// fallback if it was rewritten to a superset scan.
+func (s *Server) noteViewServe(q queryengine.Query, qm QueryMetrics) {
+	target := strings.Join(s.cube.sourceViewNames(q.Need), ",")
+	source := strings.Join(qm.SourceView, ",")
+	s.vsMu.Lock()
+	defer s.vsMu.Unlock()
+	vs := s.viewStats[target]
+	if vs == nil {
+		vs = &ViewServeStats{}
+		s.viewStats[target] = vs
+	}
+	if target == source {
+		vs.Hits++
+	} else {
+		vs.Fallbacks++
+	}
+	if qm.CacheHit || qm.Coalesced {
+		vs.CacheHits++
+	}
+	vs.RowsScanned += qm.RowsScanned
+}
+
+// servePipeline runs the cache → coalesce → admission → execute
+// pipeline for one planned query and returns the cached entry (fresh
+// or reused) plus metrics.
+func (s *Server) servePipeline(ctx context.Context, key string, q queryengine.Query) (cached, QueryMetrics, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -547,7 +636,15 @@ func (s *Server) retryAfter() time.Duration {
 
 // Stats returns the server's cumulative counters.
 func (s *Server) Stats() ServerStats {
+	views := make(map[string]ViewServeStats)
+	s.vsMu.Lock()
+	for name, vs := range s.viewStats {
+		views[name] = *vs
+	}
+	s.vsMu.Unlock()
 	return ServerStats{
+		Views:   views,
+		Replans: s.replans.Load(),
 		Queries:              s.queries.Load(),
 		CacheHits:            s.hits.Load(),
 		Rejected:             s.rejected.Load(),

@@ -23,8 +23,11 @@ type View struct {
 // list of dimension names ("[]" is the grand total), in deterministic
 // order.
 func (c *Cube) Views() [][]string {
-	out := make([][]string, 0, len(c.views))
-	for _, v := range c.views {
+	c.topoMu.RLock()
+	views := append([]lattice.ViewID(nil), c.views...)
+	c.topoMu.RUnlock()
+	out := make([][]string, 0, len(views))
+	for _, v := range views {
 		names := c.in.namesOf(lattice.Canonical(v))
 		sort.Strings(names)
 		out = append(out, names)
@@ -53,7 +56,10 @@ func (c *Cube) lookup(dims []string) (lattice.ViewID, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, ok := c.orders[v]; !ok {
+	c.topoMu.RLock()
+	_, ok := c.orders[v]
+	c.topoMu.RUnlock()
+	if !ok {
 		return 0, fmt.Errorf("rolap: view %v not materialized", dims)
 	}
 	return v, nil
@@ -66,27 +72,48 @@ func (c *Cube) View(dims []string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.gather(v), nil
+	vw, ok := c.gather(v)
+	if !ok {
+		return nil, fmt.Errorf("rolap: view %v not materialized", dims)
+	}
+	return vw, nil
 }
 
-func (c *Cube) gather(v lattice.ViewID) *View {
-	order := c.orders[v]
+// gather collects view v from all processors. It reports false when
+// the view is not (or no longer) materialized — the advisor can
+// retire a view between a lookup and the gather, and reading the
+// order under the maintenance lock guarantees the order and the
+// slices belong to the same topology.
+func (c *Cube) gather(v lattice.ViewID) (*View, bool) {
+	var order lattice.Order
+	found := false
 	var rows *record.Table
-	if c.machine != nil && c.engine != nil {
-		// Serialize against incremental ingest: a gather sees either
-		// the pre-batch or post-batch slices, never a mixture.
-		c.engine.Maintain(func() error {
-			rows = c.gatherViewRaw(v)
+	read := func() error {
+		c.topoMu.RLock()
+		order, found = c.orders[v]
+		c.topoMu.RUnlock()
+		if !found {
 			return nil
-		})
-	} else {
+		}
 		rows = c.gatherViewRaw(v)
+		return nil
+	}
+	if c.machine != nil && c.engine != nil {
+		// Serialize against incremental ingest and online
+		// materialization: a gather sees either the pre-batch or
+		// post-batch slices, never a mixture.
+		c.engine.Maintain(read)
+	} else {
+		read()
+	}
+	if !found {
+		return nil, false
 	}
 	return &View{
 		Attributes: c.in.namesOf(order),
 		order:      order,
 		rows:       rows,
-	}
+	}, true
 }
 
 // Len returns the view's row (group) count.
@@ -124,32 +151,30 @@ func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if order, ok := c.orders[want]; ok {
-		vw := c.gather(want)
-		// Reorder the caller's key into the materialized order.
-		k := make([]uint32, len(key))
-		for col, dim := range order {
-			k[col] = key[indexOfDim(dims, c.in, dim)]
+	c.topoMu.RLock()
+	_, exact := c.orders[want]
+	c.topoMu.RUnlock()
+	if exact {
+		if vw, ok := c.gather(want); ok {
+			// Reorder the caller's key into the materialized order.
+			k := make([]uint32, len(key))
+			for col, dim := range vw.order {
+				k[col] = key[indexOfDim(dims, c.in, dim)]
+			}
+			m, _ := vw.Aggregate(k)
+			return m, nil
 		}
-		m, _ := vw.Aggregate(k)
-		return m, nil
+		// Retired between the check and the gather; fall back.
 	}
 	// Fallback: smallest materialized superset, scanned with a filter.
-	best := lattice.ViewID(0)
-	bestRows := int64(-1)
-	for v := range c.orders {
-		if !want.SubsetOf(v) {
-			continue
-		}
-		rows := c.viewRowCount(v)
-		if bestRows == -1 || rows < bestRows {
-			best, bestRows = v, rows
-		}
-	}
-	if bestRows == -1 {
+	best, err := c.smallestSuperset(want)
+	if err != nil {
 		return 0, fmt.Errorf("rolap: no materialized view can answer %v", dims)
 	}
-	vw := c.gather(best)
+	vw, ok := c.gather(best)
+	if !ok {
+		return 0, fmt.Errorf("rolap: view retired while gathering; retry")
+	}
 	var total int64
 	first := true
 	for i := 0; i < vw.rows.Len(); i++ {
