@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json qbench-advisor-smoke bench-advisor-json
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json qbench-advisor-smoke bench-advisor-json bench-storage-json bench-storage-smoke qbench-storage-smoke
 
 tier1: build vet test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... ./internal/advisor/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... ./internal/advisor/... ./internal/record/... ./internal/colstore/... .
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -99,6 +99,27 @@ qbench-advisor-smoke:
 # check counts.
 bench-advisor-json:
 	$(GO) run ./cmd/qbench -advisor -smoke -rows 20000 -queries 400 -p 4 -advise-every 40 -out BENCH_PR8.json
+
+# Columnar-storage report (BENCH_PR9.json): bytes/row for row vs
+# columnar storage before and after attribute-value reordering, the
+# whole-cube modelled footprint, build wall-clock with the store
+# off/on, snapshot size and cold-load-to-first-query for v2 vs v3,
+# snapshot-ship bytes bootstrapping 4 replicas, and the simulated
+# query-latency comparison. Gates: >= 2x bytes/row vs row storage,
+# query latency within 1.05x, byte-identical answers. The smoke run
+# enforces the same gates at small sizes.
+bench-storage-json:
+	$(GO) run ./cmd/wallbench -storage -out BENCH_PR9.json
+
+bench-storage-smoke:
+	$(GO) run ./cmd/wallbench -storage -smoke -out BENCH_PR9.json
+
+# Columnar-storage answer gate: replay one deterministic mixed
+# workload (group-bys, filters, point and range aggregates) against
+# the same cube built row-form and columnar, exiting nonzero unless
+# every answer is byte-identical.
+qbench-storage-smoke:
+	$(GO) run ./cmd/qbench -storage -rows 6000 -p 4 -queries 200
 
 # Serving-resilience report (BENCH_PR7.json): the verified chaos
 # scenario (goodput and wall latency with 1-of-4 replicas

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	rolap "repro"
+	"repro/internal/colstore"
+)
+
+// runStorageSmoke is qbench's -storage mode, the CI gate for the
+// columnar storage engine's query path: build the same cube with the
+// columnar store off (row files) and on (sealed compressed slices),
+// replay one deterministic mixed workload against both, and demand
+// byte-identical answers — every group-by view row for row, every
+// point and range aggregate value for value. Any difference exits
+// non-zero.
+func runStorageSmoke(cfg config, w io.Writer) error {
+	in, err := buildInput(cfg)
+	if err != nil {
+		return err
+	}
+	build := func(on bool) (*rolap.Cube, error) {
+		prev := colstore.SetEnabled(on)
+		defer colstore.SetEnabled(prev)
+		return rolap.Build(in, rolap.Options{Processors: cfg.procs[0]})
+	}
+	rowCube, err := build(false)
+	if err != nil {
+		return fmt.Errorf("row build: %w", err)
+	}
+	colCube, err := build(true)
+	if err != nil {
+		return fmt.Errorf("columnar build: %w", err)
+	}
+
+	ops := makeWorkload(cfg, rand.New(rand.NewSource(cfg.seed)))
+	start := time.Now()
+	mismatches := 0
+	for i, o := range ops {
+		if o.rangeDims != nil {
+			a, err1 := rowCube.RangeAggregate(o.rangeDims, o.lo, o.hi)
+			b, err2 := colCube.RangeAggregate(o.rangeDims, o.lo, o.hi)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("op %d range %v: row %v, columnar %v", i, o.rangeDims, err1, err2)
+			}
+			if a != b {
+				mismatches++
+				fmt.Fprintf(w, "op %d range %v: row %d != columnar %d\n", i, o.rangeDims, a, b)
+			}
+			continue
+		}
+		va, err1 := rowCube.GroupBy(o.group, o.filters)
+		vb, err2 := colCube.GroupBy(o.group, o.filters)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("op %d group %v: row %v, columnar %v", i, o.group, err1, err2)
+		}
+		if !viewsMatch(va, vb) {
+			mismatches++
+			fmt.Fprintf(w, "op %d group %v filters %v: views differ\n", i, o.group, o.filters)
+		}
+	}
+	fmt.Fprintf(w, "storage smoke: %d queries replayed against row and columnar cubes in %.2fs, %d mismatches\n",
+		len(ops), time.Since(start).Seconds(), mismatches)
+	if mismatches > 0 {
+		return fmt.Errorf("columnar storage changed %d answers", mismatches)
+	}
+	fmt.Fprintln(w, "storage smoke: answers byte-identical")
+	return nil
+}
+
+// viewsMatch compares two views row for row.
+func viewsMatch(a, b *rolap.View) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ka, ma := a.Row(i)
+		kb, mb := b.Row(i)
+		if ma != mb || len(ka) != len(kb) {
+			return false
+		}
+		for j := range ka {
+			if ka[j] != kb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

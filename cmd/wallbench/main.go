@@ -102,10 +102,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "data seed")
 	smoke := flag.Bool("smoke", false, "tiny sizes for CI smoke runs")
 	ingestMode := flag.Bool("ingest", false, "benchmark incremental ingest vs full rebuild (writes the BENCH_PR5 schema)")
+	storageMode := flag.Bool("storage", false, "benchmark columnar compressed storage vs row storage (writes the BENCH_PR9 schema)")
 	flag.Parse()
 
 	if *ingestMode {
 		if err := runIngest(*out, *smoke, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storageMode {
+		if err := runStorage(*out, *smoke, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

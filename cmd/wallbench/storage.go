@@ -1,0 +1,403 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	rolap "repro"
+	"repro/internal/colstore"
+	"repro/internal/record"
+)
+
+// StorageReport is the BENCH_PR9.json schema: what the columnar
+// compressed storage with attribute-value reordering buys, end to end.
+type StorageReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Smoke     bool   `json:"smoke"`
+	Seed      int64  `json:"seed"`
+
+	P    int `json:"p"`
+	D    int `json:"d"`
+	Rows int `json:"rows"`
+
+	// Slice-level bytes/row on the d=8 reference shape: the fixed row
+	// format, the columnar encoding of the as-loaded (scattered,
+	// first-appearance) codes, and the columnar encoding after the
+	// frequency remap.
+	RowBytesPerRow               float64 `json:"row_bytes_per_row"`
+	ColumnarBytesPerRowUnordered float64 `json:"columnar_bytes_per_row_unordered"`
+	ColumnarBytesPerRowReordered float64 `json:"columnar_bytes_per_row_reordered"`
+	// CompressionVsRow = row / reordered-columnar (the >=2x acceptance
+	// bar); ReorderGain = unordered / reordered columnar.
+	CompressionVsRow float64 `json:"compression_vs_row"`
+	CompressionBar   float64 `json:"compression_bar"`
+	ReorderGain      float64 `json:"reorder_gain"`
+
+	// Whole-cube modelled footprint from the build metrics: every
+	// materialized view, row form vs sealed columnar form.
+	CubeOutputBytes int64   `json:"cube_output_bytes"`
+	CubeStoredBytes int64   `json:"cube_stored_bytes"`
+	CubeCompression float64 `json:"cube_compression"`
+
+	// End-to-end build wall-clock (real elapsed), columnar store off/on.
+	BuildWallOffSeconds float64 `json:"build_wall_off_seconds"`
+	BuildWallOnSeconds  float64 `json:"build_wall_on_seconds"`
+
+	// Snapshot size and cold-load-to-first-query (Save -> LoadCube ->
+	// first Aggregate, real elapsed), v2 row path vs v3 columnar path.
+	SnapshotV2Bytes   int     `json:"snapshot_v2_bytes"`
+	SnapshotV3Bytes   int     `json:"snapshot_v3_bytes"`
+	ColdLoadV2Seconds float64 `json:"cold_load_v2_seconds"`
+	ColdLoadV3Seconds float64 `json:"cold_load_v3_seconds"`
+
+	// Modelled snapshot bytes shipped bootstrapping a replica tier.
+	ReplicaCount       int   `json:"replica_count"`
+	ReplicaShipV2Bytes int64 `json:"replica_ship_v2_bytes"`
+	ReplicaShipV3Bytes int64 `json:"replica_ship_v3_bytes"`
+
+	// Simulated query latency over the same sweep, row vs columnar
+	// storage, and the <=1.05x regression gate.
+	QuerySimRowSeconds float64 `json:"query_sim_row_seconds"`
+	QuerySimColSeconds float64 `json:"query_sim_col_seconds"`
+	QueryLatencyRatio  float64 `json:"query_latency_ratio"`
+	QueryGateBar       float64 `json:"query_gate_bar"`
+
+	// Every query answer and every gathered view identical between the
+	// row and columnar cubes (the CI smoke gate).
+	AnswersIdentical bool `json:"answers_identical"`
+}
+
+// skewedTable generates the reference shape for the slice-level
+// measurement: d dimensions whose codes are scattered across a wide
+// declared domain (as first-appearance dictionary codes are) with a
+// Zipf-ish frequency skew, so the frequency remap has something to
+// win.
+func skewedTable(seed int64, n, d int) *record.Table {
+	rng := rand.New(rand.NewSource(seed))
+	const distinct = 48
+	domain := make([][]uint32, d)
+	for j := range domain {
+		seen := map[uint32]bool{}
+		for len(domain[j]) < distinct {
+			v := uint32(rng.Intn(1 << 16))
+			if !seen[v] {
+				seen[v] = true
+				domain[j] = append(domain[j], v)
+			}
+		}
+	}
+	zipf := rand.NewZipf(rng, 1.3, 1, distinct-1)
+	t := record.New(d, n)
+	row := make([]uint32, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			row[j] = domain[j][zipf.Uint64()]
+		}
+		t.Append(row, int64(rng.Intn(100)))
+	}
+	return t
+}
+
+// storageInput builds the cube-level workload: a d=8 paper-cards
+// schema with Zipf-skewed codes.
+func storageInput(seed int64, n int) (*rolap.Input, error) {
+	cards := []int{256, 128, 64, 32, 16, 8, 6, 6}
+	schema := rolap.Schema{}
+	for j, c := range cards {
+		schema.Dimensions = append(schema.Dimensions, rolap.Dimension{
+			Name:        fmt.Sprintf("d%d", j),
+			Cardinality: c,
+		})
+	}
+	in, err := rolap.NewInput(schema)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipfs := make([]*rand.Zipf, len(cards))
+	for j, c := range cards {
+		zipfs[j] = rand.NewZipf(rng, 1.2, 1, uint64(c-1))
+	}
+	row := make([]uint32, len(cards))
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = uint32(zipfs[j].Uint64())
+		}
+		if err := in.AddRow(row, int64(rng.Intn(100))); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// storageQuery is one entry of the deterministic query sweep.
+type storageQuery struct {
+	dims []string
+	key  []uint32
+}
+
+func storageQueries(in *rolap.Input, seed int64, count int) []storageQuery {
+	rng := rand.New(rand.NewSource(seed + 1000))
+	schema := in.Schema()
+	var qs []storageQuery
+	for len(qs) < count {
+		k := 1 + rng.Intn(3)
+		picked := rng.Perm(len(schema.Dimensions))[:k]
+		var dims []string
+		var key []uint32
+		for _, j := range picked {
+			dims = append(dims, schema.Dimensions[j].Name)
+			key = append(key, uint32(rng.Intn(schema.Dimensions[j].Cardinality)))
+		}
+		qs = append(qs, storageQuery{dims: dims, key: key})
+	}
+	// The grand total exercises the empty view.
+	qs = append(qs, storageQuery{})
+	return qs
+}
+
+// sweep runs the query list against a cube's server with caching off,
+// returning the answers and the total simulated latency.
+func sweep(c *rolap.Cube, qs []storageQuery) ([]int64, float64, error) {
+	s, err := c.NewServer(rolap.ServerOptions{Workers: 1, CacheSize: -1})
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := context.Background()
+	answers := make([]int64, 0, len(qs))
+	var sim float64
+	for _, q := range qs {
+		got, qm, err := s.Aggregate(ctx, q.dims, q.key)
+		if err != nil {
+			return nil, 0, fmt.Errorf("query %v: %w", q.dims, err)
+		}
+		answers = append(answers, got)
+		sim += qm.SimSeconds
+	}
+	return answers, sim, nil
+}
+
+// viewsEqual gathers every materialized view from both cubes and
+// compares them row by row.
+func viewsEqual(a, b *rolap.Cube) (bool, error) {
+	for _, dims := range a.Views() {
+		va, err := a.View(dims)
+		if err != nil {
+			return false, err
+		}
+		vb, err := b.View(dims)
+		if err != nil {
+			return false, err
+		}
+		if va.Len() != vb.Len() {
+			return false, nil
+		}
+		for i := 0; i < va.Len(); i++ {
+			ka, ma := va.Row(i)
+			kb, mb := vb.Row(i)
+			if ma != mb {
+				return false, nil
+			}
+			for j := range ka {
+				if ka[j] != kb[j] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// runStorage is wallbench's -storage mode: measure the columnar
+// compressed storage end to end and gate on the acceptance bars. Gate
+// failures exit non-zero, so the smoke run doubles as a CI gate.
+func runStorage(out string, smoke bool, seed int64) error {
+	p := 4
+	d := 8
+	n := 60_000
+	if smoke {
+		n = 6_000
+	}
+	rep := StorageReport{
+		GoVersion:      runtime.Version(),
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		Smoke:          smoke,
+		Seed:           seed,
+		P:              p,
+		D:              d,
+		Rows:           n,
+		CompressionBar: 2,
+		QueryGateBar:   1.05,
+		ReplicaCount:   4,
+	}
+
+	// Slice-level bytes/row on the reference shape.
+	ref := skewedTable(seed, n, d)
+	rep.RowBytesPerRow = float64(record.RowBytes(d))
+	unord := ref.Clone()
+	unord.Sort()
+	rep.ColumnarBytesPerRowUnordered = float64(colstore.Encode(unord).Bytes()) / float64(n)
+	re := ref.Clone()
+	colstore.ApplyRemaps(re, colstore.FrequencyRemaps(re))
+	re.Sort()
+	rep.ColumnarBytesPerRowReordered = float64(colstore.Encode(re).Bytes()) / float64(n)
+	rep.CompressionVsRow = rep.RowBytesPerRow / rep.ColumnarBytesPerRowReordered
+	rep.ReorderGain = rep.ColumnarBytesPerRowUnordered / rep.ColumnarBytesPerRowReordered
+
+	// Cube-level: the same input built with the columnar store off/on.
+	in, err := storageInput(seed, n)
+	if err != nil {
+		return err
+	}
+	build := func(on bool) (*rolap.Cube, float64, error) {
+		prev := colstore.SetEnabled(on)
+		defer colstore.SetEnabled(prev)
+		start := time.Now()
+		c, err := rolap.Build(in, rolap.Options{Processors: p})
+		return c, time.Since(start).Seconds(), err
+	}
+	rowCube, wallOff, err := build(false)
+	if err != nil {
+		return fmt.Errorf("row build: %w", err)
+	}
+	colCube, wallOn, err := build(true)
+	if err != nil {
+		return fmt.Errorf("columnar build: %w", err)
+	}
+	rep.BuildWallOffSeconds = wallOff
+	rep.BuildWallOnSeconds = wallOn
+	met := colCube.Metrics()
+	rep.CubeOutputBytes = met.OutputBytes
+	rep.CubeStoredBytes = met.OutputBytesStored
+	if met.OutputBytesStored > 0 {
+		rep.CubeCompression = float64(met.OutputBytes) / float64(met.OutputBytesStored)
+	}
+
+	// Query sweep: byte-identical answers and the sim-latency gate.
+	qs := storageQueries(in, seed, map[bool]int{true: 30, false: 60}[smoke])
+	rowAns, simRow, err := sweep(rowCube, qs)
+	if err != nil {
+		return fmt.Errorf("row sweep: %w", err)
+	}
+	colAns, simCol, err := sweep(colCube, qs)
+	if err != nil {
+		return fmt.Errorf("columnar sweep: %w", err)
+	}
+	rep.QuerySimRowSeconds = simRow
+	rep.QuerySimColSeconds = simCol
+	rep.QueryLatencyRatio = simCol / simRow
+	rep.AnswersIdentical = true
+	for i := range rowAns {
+		if rowAns[i] != colAns[i] {
+			rep.AnswersIdentical = false
+			fmt.Fprintf(os.Stderr, "answer mismatch on query %v: row %d, columnar %d\n", qs[i].dims, rowAns[i], colAns[i])
+		}
+	}
+	if rep.AnswersIdentical {
+		same, err := viewsEqual(rowCube, colCube)
+		if err != nil {
+			return err
+		}
+		rep.AnswersIdentical = same
+	}
+
+	// Snapshot size + cold-load-to-first-query, v2 vs v3.
+	snapshot := func(c *rolap.Cube, on bool) ([]byte, error) {
+		prev := colstore.SetEnabled(on)
+		defer colstore.SetEnabled(prev)
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	coldLoad := func(snap []byte) (float64, error) {
+		start := time.Now()
+		c, err := rolap.LoadCube(bytes.NewReader(snap))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.Aggregate(nil, nil); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	v2snap, err := snapshot(colCube, false)
+	if err != nil {
+		return err
+	}
+	v3snap, err := snapshot(colCube, true)
+	if err != nil {
+		return err
+	}
+	rep.SnapshotV2Bytes = len(v2snap)
+	rep.SnapshotV3Bytes = len(v3snap)
+	if rep.ColdLoadV2Seconds, err = coldLoad(v2snap); err != nil {
+		return fmt.Errorf("v2 cold load: %w", err)
+	}
+	if rep.ColdLoadV3Seconds, err = coldLoad(v3snap); err != nil {
+		return fmt.Errorf("v3 cold load: %w", err)
+	}
+
+	// Snapshot-ship bytes bootstrapping 4 replicas, v2 vs v3 snapshots.
+	shipBytes := func(c *rolap.Cube, on bool) (int64, error) {
+		prev := colstore.SetEnabled(on)
+		defer colstore.SetEnabled(prev)
+		rs, err := c.NewReplicaSet(rolap.ReplicaOptions{Replicas: rep.ReplicaCount})
+		if err != nil {
+			return 0, err
+		}
+		defer rs.Close()
+		return rs.Stats().SnapshotShipBytes, nil
+	}
+	if rep.ReplicaShipV2Bytes, err = shipBytes(rowCube, false); err != nil {
+		return fmt.Errorf("v2 replica bootstrap: %w", err)
+	}
+	if rep.ReplicaShipV3Bytes, err = shipBytes(colCube, true); err != nil {
+		return fmt.Errorf("v3 replica bootstrap: %w", err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("bytes/row: row %.1f, columnar %.2f unordered, %.2f reordered — %.1fx vs row (bar >= %.0fx), reorder gain %.2fx\n",
+		rep.RowBytesPerRow, rep.ColumnarBytesPerRowUnordered, rep.ColumnarBytesPerRowReordered,
+		rep.CompressionVsRow, rep.CompressionBar, rep.ReorderGain)
+	fmt.Printf("cube footprint: %d row bytes -> %d stored bytes (%.1fx)\n",
+		rep.CubeOutputBytes, rep.CubeStoredBytes, rep.CubeCompression)
+	fmt.Printf("build wall-clock: off %.3fs, on %.3fs\n", rep.BuildWallOffSeconds, rep.BuildWallOnSeconds)
+	fmt.Printf("snapshot: v2 %d B, v3 %d B; cold-load-to-first-query: v2 %.4fs, v3 %.4fs\n",
+		rep.SnapshotV2Bytes, rep.SnapshotV3Bytes, rep.ColdLoadV2Seconds, rep.ColdLoadV3Seconds)
+	fmt.Printf("replica bootstrap (%d replicas): v2 ships %d B, v3 ships %d B\n",
+		rep.ReplicaCount, rep.ReplicaShipV2Bytes, rep.ReplicaShipV3Bytes)
+	fmt.Printf("query sim latency: row %.4fs, columnar %.4fs — ratio %.3f (bar <= %.2f)\n",
+		rep.QuerySimRowSeconds, rep.QuerySimColSeconds, rep.QueryLatencyRatio, rep.QueryGateBar)
+	fmt.Println("answers identical:", rep.AnswersIdentical)
+	fmt.Println("wrote", out)
+
+	if !rep.AnswersIdentical {
+		return fmt.Errorf("row and columnar cubes disagree")
+	}
+	if rep.CompressionVsRow < rep.CompressionBar {
+		return fmt.Errorf("compression %.2fx below the %.0fx bar", rep.CompressionVsRow, rep.CompressionBar)
+	}
+	if rep.QueryLatencyRatio > rep.QueryGateBar {
+		return fmt.Errorf("query latency ratio %.3f exceeds the %.2f bar", rep.QueryLatencyRatio, rep.QueryGateBar)
+	}
+	return nil
+}

@@ -101,6 +101,39 @@ func LoadCSV(r io.Reader, opts CSVOptions) (*Input, error) {
 		rows = append(rows, row)
 	}
 
+	// Canonical freeze-time attribute-value reordering (Kaser & Lemire):
+	// codes are reassigned by descending frequency, ties broken by value
+	// ascending. Two loads of the same logical data now produce the same
+	// dictionaries regardless of row order — first-appearance codes did
+	// not — and hot values get the smallest codes, which lengthens runs
+	// and narrows bit widths in the sorted columnar storage.
+	for k := range dimNames {
+		freq := make([]int64, len(values[k]))
+		for _, row := range rows {
+			freq[row.codes[k]]++
+		}
+		perm := make([]int, len(values[k])) // new code -> old code
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool {
+			if freq[perm[a]] != freq[perm[b]] {
+				return freq[perm[a]] > freq[perm[b]]
+			}
+			return values[k][perm[a]] < values[k][perm[b]]
+		})
+		remap := make([]uint32, len(values[k])) // old code -> new code
+		newVals := make([]string, len(values[k]))
+		for newCode, oldCode := range perm {
+			remap[oldCode] = uint32(newCode)
+			newVals[newCode] = values[k][oldCode]
+		}
+		values[k] = newVals
+		for i := range rows {
+			rows[i].codes[k] = remap[rows[i].codes[k]]
+		}
+	}
+
 	// Build the schema from observed cardinalities and load the rows.
 	schema := Schema{Dimensions: make([]Dimension, len(dimNames))}
 	for k, name := range dimNames {

@@ -216,3 +216,63 @@ func TestIngestCSV(t *testing.T) {
 		t.Fatalf("rejected batches left %d rows pending", cube.Pending())
 	}
 }
+
+func TestLoadCSVDictionaryDeterminism(t *testing.T) {
+	// The same logical fact table in different physical row orders must
+	// produce identical dictionaries and codes: freeze-time reordering
+	// assigns codes canonically (frequency descending, value ascending),
+	// not by first appearance.
+	lines := []string{
+		"east,widget,Q1,100",
+		"east,widget,Q2,150",
+		"east,gadget,Q1,80",
+		"west,widget,Q1,200",
+		"west,gadget,Q3,60",
+		"west,gadget,Q3,40",
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{2, 5, 0, 3, 1, 4},
+	}
+	var want *Input
+	for pi, perm := range perms {
+		var b strings.Builder
+		b.WriteString("region,product,quarter,measure\n")
+		for _, i := range perm {
+			b.WriteString(lines[i])
+			b.WriteByte('\n')
+		}
+		in, err := LoadCSV(strings.NewReader(b.String()), CSVOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = in
+			continue
+		}
+		for _, d := range in.Schema().Dimensions {
+			got := in.DimensionValues(d.Name)
+			ref := want.DimensionValues(d.Name)
+			if len(got) != len(ref) {
+				t.Fatalf("perm %d: %s dictionary sizes differ", pi, d.Name)
+			}
+			for c := range got {
+				if got[c] != ref[c] {
+					t.Fatalf("perm %d: %s code %d = %q, want %q (order-dependent dictionary)",
+						pi, d.Name, c, got[c], ref[c])
+				}
+			}
+		}
+	}
+	// Codes are frequency-ordered: the hottest value gets code 0, and
+	// ties break by value ascending. quarter frequencies: Q1 x3, Q3 x2,
+	// Q2 x1.
+	if vals := want.DimensionValues("quarter"); vals[0] != "Q1" || vals[1] != "Q3" || vals[2] != "Q2" {
+		t.Fatalf("quarter codes not frequency-ordered: %v", vals)
+	}
+	// product ties at 3/3: value-ascending puts gadget before widget.
+	if vals := want.DimensionValues("product"); vals[0] != "gadget" || vals[1] != "widget" {
+		t.Fatalf("product tie-break wrong: %v", vals)
+	}
+}

@@ -182,14 +182,20 @@ func (c *Cube) flushLocked() (_ IngestMetrics, err error) {
 		return IngestMetrics{}, nil
 	}
 	batch := c.pending
+	d := len(c.in.schema.Dimensions)
+	cards := make([]int, d)
+	for i := 0; i < d; i++ {
+		cards[i] = c.in.schema.Dimensions[c.in.perm[i]].Cardinality
+	}
 	cfg := ingest.Config{
-		D:           len(c.in.schema.Dimensions),
+		D:           d,
 		Selected:    c.views,
 		Orders:      c.orders,
 		Trees:       c.trees,
 		Gamma:       c.opts.Gamma,
 		MergeGamma:  c.opts.MergeGamma,
 		Agg:         c.op,
+		Cards:       cards,
 		OverlapComm: c.opts.OverlapComm,
 		Faults:      c.ingestFaults,
 	}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/colstore"
 	"repro/internal/costmodel"
 	"repro/internal/lattice"
 	"repro/internal/record"
@@ -39,12 +40,16 @@ const ckptPrefix = "ckpt.r."
 // remaining rows are the completed view IDs.
 const manifestFile = "ckpt.manifest"
 
-// ckptFile is one file of a checkpoint set: its name and column count
-// (so processors without the file can present an empty table of the
-// right shape).
+// ckptFile is one file of a checkpoint set: its name, column count (so
+// processors without the file can present an empty table of the right
+// shape), and whether it is a sealed view slice — sealed files ship
+// and land in the columnar compressed layout. sealed is decided by
+// file kind (view vs raw/manifest), never per-disk state, so all
+// processors agree on the collective they run (SPMD).
 type ckptFile struct {
-	name string
-	cols int
+	name   string
+	cols   int
+	sealed bool
 }
 
 // lastCheckpointBoundary returns the dimension to restart from after a
@@ -96,6 +101,23 @@ func replicateFiles(p *cluster.Proc, files []ckptFile, out *procOut) {
 	disk := p.Disk()
 	from := (p.Rank() + np - 1) % np
 	for _, f := range files {
+		if f.sealed && colstore.Enabled() {
+			// View slices ship in the columnar compressed layout and are
+			// stored compressed on the neighbor's disk.
+			var s *colstore.Slice
+			if disk.Has(f.name) {
+				disk.Seal(f.name)
+				s, _ = disk.GetSlice(f.name)
+			}
+			dest := make([]*colstore.Slice, np)
+			dest[(p.Rank()+1)%np] = s
+			in := cluster.AllToAllPayloads(p, dest, (*colstore.Slice).Clone)
+			if r := in[from]; r != nil && r.Len() > 0 {
+				disk.PutSlice(ckptPrefix+f.name, r)
+				out.ckptBytes += int64(r.Bytes())
+			}
+			continue
+		}
 		var t *record.Table
 		if disk.Has(f.name) {
 			t = disk.MustGet(f.name)
@@ -118,8 +140,8 @@ func replicateFiles(p *cluster.Proc, files []ckptFile, out *procOut) {
 func checkpointInitial(p *cluster.Proc, rawFile string, out *procOut) {
 	writeManifest(p, 0, nil, out)
 	replicateFiles(p, []ckptFile{
-		{rawFile, p.Disk().Cols(rawFile)},
-		{manifestFile, 1},
+		{rawFile, p.Disk().Cols(rawFile), false},
+		{manifestFile, 1, false},
 	}, out)
 }
 
@@ -131,11 +153,11 @@ func checkpointBoundary(p *cluster.Proc, cfg Config, sel []lattice.ViewID, from,
 	var files []ckptFile
 	for i := from; i < upTo; i++ {
 		for _, v := range lattice.PartitionSubset(i, cfg.D, sel) {
-			files = append(files, ckptFile{ViewFile(v), v.Count()})
+			files = append(files, ckptFile{ViewFile(v), v.Count(), true})
 		}
 	}
 	writeManifest(p, upTo, completedViews(cfg.D, sel, upTo), out)
-	files = append(files, ckptFile{manifestFile, 1})
+	files = append(files, ckptFile{manifestFile, 1, false})
 	replicateFiles(p, files, out)
 }
 
@@ -201,20 +223,24 @@ func recoverOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.Vi
 	}
 
 	// Rebalance the completed views — including the adopter's doubled
-	// slices — across the survivors with Adaptive–Sample–Sort.
+	// slices — across the survivors with Adaptive–Sample–Sort, then
+	// re-seal them: rebalancing leaves slices in row form.
 	for _, v := range completed {
 		samplesort.SortPresorted(p, ViewFile(v), cfg.MergeGamma, cfg.Agg)
+		if disk.Has(ViewFile(v)) {
+			disk.Seal(ViewFile(v))
+		}
 	}
 
 	// Re-arm the protocol on the shrunken ring so a further crash is
 	// recoverable: fresh manifest, fresh replicas of the raw share and
 	// every completed view.
 	writeManifest(p, resume, completed, out)
-	files := []ckptFile{{rawFile, cfg.D}}
+	files := []ckptFile{{rawFile, cfg.D, false}}
 	for _, v := range completed {
-		files = append(files, ckptFile{ViewFile(v), v.Count()})
+		files = append(files, ckptFile{ViewFile(v), v.Count(), true})
 	}
-	files = append(files, ckptFile{manifestFile, 1})
+	files = append(files, ckptFile{manifestFile, 1, false})
 	replicateFiles(p, files, out)
 
 	cluster.Barrier(p)

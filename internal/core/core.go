@@ -86,6 +86,13 @@ type Config struct {
 	// Agg is the aggregate operator applied to measures (default
 	// record.OpSum; COUNT is OpSum over unit measures).
 	Agg record.AggOp
+	// Cards, when len(Cards) == D, gives the per-dimension effective
+	// cardinalities (in raw column order, post attribute-value
+	// reordering). They drive caller-supplied KeyPlans for the external
+	// sorts — skipping per-run width measurement and widening the
+	// packed-kernel window — and are stored with the cube for query-time
+	// planning. Optional: nil falls back to measured plans.
+	Cards []int
 	// MinSupport, when > 0, builds an iceberg cube (Beyer-Ramakrishnan;
 	// Ng et al. [18] on PC clusters): only groups whose aggregate is >=
 	// MinSupport are kept in the output views. The filter is applied to
@@ -253,8 +260,16 @@ type Metrics struct {
 	Resorts               int // views re-sorted during merge (local-tree mode)
 	CaseCounts            map[mergepart.Case]int
 	OutputRows            int64
-	OutputBytes           int64
-	ViewRows              map[lattice.ViewID]int64
+	// OutputBytes is the row-format size of the output views (the
+	// uncompressed baseline); OutputBytesStored is the modelled on-disk
+	// size after columnar compression — equal to OutputBytes when the
+	// columnar store is disabled.
+	OutputBytes       int64
+	OutputBytesStored int64
+	ViewRows          map[lattice.ViewID]int64
+	// ViewBytesStored is the per-view modelled on-disk size, summed over
+	// the per-rank slices as the storage layer reports them.
+	ViewBytesStored map[lattice.ViewID]int64
 	// ViewOrders records each selected view's materialized attribute
 	// order (the merge target order agreed by P0).
 	ViewOrders map[lattice.ViewID]lattice.Order
@@ -465,7 +480,15 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 	raw := disk.MustGet(rawFile)
 	clk.AddCompute(costmodel.ScanOps(raw.Len()))
 	disk.Put(rootFile, raw.Project([]int(rootOrder)))
-	extsort.Sort(disk, rootFile)
+	if len(cfg.Cards) == d {
+		pc := make([]int, len(rootOrder))
+		for j, col := range rootOrder {
+			pc[j] = cfg.Cards[col]
+		}
+		extsort.SortPlan(disk, rootFile, record.PlanKeyFromCards(pc))
+	} else {
+		extsort.Sort(disk, rootFile)
+	}
 	localAggregate(p, rootFile, cfg.Agg)
 	// 1b: global sort of the union of the local roots.
 	sres := samplesort.Sort(p, rootFile, cfg.Gamma)
@@ -507,6 +530,13 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 		obs.cases[r.Case]++
 		if cfg.MinSupport > 0 {
 			icebergFilter(p, ViewFile(v), cfg.MinSupport)
+		}
+		// Rewrite the finished slice in the columnar compressed layout
+		// (no-op when the columnar store is disabled): every later
+		// consumer — checkpoints, persist, snapshots, queries — reads it
+		// at the compressed size.
+		if disk.Has(ViewFile(v)) {
+			disk.Seal(ViewFile(v))
 		}
 	}
 	// Drop intermediate views a partial plan materialized.
@@ -674,16 +704,21 @@ func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []
 			met.SchedTrees[i] = obs.tree
 		}
 	}
+	met.ViewBytesStored = map[lattice.ViewID]int64{}
 	for _, v := range sel {
-		var rows int64
+		var rows, stored int64
 		for r := 0; r < m.P(); r++ {
-			if n := m.Proc(r).Disk().Len(ViewFile(v)); n > 0 {
+			disk := m.Proc(r).Disk()
+			if n := disk.Len(ViewFile(v)); n > 0 {
 				rows += int64(n)
+				stored += int64(disk.StoredBytes(ViewFile(v)))
 			}
 		}
 		met.ViewRows[v] = rows
+		met.ViewBytesStored[v] = stored
 		met.OutputRows += rows
 		met.OutputBytes += rows * int64(record.RowBytes(v.Count()))
+		met.OutputBytesStored += stored
 	}
 	return met
 }

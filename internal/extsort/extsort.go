@@ -36,9 +36,23 @@ func Sort(d *simdisk.Disk, name string) int {
 	return SortBudget(d, name, d.Clock().Params().MemoryBytes, d.Clock().Params().BlockSize)
 }
 
+// SortPlan is Sort with a caller-supplied key plan, typically built
+// from the schema's (reordered) cardinalities with PlanKeyFromCards.
+// A usable plan (packable, matching column count) lets run formation
+// skip the per-run width measurement scan and guarantees the packed
+// merge path; an unusable plan falls back to Sort's measured behaviour.
+// Simulated charges are identical either way.
+func SortPlan(d *simdisk.Disk, name string, kp record.KeyPlan) int {
+	return sortBudget(d, name, d.Clock().Params().MemoryBytes, d.Clock().Params().BlockSize, kp, true)
+}
+
 // SortBudget is Sort with an explicit memory budget and block size in
 // bytes, for tests and ablations.
 func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
+	return sortBudget(d, name, memBytes, blockBytes, record.KeyPlan{}, false)
+}
+
+func sortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int, callerPlan record.KeyPlan, haveCaller bool) int {
 	n := d.Len(name)
 	if n < 0 {
 		panic(fmt.Sprintf("extsort: file %q does not exist", name))
@@ -57,23 +71,30 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 		blockRows = 1
 	}
 	clk := d.Clock()
+	// A caller plan is usable when it can drive the radix/packed path
+	// outright; otherwise behave exactly like the measured variant.
+	useCaller := haveCaller && record.KernelsEnabled() && callerPlan.Cols() == cols && callerPlan.Packable()
 
 	if n <= memRows {
 		// Fits in memory: one read, in-memory sort, one write.
 		t := d.ReadRange(name, 0, n)
 		clk.AddCompute(costmodel.SortOps(n))
-		t.Sort()
+		t.SortWithPlan(callerPlan, useCaller)
 		d.Remove(name)
 		d.Put(name, t)
 		return 0
 	}
 
 	// Run formation. Each run's key widths are measured while it is in
-	// memory; the union plan is valid for every row of the file and
-	// drives the packed-key merge passes below.
+	// memory — unless the caller supplied a usable plan, which skips
+	// the measurement scan; the resulting plan is valid for every row
+	// of the file and drives the packed-key merge passes below.
 	var runs []string
 	var plan record.KeyPlan
 	havePlan := false
+	if useCaller {
+		plan, havePlan = callerPlan, true
+	}
 	for lo, i := 0, 0; lo < n; lo, i = lo+memRows, i+1 {
 		hi := lo + memRows
 		if hi > n {
@@ -81,8 +102,8 @@ func SortBudget(d *simdisk.Disk, name string, memBytes, blockBytes int) int {
 		}
 		run := d.ReadRange(name, lo, hi)
 		clk.AddCompute(costmodel.SortOps(run.Len()))
-		run.Sort()
-		if record.KernelsEnabled() {
+		run.SortWithPlan(callerPlan, useCaller)
+		if !useCaller && record.KernelsEnabled() {
 			p := record.MeasureKeyPlan(run)
 			if !havePlan {
 				plan, havePlan = p, true

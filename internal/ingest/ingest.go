@@ -87,6 +87,10 @@ type Config struct {
 	SampleCap int
 	// Agg is the aggregate operator (default record.OpSum).
 	Agg record.AggOp
+	// Cards optionally carries the per-dimension effective
+	// cardinalities (core Config.Cards): delta external sorts then run
+	// with caller-supplied key plans instead of measuring per run.
+	Cards []int
 	// OverlapComm runs the delta h-relations on the overlap lane.
 	OverlapComm bool
 	// Faults, when non-nil, installs a fault-injection plan for the
@@ -170,6 +174,10 @@ type Result struct {
 	// ViewRows is the post-merge global row count of every selected
 	// view.
 	ViewRows map[lattice.ViewID]int64
+	// ViewBytesStored is the post-merge modelled on-disk size of every
+	// selected view, as the storage layer reports it (compressed for
+	// sealed slices).
+	ViewBytesStored map[lattice.ViewID]int64
 }
 
 // AddTo folds the batch into build metrics, maintaining the
@@ -205,6 +213,16 @@ func (r Result) AddTo(met *core.Metrics) {
 	for v, rows := range met.ViewRows {
 		met.OutputRows += rows
 		met.OutputBytes += rows * int64(record.RowBytes(v.Count()))
+	}
+	if met.ViewBytesStored == nil {
+		met.ViewBytesStored = map[lattice.ViewID]int64{}
+	}
+	for v, b := range r.ViewBytesStored {
+		met.ViewBytesStored[v] = b
+	}
+	met.OutputBytesStored = 0
+	for _, b := range met.ViewBytesStored {
+		met.OutputBytesStored += b
 	}
 }
 
@@ -290,6 +308,7 @@ func IngestBatch(m *cluster.Machine, batch *record.Table, cfg Config) (Result, e
 		CaseCounts:      map[mergepart.Case]int{},
 		Changed:         map[lattice.ViewID]bool{},
 		ViewRows:        map[lattice.ViewID]int64{},
+		ViewBytesStored: map[lattice.ViewID]int64{},
 	}
 	for _, out := range outs {
 		for name, sec := range out.phase {
@@ -308,6 +327,13 @@ func IngestBatch(m *cluster.Machine, batch *record.Table, cfg Config) (Result, e
 	res.DeltaMergeSeconds = res.PhaseSeconds[PhaseDeltaMerge]
 	for _, v := range sel {
 		res.ViewRows[v] = core.ViewGlobalRows(m, v)
+		var stored int64
+		for r := 0; r < m.P(); r++ {
+			if b := m.Proc(r).Disk().StoredBytes(core.ViewFile(v)); b > 0 {
+				stored += int64(b)
+			}
+		}
+		res.ViewBytesStored[v] = stored
 	}
 	return res, nil
 }
@@ -363,6 +389,9 @@ func ingestOnProc(p *cluster.Proc, batch *record.Table, cfg Config, sel []lattic
 		if sf := stageFile(v); disk.Has(sf) {
 			disk.Remove(core.ViewFile(v))
 			disk.Rename(sf, core.ViewFile(v))
+			// Staged slices are row-form; re-seal the replaced view so the
+			// live cube stays columnar (local charge only, no collective).
+			disk.Seal(core.ViewFile(v))
 		}
 	}
 	disk.Remove(BatchFile)
@@ -388,7 +417,15 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 	b := disk.MustGet(BatchFile)
 	clk.AddCompute(costmodel.ScanOps(b.Len()))
 	disk.Put(rootDelta, b.Project([]int(rootOrder)))
-	extsort.Sort(disk, rootDelta)
+	if len(cfg.Cards) == d {
+		pc := make([]int, len(rootOrder))
+		for j, col := range rootOrder {
+			pc[j] = cfg.Cards[col]
+		}
+		extsort.SortPlan(disk, rootDelta, record.PlanKeyFromCards(pc))
+	} else {
+		extsort.Sort(disk, rootDelta)
+	}
 	localAggregate(p, rootDelta, cfg.Agg)
 
 	// Boundary-aligned Adaptive–Sample–Sort: the live root's gathered

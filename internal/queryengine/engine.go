@@ -609,9 +609,16 @@ func (e *Engine) sliceIndex(pr *cluster.Proc, v lattice.ViewID, file string) *In
 	if ix != nil {
 		return ix
 	}
-	t := pr.Disk().MustGet(file) // charged full read
-	pr.Clock().AddCompute(costmodel.ScanOps(t.Len()))
-	ix = BuildIndex(t)
+	if s, ok := pr.Disk().GetForIndex(file); ok {
+		// Sealed slice: the index is the leading column's run directory,
+		// read directly — GetForIndex charged just that column.
+		ix = BuildIndexSlice(s)
+		pr.Clock().AddCompute(costmodel.ScanOps(ix.Runs()))
+	} else {
+		t := pr.Disk().MustGet(file) // charged full read
+		pr.Clock().AddCompute(costmodel.ScanOps(t.Len()))
+		ix = BuildIndex(t)
+	}
 	e.stateMu.Lock()
 	e.indexes[key] = ix
 	e.stateMu.Unlock()

@@ -3,9 +3,33 @@ package queryengine
 import (
 	"sort"
 
+	"repro/internal/colstore"
 	"repro/internal/costmodel"
 	"repro/internal/record"
 )
+
+// rowsAccessor is the random-access row view an Index resolves deep
+// prefix columns against: satisfied by *record.Table and by
+// *colstore.Slice, so an index over a sealed slice never needs the
+// full decode.
+type rowsAccessor interface {
+	Len() int
+	Dim(i, j int) uint32
+}
+
+// compareRowKey compares row i's leading columns against key,
+// lexicographically (record.CompareRowKey over the accessor).
+func compareRowKey(r rowsAccessor, i int, key []uint32) int {
+	for j, k := range key {
+		if v := r.Dim(i, j); v != k {
+			if v < k {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
 
 // Index is the sorted-prefix index of one processor's local slice of
 // one materialized view. The slice is stored globally sorted in the
@@ -19,7 +43,8 @@ import (
 // Views are immutable once built, so an Index never invalidates. The
 // table reference is shared read-only with the owning disk.
 type Index struct {
-	t *record.Table
+	rows rowsAccessor
+	d    int
 	// vals[i] is the i-th distinct value of the leading sort column;
 	// starts[i] is its first row. starts has one extra element, the
 	// slice length, so run i spans rows [starts[i], starts[i+1]).
@@ -32,7 +57,7 @@ type Index struct {
 // zero-dimension (grand total) view have no sort column and get an
 // index that never matches.
 func BuildIndex(t *record.Table) *Index {
-	ix := &Index{t: t}
+	ix := &Index{rows: t, d: t.D}
 	if t.D == 0 {
 		return ix
 	}
@@ -48,8 +73,21 @@ func BuildIndex(t *record.Table) *Index {
 	return ix
 }
 
+// BuildIndexSlice builds the prefix index of a sealed columnar slice
+// straight from its leading column's run directory — no decode, no
+// full scan; the caller charges only the leading-column read. Deep
+// prefix lookups binary-search the slice's columns in place.
+func BuildIndexSlice(s *colstore.Slice) *Index {
+	ix := &Index{rows: s, d: s.D()}
+	if s.D() == 0 {
+		return ix
+	}
+	ix.vals, ix.starts = s.LeadingRuns()
+	return ix
+}
+
 // Len returns the indexed slice's row count.
-func (ix *Index) Len() int { return ix.t.Len() }
+func (ix *Index) Len() int { return ix.rows.Len() }
 
 // Runs returns the number of distinct leading-column values.
 func (ix *Index) Runs() int { return len(ix.vals) }
@@ -61,7 +99,7 @@ func (ix *Index) Runs() int { return len(ix.vals) }
 // caller to charge on the simulated clock. At least one of eq and rng
 // must be non-empty; a slice with no sort column matches nothing.
 func (ix *Index) Lookup(eq []uint32, rng *[2]uint32) (lo, hi int, ops float64) {
-	if ix.t.D == 0 || len(ix.vals) == 0 {
+	if ix.d == 0 || len(ix.vals) == 0 {
 		return 0, 0, 0
 	}
 	if len(eq) == 0 {
@@ -93,10 +131,10 @@ func (ix *Index) Lookup(eq []uint32, rng *[2]uint32) (lo, hi int, ops float64) {
 	n := runHi - runLo
 	ops += 2 * costmodel.SearchOps(n)
 	lo = runLo + sort.Search(n, func(i int) bool {
-		return record.CompareRowKey(ix.t, runLo+i, loKey) >= 0
+		return compareRowKey(ix.rows, runLo+i, loKey) >= 0
 	})
 	hi = runLo + sort.Search(n, func(i int) bool {
-		return record.CompareRowKey(ix.t, runLo+i, hiKey) > 0
+		return compareRowKey(ix.rows, runLo+i, hiKey) > 0
 	})
 	return lo, hi, ops
 }

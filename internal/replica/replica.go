@@ -33,7 +33,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/faults"
+	"repro/internal/record"
 )
 
 // ErrClosed is returned by Acquire and WaitCaughtUp after Close.
@@ -67,6 +69,10 @@ type Batch struct {
 	Seq  uint64
 	Rows [][]uint32
 	Meas []int64
+	// Bytes is the modelled on-wire size of the batch, fixed at Commit:
+	// the columnar compressed image when the columnar store is enabled,
+	// the row-format size otherwise.
+	Bytes int
 }
 
 // Node is one replica's serving state: a cube bootstrapped from a
@@ -150,6 +156,13 @@ type Stats struct {
 	// the staleness bound (or breaker-admitted).
 	Routed int64
 	Waits  int64
+	// SnapshotShipBytes totals the snapshot bytes shipped to bootstrap
+	// replicas (initial bootstraps and crash-recovery re-bootstraps);
+	// DeltaShipBytes totals the modelled on-wire bytes of shipped delta
+	// batches. Both shrink under the columnar store: snapshots are
+	// persist-v3 images and delta batches ship compressed.
+	SnapshotShipBytes int64
+	DeltaShipBytes    int64
 	// BreakerOpens, BreakerProbes, and BreakerCloses total the
 	// circuit-breaker transitions across all replicas.
 	BreakerOpens  int64
@@ -199,6 +212,12 @@ type Group struct {
 
 	routed int64
 	waits  int64
+
+	// Modelled replication traffic: snapshot bytes shipped to bootstrap
+	// replicas (initial and re-bootstraps) and delta-batch bytes shipped
+	// to advance them.
+	snapShipBytes  int64
+	deltaShipBytes int64
 }
 
 // Lease is one read's reservation on a replica. Release must be called
@@ -277,6 +296,7 @@ func New(cfg Config, snapshot []byte, snapSeq uint64) (*Group, error) {
 		if err != nil {
 			return nil, fmt.Errorf("replica %d: bootstrap: %w", i, err)
 		}
+		g.snapShipBytes += int64(len(snapshot))
 		g.reps = append(g.reps, &rep{node: node, applied: snapSeq, bootstraps: 1, br: newBreaker(cfg.Breaker)})
 	}
 	for i := range g.reps {
@@ -294,9 +314,27 @@ func (g *Group) Commit(rows [][]uint32, meas []int64) uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.leaderSeq++
-	g.log = append(g.log, Batch{Seq: g.leaderSeq, Rows: rows, Meas: meas})
+	g.log = append(g.log, Batch{Seq: g.leaderSeq, Rows: rows, Meas: meas, Bytes: batchBytes(rows, meas)})
 	g.cond.Broadcast()
 	return g.leaderSeq
+}
+
+// batchBytes models one delta batch's on-wire size: the columnar
+// compressed image when the columnar store is enabled, the row-format
+// size otherwise. Deterministic — the same rows always cost the same
+// bytes, so ship-byte totals are reproducible across runs.
+func batchBytes(rows [][]uint32, meas []int64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	t := record.New(len(rows[0]), len(rows))
+	for i, r := range rows {
+		t.Append(r, meas[i])
+	}
+	if colstore.Enabled() {
+		return colstore.Encode(t).Bytes()
+	}
+	return t.Bytes()
 }
 
 // SetSnapshot installs a fresh bootstrap snapshot taken at batch
@@ -540,11 +578,13 @@ func (g *Group) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	s := Stats{
-		LeaderSeq: g.leaderSeq,
-		SnapSeq:   g.snapSeq,
-		LogLen:    len(g.log),
-		Routed:    g.routed,
-		Waits:     g.waits,
+		LeaderSeq:         g.leaderSeq,
+		SnapSeq:           g.snapSeq,
+		LogLen:            len(g.log),
+		Routed:            g.routed,
+		Waits:             g.waits,
+		SnapshotShipBytes: g.snapShipBytes,
+		DeltaShipBytes:    g.deltaShipBytes,
 	}
 	for _, r := range g.reps {
 		st := ReplicaStat{
@@ -721,6 +761,7 @@ func (g *Group) ship(i int) {
 				r.applied = seq
 				r.down = false
 				r.bootstraps++
+				g.snapShipBytes += int64(len(snap))
 			}
 			g.cond.Broadcast()
 			continue
@@ -734,6 +775,8 @@ func (g *Group) ship(i int) {
 			continue
 		}
 		node := r.node
+		// The batch is on the wire whether or not the apply succeeds.
+		g.deltaShipBytes += int64(b.Bytes)
 		g.mu.Unlock()
 		g.stallShip(i, b.Seq)
 		if g.cfg.BeforeApply != nil {

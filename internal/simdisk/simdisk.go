@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/colstore"
 	"repro/internal/costmodel"
 	"repro/internal/record"
 )
@@ -36,11 +37,21 @@ func (s Stats) BlockTransfers(b int) int64 {
 	return (s.BytesRead+int64(b)-1)/int64(b) + (s.BytesWritten+int64(b)-1)/int64(b)
 }
 
-// file is one stored table plus its uncharged metadata (e.g. the
-// online spaced sample captured while the file was written, §2.4).
+// file is one stored view slice plus its uncharged metadata (e.g. the
+// online spaced sample captured while the file was written, §2.4). The
+// payload sits behind colstore.Store: freshly written files are
+// row-oriented (TableStore); sealed files hold the columnar compressed
+// image (*colstore.Slice) and charge I/O at compressed sizes.
 type file struct {
-	t    *record.Table
+	st   colstore.Store
 	meta any
+}
+
+// slice returns the columnar image if the file is sealed, nil if it is
+// row-oriented.
+func (f *file) slice() *colstore.Slice {
+	s, _ := f.st.(*colstore.Slice)
+	return s
 }
 
 // Disk is the private simulated disk of one processor.
@@ -74,34 +85,128 @@ func (d *Disk) chargeWrite(bytes int) {
 }
 
 // Put stores t under name, replacing any existing file, and charges a
-// sequential write of the table. The disk takes ownership of t.
+// sequential write of the table. The disk takes ownership of t. The
+// file is row-oriented; Seal converts it to the columnar layout.
 func (d *Disk) Put(name string, t *record.Table) {
 	d.chargeWrite(t.Bytes())
-	d.files[name] = &file{t: t}
+	d.files[name] = &file{st: colstore.TableStore{T: t}}
+}
+
+// PutSlice stores an already-encoded columnar slice under name,
+// charging a sequential write of the compressed image. The disk takes
+// ownership of s. It is how persist v3 and compressed replication land
+// shipped slices without a decode/re-encode round trip.
+func (d *Disk) PutSlice(name string, s *colstore.Slice) {
+	d.chargeWrite(s.Bytes())
+	d.files[name] = &file{st: s}
+}
+
+// Seal rewrites the named row-oriented file in the columnar compressed
+// layout. Real systems fold the encode into the write that produced
+// the file, paying compressed bytes instead of row bytes; our producer
+// already charged the (larger) row-format write, so sealing charges
+// only the encode's compute scan — a conservative upper bound on total
+// I/O — and every subsequent read of the file pays compressed bytes.
+// It reports whether the file is sealed afterwards: a no-op returning
+// false when the columnar store is disabled, true without charge if
+// already sealed. Panics if the file does not exist.
+func (d *Disk) Seal(name string) bool {
+	f, ok := d.files[name]
+	if !ok {
+		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
+	}
+	if !colstore.Enabled() {
+		return f.slice() != nil
+	}
+	if f.slice() != nil {
+		return true
+	}
+	s := colstore.Encode(f.st.Table())
+	d.clock.AddCompute(costmodel.ScanOps(s.Len()))
+	f.st = s
+	return true
+}
+
+// Sealed reports whether the named file is stored columnar. Missing
+// files report false.
+func (d *Disk) Sealed(name string) bool {
+	f, ok := d.files[name]
+	return ok && f.slice() != nil
+}
+
+// GetSlice returns shared read-only access to the columnar image of a
+// sealed file, charging a sequential read of the compressed bytes. It
+// returns false if the file is absent or row-oriented. Callers must
+// not mutate the returned slice.
+func (d *Disk) GetSlice(name string) (*colstore.Slice, bool) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, false
+	}
+	s := f.slice()
+	if s == nil {
+		return nil, false
+	}
+	d.chargeRead(s.Bytes())
+	return s, true
+}
+
+// GetForIndex returns the columnar image of a sealed file charging
+// only a read of its leading column — the prefix-index build path,
+// which needs the sort-prefix run directory but no other columns.
+// Returns false if the file is absent or row-oriented.
+func (d *Disk) GetForIndex(name string) (*colstore.Slice, bool) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, false
+	}
+	s := f.slice()
+	if s == nil {
+		return nil, false
+	}
+	d.chargeRead(colstore.SliceHeaderBytes + s.ColumnBytes(0))
+	return s, true
 }
 
 // Append appends the rows of t to the named file, creating it if
 // absent, and charges a sequential write of the appended rows. The
-// existing file's column count must match.
+// existing file's column count must match. Appending to a sealed file
+// first materializes it back to row form, charging a sequential read
+// of the compressed image.
 func (d *Disk) Append(name string, t *record.Table) {
 	d.chargeWrite(t.Bytes())
 	if f, ok := d.files[name]; ok {
-		f.t.AppendTable(t)
+		d.materialize(f)
+		f.st.Table().AppendTable(t)
 		return
 	}
-	d.files[name] = &file{t: t.Clone()}
+	d.files[name] = &file{st: colstore.TableStore{T: t.Clone()}}
+}
+
+// materialize converts a sealed file back to row form in place,
+// charging a read of the compressed image. Row files are untouched.
+func (d *Disk) materialize(f *file) {
+	if s := f.slice(); s != nil {
+		d.chargeRead(s.Bytes())
+		f.st = colstore.TableStore{T: s.Decode()}
+	}
 }
 
 // Take removes the named file and returns its table, charging a full
-// sequential read. Ownership transfers to the caller.
+// sequential read (at the compressed size if sealed). Ownership
+// transfers to the caller: for sealed files the returned table is a
+// fresh decode, never the shared cache Get hands out.
 func (d *Disk) Take(name string) (*record.Table, bool) {
 	f, ok := d.files[name]
 	if !ok {
 		return nil, false
 	}
-	d.chargeRead(f.t.Bytes())
+	d.chargeRead(f.st.Bytes())
 	delete(d.files, name)
-	return f.t, true
+	if s := f.slice(); s != nil {
+		return s.Decode(), true
+	}
+	return f.st.Table(), true
 }
 
 // MustTake is Take but panics if the file does not exist. It is used
@@ -116,14 +221,16 @@ func (d *Disk) MustTake(name string) *record.Table {
 }
 
 // Get returns shared read-only access to the named file, charging a
-// full sequential read. The caller must not mutate the returned table.
+// full sequential read (at the compressed size if sealed). The caller
+// must not mutate the returned table; sealed files hand out a shared
+// cached decode.
 func (d *Disk) Get(name string) (*record.Table, bool) {
 	f, ok := d.files[name]
 	if !ok {
 		return nil, false
 	}
-	d.chargeRead(f.t.Bytes())
-	return f.t, true
+	d.chargeRead(f.st.Bytes())
+	return f.st.Table(), true
 }
 
 // MustGet is Get but panics if the file does not exist.
@@ -143,11 +250,15 @@ func (d *Disk) ReadRange(name string, lo, hi int) *record.Table {
 	if !ok {
 		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
 	}
-	if lo < 0 || hi > f.t.Len() || lo > hi {
-		panic(fmt.Sprintf("simdisk: range [%d,%d) out of bounds for %q (%d rows)", lo, hi, name, f.t.Len()))
+	if lo < 0 || hi > f.st.Len() || lo > hi {
+		panic(fmt.Sprintf("simdisk: range [%d,%d) out of bounds for %q (%d rows)", lo, hi, name, f.st.Len()))
 	}
-	d.chargeRead((hi - lo) * record.RowBytes(f.t.D))
-	return f.t.Sub(lo, hi)
+	if s := f.slice(); s != nil {
+		d.chargeRead(s.RangeBytes(lo, hi))
+		return s.DecodeRange(lo, hi)
+	}
+	d.chargeRead((hi - lo) * record.RowBytes(f.st.D()))
+	return f.st.Table().Sub(lo, hi)
 }
 
 // Has reports whether the named file exists.
@@ -163,7 +274,17 @@ func (d *Disk) Len(name string) int {
 	if !ok {
 		return -1
 	}
-	return f.t.Len()
+	return f.st.Len()
+}
+
+// StoredBytes returns the modelled on-disk size of the named file
+// (compressed if sealed) without charging I/O, or -1 if absent.
+func (d *Disk) StoredBytes(name string) int {
+	f, ok := d.files[name]
+	if !ok {
+		return -1
+	}
+	return f.st.Bytes()
 }
 
 // Cols returns the column count of the named file without charging I/O
@@ -173,7 +294,7 @@ func (d *Disk) Cols(name string) int {
 	if !ok {
 		return -1
 	}
-	return f.t.D
+	return f.st.D()
 }
 
 // Rename renames a file without charging I/O (metadata operation),
@@ -192,14 +313,16 @@ func (d *Disk) Rename(from, to string) {
 // touchedBytes of I/O (an in-place update of a few records, e.g. the
 // boundary-item agglomeration of Merge–Partitions, rather than a full
 // rewrite). fn may return the same table or a replacement; metadata is
-// preserved.
+// preserved. Mutating a sealed file first materializes it back to row
+// form, charging a sequential read of the compressed image.
 func (d *Disk) Mutate(name string, touchedBytes int, fn func(*record.Table) *record.Table) {
 	f, ok := d.files[name]
 	if !ok {
 		panic(fmt.Sprintf("simdisk: file %q does not exist", name))
 	}
+	d.materialize(f)
 	d.chargeWrite(touchedBytes)
-	f.t = fn(f.t)
+	f.st = colstore.TableStore{T: fn(f.st.Table())}
 }
 
 // SetMeta attaches uncharged metadata to an existing file (for
@@ -240,11 +363,12 @@ func (d *Disk) Files() []string {
 	return names
 }
 
-// TotalBytes returns the total modelled size of all files on the disk.
+// TotalBytes returns the total modelled size of all files on the disk,
+// counting sealed files at their compressed size.
 func (d *Disk) TotalBytes() int64 {
 	var s int64
 	for _, f := range d.files {
-		s += int64(f.t.Bytes())
+		s += int64(f.st.Bytes())
 	}
 	return s
 }

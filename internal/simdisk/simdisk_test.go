@@ -3,6 +3,7 @@ package simdisk
 import (
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/costmodel"
 	"repro/internal/record"
 )
@@ -273,5 +274,177 @@ func TestLenColsOnMissing(t *testing.T) {
 	d := newDisk()
 	if d.Len("x") != -1 || d.Cols("x") != -1 {
 		t.Fatal("missing file metadata should be -1")
+	}
+}
+
+// sortedTable builds a sorted, aggregated table so sealing compresses.
+func sortedTable(n int) *record.Table {
+	t := record.New(3, n)
+	for i := 0; i < n; i++ {
+		t.Append([]uint32{uint32(i / 100), uint32(i / 10 % 10), uint32(i % 10)}, int64(i))
+	}
+	t.Sort()
+	return record.AggregateSortedOp(t, t.D, record.OpSum)
+}
+
+func TestSealCompressesAndRoundTrips(t *testing.T) {
+	d := newDisk()
+	src := sortedTable(2000)
+	want := src.Clone()
+	d.Put("f", src)
+	rowBytes := d.StoredBytes("f")
+	if d.Sealed("f") {
+		t.Fatal("fresh Put reported sealed")
+	}
+	if !d.Seal("f") {
+		t.Fatal("Seal failed with colstore enabled")
+	}
+	if !d.Sealed("f") {
+		t.Fatal("Sealed false after Seal")
+	}
+	if d.StoredBytes("f") >= rowBytes {
+		t.Fatalf("sealed %d bytes >= row %d bytes", d.StoredBytes("f"), rowBytes)
+	}
+	if got := d.MustGet("f"); !record.Equal(got, want) {
+		t.Fatal("Get after Seal mismatch")
+	}
+	if d.Len("f") != want.Len() || d.Cols("f") != want.D {
+		t.Fatal("metadata wrong on sealed file")
+	}
+	got := d.MustTake("f")
+	if !record.Equal(got, want) {
+		t.Fatal("Take after Seal mismatch")
+	}
+}
+
+func TestSealedReadsChargeCompressedBytes(t *testing.T) {
+	d := newDisk()
+	d.Put("f", sortedTable(2000))
+	d.Seal("f")
+	cb := d.StoredBytes("f")
+	before := d.Stats()
+	d.MustGet("f")
+	st := d.Stats()
+	if got := st.BytesRead - before.BytesRead; got != int64(cb) {
+		t.Fatalf("sealed Get charged %d bytes, want compressed %d", got, cb)
+	}
+	s, ok := d.GetSlice("f")
+	if !ok || s.Bytes() != cb {
+		t.Fatal("GetSlice broken on sealed file")
+	}
+	before = d.Stats()
+	if _, ok := d.GetForIndex("f"); !ok {
+		t.Fatal("GetForIndex failed on sealed file")
+	}
+	st = d.Stats()
+	idx := st.BytesRead - before.BytesRead
+	if idx <= 0 || idx >= int64(cb) {
+		t.Fatalf("GetForIndex charged %d bytes, want in (0,%d)", idx, cb)
+	}
+	before = d.Stats()
+	sub := d.ReadRange("f", 10, 20)
+	if sub.Len() != 10 {
+		t.Fatal("sealed ReadRange wrong length")
+	}
+	st = d.Stats()
+	rb := st.BytesRead - before.BytesRead
+	if rb <= 0 || rb > int64(cb)+int64(colstore.SliceHeaderBytes) {
+		t.Fatalf("sealed ReadRange charged %d bytes", rb)
+	}
+}
+
+func TestGetSliceOnRowFile(t *testing.T) {
+	d := newDisk()
+	d.Put("f", table(5))
+	if _, ok := d.GetSlice("f"); ok {
+		t.Fatal("GetSlice succeeded on row file")
+	}
+	if _, ok := d.GetForIndex("f"); ok {
+		t.Fatal("GetForIndex succeeded on row file")
+	}
+	if _, ok := d.GetSlice("missing"); ok {
+		t.Fatal("GetSlice succeeded on missing file")
+	}
+}
+
+func TestAppendAndMutateMaterializeSealed(t *testing.T) {
+	d := newDisk()
+	d.Put("f", sortedTable(500))
+	d.Seal("f")
+	d.Append("f", sortedTable(500).Sub(0, 10))
+	if d.Sealed("f") {
+		t.Fatal("Append left the file sealed")
+	}
+	if d.Len("f") != sortedTable(500).Len()+10 {
+		t.Fatal("Append lost rows on sealed file")
+	}
+	d.Seal("f")
+	d.Mutate("f", 8, func(tb *record.Table) *record.Table {
+		tb.SetMeas(0, -99)
+		return tb
+	})
+	if d.Sealed("f") {
+		t.Fatal("Mutate left the file sealed")
+	}
+	if d.MustGet("f").Meas(0) != -99 {
+		t.Fatal("Mutate lost on sealed file")
+	}
+}
+
+func TestTakeSealedReturnsFreshDecode(t *testing.T) {
+	d := newDisk()
+	d.Put("f", sortedTable(300))
+	d.Seal("f")
+	shared := d.MustGet("f")
+	taken := d.MustTake("f")
+	if taken == shared {
+		t.Fatal("Take returned the shared cached decode")
+	}
+	taken.SetMeas(0, 12345)
+	if shared.Meas(0) == 12345 {
+		t.Fatal("Take aliased the shared cache")
+	}
+}
+
+func TestSealDisabledIsNoOp(t *testing.T) {
+	prev := colstore.SetEnabled(false)
+	defer colstore.SetEnabled(prev)
+	d := newDisk()
+	d.Put("f", sortedTable(200))
+	if d.Seal("f") {
+		t.Fatal("Seal sealed with colstore disabled")
+	}
+	if d.Sealed("f") {
+		t.Fatal("file sealed with colstore disabled")
+	}
+}
+
+func TestPutSlice(t *testing.T) {
+	d := newDisk()
+	src := sortedTable(400)
+	s := colstore.Encode(src)
+	d.PutSlice("f", s)
+	if !d.Sealed("f") || d.StoredBytes("f") != s.Bytes() {
+		t.Fatal("PutSlice metadata wrong")
+	}
+	st := d.Stats()
+	if st.BytesWritten != int64(s.Bytes()) {
+		t.Fatalf("PutSlice charged %d bytes, want %d", st.BytesWritten, s.Bytes())
+	}
+	if !record.Equal(d.MustGet("f"), src) {
+		t.Fatal("PutSlice content mismatch")
+	}
+}
+
+func TestSealIdempotent(t *testing.T) {
+	d := newDisk()
+	d.Put("f", sortedTable(200))
+	d.Seal("f")
+	before := d.Stats()
+	if !d.Seal("f") {
+		t.Fatal("second Seal returned false")
+	}
+	if d.Stats() != before {
+		t.Fatal("second Seal charged I/O")
 	}
 }

@@ -19,9 +19,13 @@ type Metrics struct {
 	// MergeBytes is the network volume of the Merge–Partitions phase
 	// (the paper's Figure 8b metric).
 	MergeBytes int64
-	// OutputRows and OutputBytes size the materialized cube.
-	OutputRows  int64
-	OutputBytes int64
+	// OutputRows and OutputBytes size the materialized cube in row
+	// format; OutputBytesStored is the modelled on-disk footprint after
+	// columnar compression (equal to OutputBytes when the columnar
+	// store is disabled).
+	OutputRows        int64
+	OutputBytes       int64
+	OutputBytesStored int64
 	// CommSeconds is the communication component of the makespan;
 	// MaskableCommFraction bounds the §4.1 overlap optimization.
 	// OverlappedCommSeconds is the communication actually masked behind
@@ -105,6 +109,14 @@ type ReplicaSetStats struct {
 	// staleness bound.
 	Routed         int64
 	StalenessWaits int64
+	// SnapshotShipBytes totals the snapshot bytes shipped to bootstrap
+	// replicas (initial bootstraps plus crash-recovery re-bootstraps);
+	// DeltaShipBytes totals the modelled on-wire bytes of shipped delta
+	// batches. Both shrink when the columnar store is enabled: snapshots
+	// ship as persist-v3 columnar images and delta batches ship
+	// compressed.
+	SnapshotShipBytes int64
+	DeltaShipBytes    int64
 	// Resilience totals the serving path's failure-policy activity.
 	Resilience ResilienceStats
 	// Replicas has one entry per replica, by index.
@@ -177,6 +189,7 @@ func publicMetrics(in *Input, met core.Metrics) Metrics {
 		MergeBytes:            met.BytesByPhase["merge"],
 		OutputRows:            met.OutputRows,
 		OutputBytes:           met.OutputBytes,
+		OutputBytesStored:     met.OutputBytesStored,
 		CommSeconds:           met.CommSeconds,
 		MaskableCommFraction:  met.MaskableCommFraction(),
 		OverlappedCommSeconds: met.OverlappedCommSeconds,

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/lattice"
@@ -26,6 +27,15 @@ import (
 // snapshots still load (the new fields default to zero); they serve
 // queries but reject ingest, since a v1 snapshot cannot prove it was
 // not an iceberg cube.
+//
+// Version 3 stores each view as its per-rank columnar compressed
+// slices (internal/colstore) instead of flat row arrays: files shrink
+// by the compression ratio, and loading places each slice on its rank
+// as an opaque block handle — no decode, no re-cut — so
+// cold-load-to-first-query skips the row materialization entirely.
+// Version 3 is written only while the columnar store is enabled;
+// disabling it (colstore.SetEnabled(false)) writes exact v2 files.
+// v1/v2 files still load under v3 code.
 type savedCube struct {
 	Version    int
 	Dimensions []Dimension
@@ -45,11 +55,24 @@ type savedCube struct {
 type savedView struct {
 	View  uint32
 	Order []int
-	Dims  []uint32
-	Meas  []int64
+	// Dims/Meas hold the flat row form (v1/v2).
+	Dims []uint32
+	Meas []int64
+	// Ranks/Slices hold the v3 columnar form: Slices[i] is the sealed
+	// slice of machine rank Ranks[i]. Parallel arrays rather than a
+	// rank-indexed slice because gob cannot encode nil pointers inside
+	// a slice; only present ranks are stored. Sums[i] is Slices[i]'s
+	// payload checksum, verified at load: structural validation alone
+	// cannot catch a flipped payload bit.
+	Ranks  []int
+	Slices []*colstore.Slice
+	Sums   []uint64
 }
 
-const savedCubeVersion = 2
+const (
+	savedCubeVersion         = 2
+	savedCubeVersionColumnar = 3
+)
 
 // Save serializes the cube (schema, dictionaries, metrics, every
 // materialized view, and any buffered facts) so it can be reloaded
@@ -73,8 +96,13 @@ func (c *Cube) Save(w io.Writer) error {
 // facts will arrive at the replica later as part of a shipped batch
 // and must not be double counted.
 func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
+	columnar := colstore.Enabled()
+	version := savedCubeVersion
+	if columnar {
+		version = savedCubeVersionColumnar
+	}
 	sc := savedCube{
-		Version:    savedCubeVersion,
+		Version:    version,
 		Dimensions: c.in.schema.Dimensions,
 		Dicts:      c.in.dicts,
 		Op:         int(c.op),
@@ -96,8 +124,33 @@ func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
 			}
 		}
 		for _, v := range c.views {
-			rows := c.gatherViewRaw(v)
 			sv := savedView{View: uint32(v), Order: c.orders[v]}
+			if columnar {
+				// v3: gather the sealed per-rank slices as-is — the file
+				// carries the compressed block images and their placement.
+				if c.machine != nil {
+					name := core.ViewFile(v)
+					for r := 0; r < c.machine.P(); r++ {
+						disk := c.machine.Proc(r).Disk()
+						if !disk.Has(name) || disk.Len(name) == 0 {
+							continue
+						}
+						disk.Seal(name)
+						s, _ := disk.GetSlice(name)
+						sv.Ranks = append(sv.Ranks, r)
+						sv.Slices = append(sv.Slices, s)
+						sv.Sums = append(sv.Sums, s.Checksum())
+					}
+				} else if t := c.cache[v]; t != nil && t.Len() > 0 {
+					s := colstore.Encode(t)
+					sv.Ranks = append(sv.Ranks, 0)
+					sv.Slices = append(sv.Slices, s)
+					sv.Sums = append(sv.Sums, s.Checksum())
+				}
+				sc.Views = append(sc.Views, sv)
+				continue
+			}
+			rows := c.gatherViewRaw(v)
 			n := rows.Len()
 			sv.Dims = make([]uint32, 0, n*rows.D)
 			sv.Meas = make([]int64, 0, n)
@@ -157,7 +210,7 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	if err := gob.NewDecoder(r).Decode(&sc); err != nil {
 		return nil, fmt.Errorf("rolap: loading cube: %w", err)
 	}
-	if sc.Version < 1 || sc.Version > savedCubeVersion {
+	if sc.Version < 1 || sc.Version > savedCubeVersionColumnar {
 		return nil, fmt.Errorf("rolap: unsupported cube version %d", sc.Version)
 	}
 	in, err := NewInput(Schema{Dimensions: sc.Dimensions})
@@ -199,8 +252,36 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	}
 
 	tables := map[lattice.ViewID]*record.Table{}
+	columnar := map[lattice.ViewID]bool{}
 	for _, sv := range sc.Views {
 		v := lattice.ViewID(sv.View)
+		if len(sv.Ranks) > 0 || len(sv.Slices) > 0 {
+			// v3 columnar view: validate each block and place it on its
+			// saved rank as an opaque compressed handle — no decode.
+			if len(sv.Ranks) != len(sv.Slices) {
+				return nil, fmt.Errorf("rolap: corrupt saved view %v: %d ranks, %d slices", v, len(sv.Ranks), len(sv.Slices))
+			}
+			for i, s := range sv.Slices {
+				r := sv.Ranks[i]
+				if r < 0 || r >= p || s == nil {
+					return nil, fmt.Errorf("rolap: corrupt saved view %v: bad rank %d", v, r)
+				}
+				if err := s.Validate(); err != nil {
+					return nil, fmt.Errorf("rolap: saved view %v: %w", v, err)
+				}
+				if i < len(sv.Sums) && s.Checksum() != sv.Sums[i] {
+					return nil, fmt.Errorf("rolap: saved view %v block %d: %w: checksum mismatch", v, i, colstore.ErrCorrupt)
+				}
+				if s.D() != len(sv.Order) {
+					return nil, fmt.Errorf("rolap: corrupt saved view %v: slice has %d columns, order has %d", v, s.D(), len(sv.Order))
+				}
+				m.Proc(r).Disk().PutSlice(core.ViewFile(v), s)
+			}
+			c.views = append(c.views, v)
+			c.orders[v] = lattice.Order(sv.Order)
+			columnar[v] = true
+			continue
+		}
 		dv := len(sv.Order)
 		if dv > 0 && len(sv.Dims) != len(sv.Meas)*dv {
 			return nil, fmt.Errorf("rolap: corrupt saved view %v", v)
@@ -227,16 +308,24 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	// evenly. Either way the concatenation over ranks is the view's
 	// global sorted order, so distributed queries, gathers, and later
 	// batches behave exactly like on the never-saved original.
-	rows := map[lattice.ViewID]int64{}
 	for _, v := range c.views {
+		if columnar[v] {
+			continue // already placed rank-by-rank above
+		}
 		t := tables[v]
-		rows[v] = int64(t.Len())
 		cuts := sliceCuts(v, t, c.orders, tables, d, p)
 		for r := 0; r < p; r++ {
 			if cuts[r+1] > cuts[r] {
 				m.Proc(r).Disk().Put(core.ViewFile(v), t.Sub(cuts[r], cuts[r+1]))
 			}
 		}
+	}
+
+	// Planning row counts are derived from the placed storage, not
+	// tracked separately — one source of truth for slice lengths.
+	rows := map[lattice.ViewID]int64{}
+	for _, v := range c.views {
+		rows[v] = core.ViewGlobalRows(m, v)
 	}
 
 	c.engine = queryengine.New(m, c.orders, rows, c.op)

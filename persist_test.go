@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/lattice"
 )
 
@@ -401,5 +403,180 @@ func TestLoadV1Snapshot(t *testing.T) {
 	}
 	if _, err := loaded.Ingest([][]uint32{{0, 0, 0, 0}}, []int64{1}); err == nil {
 		t.Fatal("v1-loaded cube accepted an ingest batch")
+	}
+}
+
+// TestLoadV2SnapshotUnderColumnarCode: a snapshot written with the
+// columnar store disabled is the exact v2 row-form wire format; the
+// v3-capable loader must still accept it and answer queries
+// identically to the live cube.
+func TestLoadV2SnapshotUnderColumnarCode(t *testing.T) {
+	in, oracle := loadRandom(t, 1000, 59)
+	cube, err := Build(in, Options{Processors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := colstore.SetEnabled(false)
+	var v2 bytes.Buffer
+	err = cube.Save(&v2)
+	colstore.SetEnabled(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc savedCube
+	if err := gob.NewDecoder(bytes.NewReader(v2.Bytes())).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Version != 2 {
+		t.Fatalf("columnar-disabled save wrote version %d, want 2", sc.Version)
+	}
+	loaded, err := LoadCube(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCubesEqual(t, loaded, cube)
+	if got := mustAggregate(t, loaded, []string{"store"}, []uint32{3}); got != oracle([]string{"store"}, []uint32{3}) {
+		t.Fatalf("v2-loaded aggregate %d, oracle %d", got, oracle([]string{"store"}, []uint32{3}))
+	}
+}
+
+func mustAggregate(t *testing.T, c *Cube, dims []string, key []uint32) int64 {
+	t.Helper()
+	got, err := c.Aggregate(dims, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestSaveLoadColumnarMatchesRowOracle: the same cube saved through
+// the v3 columnar path and the v2 row path reloads to byte-identical
+// views and answers.
+func TestSaveLoadColumnarMatchesRowOracle(t *testing.T) {
+	in, oracle := loadRandom(t, 1100, 67)
+	cube, err := Build(in, Options{Processors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v3 bytes.Buffer
+	if err := cube.Save(&v3); err != nil {
+		t.Fatal(err)
+	}
+	var sc savedCube
+	if err := gob.NewDecoder(bytes.NewReader(v3.Bytes())).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Version != 3 {
+		t.Fatalf("columnar save wrote version %d, want 3", sc.Version)
+	}
+	prev := colstore.SetEnabled(false)
+	var v2 bytes.Buffer
+	err = cube.Save(&v2)
+	colstore.SetEnabled(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Len() >= v2.Len() {
+		t.Fatalf("v3 snapshot (%d bytes) not smaller than v2 (%d bytes)", v3.Len(), v2.Len())
+	}
+	fromV3, err := LoadCube(&v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := LoadCube(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCubesEqual(t, fromV3, fromV2)
+	for _, q := range []struct {
+		dims []string
+		key  []uint32
+	}{{[]string{"month"}, []uint32{4}}, {nil, nil}} {
+		a := mustAggregate(t, fromV3, q.dims, q.key)
+		if b := mustAggregate(t, fromV2, q.dims, q.key); a != b || a != oracle(q.dims, q.key) {
+			t.Fatalf("query %v: v3 %d, v2 %d, oracle %d", q.dims, a, b, oracle(q.dims, q.key))
+		}
+	}
+}
+
+// TestLoadCubeCorruptColumnarBlock: a flipped payload bit and a
+// structurally damaged column must both surface as errors wrapping
+// colstore.ErrCorrupt — never a panic, never a silently wrong cube.
+func TestLoadCubeCorruptColumnarBlock(t *testing.T) {
+	in, _ := loadRandom(t, 800, 71)
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(t *testing.T, damage func(sc *savedCube) bool) error {
+		t.Helper()
+		var sc savedCube
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&sc); err != nil {
+			t.Fatal(err)
+		}
+		if !damage(&sc) {
+			t.Fatal("no columnar block to damage")
+		}
+		var bad bytes.Buffer
+		if err := gob.NewEncoder(&bad).Encode(sc); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCube(&bad)
+		return err
+	}
+
+	err = corrupt(t, func(sc *savedCube) bool {
+		for i := range sc.Views {
+			for _, s := range sc.Views[i].Slices {
+				if s.Corrupt(0xdeadbeef) {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	if !errors.Is(err, colstore.ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want colstore.ErrCorrupt", err)
+	}
+
+	err = corrupt(t, func(sc *savedCube) bool {
+		for i := range sc.Views {
+			for _, s := range sc.Views[i].Slices {
+				for j := range s.Cols {
+					if len(s.Cols[j].Words) > 0 {
+						s.Cols[j].Words = s.Cols[j].Words[:len(s.Cols[j].Words)-1]
+						return true
+					}
+				}
+			}
+		}
+		return false
+	})
+	if !errors.Is(err, colstore.ErrCorrupt) {
+		t.Fatalf("truncated column: err = %v, want colstore.ErrCorrupt", err)
+	}
+}
+
+// TestLoadCubeTruncatedStream: cutting the v3 gob stream at arbitrary
+// points must produce an error, not a panic or a partial cube.
+func TestLoadCubeTruncatedStream(t *testing.T) {
+	in, _ := loadRandom(t, 800, 73)
+	cube, err := Build(in, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, k := range []int{1, len(b) / 4, len(b) / 2, 3 * len(b) / 4, len(b) - 1} {
+		if _, err := LoadCube(bytes.NewReader(b[:k])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", k, len(b))
+		}
 	}
 }

@@ -650,11 +650,13 @@ func (r *ReplicaSet) RetireReplica(i int) error {
 func (r *ReplicaSet) Stats() ReplicaSetStats {
 	gs := r.group.Stats()
 	s := ReplicaSetStats{
-		LeaderSeq:      gs.LeaderSeq,
-		SnapshotSeq:    gs.SnapSeq,
-		DeltaLogLen:    gs.LogLen,
-		Routed:         gs.Routed,
-		StalenessWaits: gs.Waits,
+		LeaderSeq:         gs.LeaderSeq,
+		SnapshotSeq:       gs.SnapSeq,
+		DeltaLogLen:       gs.LogLen,
+		Routed:            gs.Routed,
+		StalenessWaits:    gs.Waits,
+		SnapshotShipBytes: gs.SnapshotShipBytes,
+		DeltaShipBytes:    gs.DeltaShipBytes,
 		Resilience: ResilienceStats{
 			Retries:         r.retries.Load(),
 			Failovers:       r.failovers.Load(),

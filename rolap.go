@@ -327,12 +327,20 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		m.Proc(r).Disk().Put("raw", in.table.Sub(lo, hi))
 	}
 
+	// The schema's (reordered) cardinalities drive caller-supplied key
+	// plans in the external sorts: denser codes mean narrower plans,
+	// so more shapes fit the <=128-bit packed radix window.
+	cards := make([]int, d)
+	for i := 0; i < d; i++ {
+		cards[i] = in.schema.Dimensions[in.perm[i]].Cardinality
+	}
 	cfg := core.Config{
 		D:           d,
 		Selected:    selected,
 		Gamma:       opts.Gamma,
 		MergeGamma:  opts.MergeGamma,
 		Agg:         opts.Aggregate.op(),
+		Cards:       cards,
 		MinSupport:  opts.MinSupport,
 		OverlapComm: opts.OverlapComm,
 		Faults:      opts.Faults.internal(),
