@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json qbench-advisor-smoke bench-advisor-json bench-storage-json bench-storage-smoke qbench-storage-smoke
+.PHONY: tier1 build vet test race bench bench-figs bench-json bench-json-smoke bench-ingest-json bench-ingest-smoke experiments qbench-smoke qbench-replica-smoke bench-replica-json qbench-chaos-smoke bench-resilience-json qbench-advisor-smoke bench-advisor-json bench-storage-json bench-storage-smoke qbench-storage-smoke lint-aggop qbench-sketch-smoke bench-sketch-json
 
-tier1: build vet test race
+tier1: build vet test race lint-aggop
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... ./internal/advisor/... ./internal/record/... ./internal/colstore/... .
+	$(GO) test -race ./internal/cluster/... ./internal/samplesort/... ./internal/core/... ./internal/mergepart/... ./internal/ingest/... ./internal/queryengine/... ./internal/replica/... ./internal/faults/... ./internal/gen/... ./internal/advisor/... ./internal/record/... ./internal/colstore/... ./internal/sketch/... .
+
+# AggOp / sketch-kind exhaustiveness guard: a new aggregate operator
+# must be wired through every serve/merge switch (public enum,
+# snapshot load, sketch store dispatch) or it silently degrades. Grep
+# the cross-package switches, vet, and run the record-level guard test.
+lint-aggop:
+	./scripts/lint_aggop.sh
 
 # Real wall-clock microbenchmarks for the sort/merge kernels, run long
 # enough to be meaningful. (The old `bench` ran everything with
@@ -120,6 +127,19 @@ bench-storage-smoke:
 # every answer is byte-identical.
 qbench-storage-smoke:
 	$(GO) run ./cmd/qbench -storage -rows 6000 -p 4 -queries 200
+
+# Holistic-measure gates: the three-arm sketch experiment (distinct
+# and quantile estimates vs the exact gather oracle across
+# cardinalities and percentile ranks, build-cost overhead, and the
+# kernels-on/off blob determinism check). The run exits nonzero unless
+# every estimate is within the 5% bound and the sealed sketch blobs
+# are bit-identical across kernel paths. The smoke run is the CI gate
+# at reduced size; the full run writes BENCH_PR10.json.
+qbench-sketch-smoke:
+	$(GO) run ./cmd/qbench -sketch -rows 8000 -seed 42
+
+bench-sketch-json:
+	$(GO) run ./cmd/qbench -sketch -rows 40000 -seed 42 -out BENCH_PR10.json
 
 # Serving-resilience report (BENCH_PR7.json): the verified chaos
 # scenario (goodput and wall latency with 1-of-4 replicas

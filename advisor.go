@@ -338,6 +338,7 @@ func (c *Cube) materializeView(v lattice.ViewID) (ingest.MaterializeResult, erro
 			Order:      order,
 			MergeGamma: gamma,
 			Agg:        c.op,
+			Sketch:     c.sketch,
 		})
 		if err != nil {
 			return err

@@ -49,7 +49,7 @@ func main() {
 	groupFlag := flag.String("group", "", "comma-separated dimensions to group by")
 	whereFlag := flag.String("where", "", "comma-separated equality filters, dim=value")
 	minSupport := flag.Int64("min-support", 0, "iceberg threshold (keep groups with aggregate >= this)")
-	agg := flag.String("agg", "sum", "aggregate: sum, min, max")
+	agg := flag.String("agg", "sum", `aggregate: sum, min, max, "count distinct", median, or percentile(p) with p in [0,1]`)
 	stats := flag.Bool("stats", false, "print per-query cost metrics and the per-view demand table to stderr")
 	advise := flag.Int("advise", 0, "run N workload-driven advisor steps after the query: materialize hot fallback targets, retire cold views")
 	flag.Parse()
@@ -63,6 +63,11 @@ func main() {
 func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestPath, groupFlag, whereFlag string, minSupport int64, agg string, stats bool, advise int) error {
 	var cube *rolap.Cube
 	var in *rolap.Input
+
+	aggOp, pct, err := parseAgg(agg)
+	if err != nil {
+		return err
+	}
 
 	switch {
 	case snapshot != "":
@@ -85,16 +90,7 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 		if err != nil {
 			return err
 		}
-		opts := rolap.Options{Processors: procs, MinSupport: minSupport}
-		switch agg {
-		case "sum":
-		case "min":
-			opts.Aggregate = rolap.Min
-		case "max":
-			opts.Aggregate = rolap.Max
-		default:
-			return fmt.Errorf("cubeql: unknown aggregate %q", agg)
-		}
+		opts := rolap.Options{Processors: procs, MinSupport: minSupport, Aggregate: aggOp}
 		if sel, err := parseSelect(selectFlag); err != nil {
 			return err
 		} else if sel != nil {
@@ -153,7 +149,15 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 		return err
 	}
 	var vw *rolap.View
-	if stats {
+	if pct != defaultPct && cube.Holistic() {
+		// Non-median ranks go through the percentile entry point; the
+		// serving tier caches per-rank results under distinct keys.
+		vw, err = cube.GroupByPercentile(dims, filters, pct)
+		if err != nil {
+			return err
+		}
+	}
+	if vw == nil && stats {
 		if srv, serr := cube.NewServer(rolap.ServerOptions{}); serr == nil {
 			var qm rolap.QueryMetrics
 			vw, qm, err = srv.GroupBy(context.Background(), dims, filters)
@@ -163,6 +167,7 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 			fmt.Fprintf(os.Stderr, "query: source=[%s] rows_scanned=%d bytes_moved=%d sim_s=%.6f index=%v cache_hit=%v\n",
 				strings.Join(qm.SourceView, ","), qm.RowsScanned, qm.BytesMoved, qm.SimSeconds, qm.IndexUsed, qm.CacheHit)
 			printViewDemand(srv.Stats())
+			printSketchBytes(cube.Metrics())
 		} else {
 			fmt.Fprintln(os.Stderr, "stats unavailable for snapshot cubes (no simulated cluster); answering directly")
 		}
@@ -180,7 +185,11 @@ func run(csvPath, measure string, procs int, selectFlag, save, snapshot, ingestP
 		return vw.WriteCSV(os.Stdout, in)
 	}
 	// Snapshot path: print numeric codes.
-	fmt.Println(strings.Join(append(append([]string{}, vw.Attributes...), "measure"), ","))
+	measName := "measure"
+	if vw.Estimated {
+		measName = "measure_estimate"
+	}
+	fmt.Println(strings.Join(append(append([]string{}, vw.Attributes...), measName), ","))
 	for i := 0; i < vw.Len(); i++ {
 		key, m := vw.Row(i)
 		parts := make([]string, 0, len(key)+1)
@@ -247,6 +256,60 @@ func runAdvise(cube *rolap.Cube, n int) error {
 	fmt.Fprintf(os.Stderr, "advisor: %d steps, %d materialized, %d retired; %d views live, %d bytes\n",
 		st.Steps, st.Materialized, st.Retired, st.CurrentViews, st.StorageBytes)
 	return nil
+}
+
+// defaultPct is the percentile served when the user asks for median
+// (or names no rank): rolap's Quantile default.
+const defaultPct = 0.5
+
+// parseAgg parses the -agg flag: sum/min/max, the holistic forms
+// "count distinct" (aliases: count_distinct, count-distinct, distinct)
+// and "percentile(p)" with p in [0,1], and "median" for
+// percentile(0.5).
+func parseAgg(s string) (rolap.Aggregate, float64, error) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	switch strings.ReplaceAll(strings.ReplaceAll(norm, "_", " "), "-", " ") {
+	case "sum", "":
+		return rolap.Sum, defaultPct, nil
+	case "min":
+		return rolap.Min, defaultPct, nil
+	case "max":
+		return rolap.Max, defaultPct, nil
+	case "count distinct", "distinct":
+		return rolap.CountDistinct, defaultPct, nil
+	case "median":
+		return rolap.Quantile, defaultPct, nil
+	}
+	if strings.HasPrefix(norm, "percentile(") && strings.HasSuffix(norm, ")") {
+		var pct float64
+		arg := norm[len("percentile(") : len(norm)-1]
+		if _, err := fmt.Sscanf(arg, "%g", &pct); err != nil || pct < 0 || pct > 1 {
+			return 0, 0, fmt.Errorf("cubeql: percentile rank %q must be a number in [0,1]", arg)
+		}
+		return rolap.Quantile, pct, nil
+	}
+	return 0, 0, fmt.Errorf("cubeql: unknown aggregate %q", s)
+}
+
+// printSketchBytes renders a holistic cube's per-view sketch storage —
+// the price of serving distinct counts / percentiles mergeably.
+func printSketchBytes(met rolap.Metrics) {
+	if met.SketchBytes == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sketch state: %d bytes total\n", met.SketchBytes)
+	keys := make([]string, 0, len(met.ViewSketchBytes))
+	for k := range met.ViewSketchBytes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := k
+		if name == "" {
+			name = "(grand total)"
+		}
+		fmt.Fprintf(os.Stderr, "  [%s] sketch_bytes=%d\n", name, met.ViewSketchBytes[k])
+	}
 }
 
 // parseSelect parses "a,b;c;" into view name lists; empty string means

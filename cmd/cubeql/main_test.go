@@ -148,3 +148,98 @@ func TestRunIngestFlag(t *testing.T) {
 		t.Fatal("unknown dictionary value accepted")
 	}
 }
+
+func TestParseAgg(t *testing.T) {
+	cases := []struct {
+		s   string
+		agg rolap.Aggregate
+		pct float64
+	}{
+		{"sum", rolap.Sum, 0.5},
+		{"min", rolap.Min, 0.5},
+		{"COUNT DISTINCT", rolap.CountDistinct, 0.5},
+		{"count_distinct", rolap.CountDistinct, 0.5},
+		{"distinct", rolap.CountDistinct, 0.5},
+		{"median", rolap.Quantile, 0.5},
+		{"percentile(0.9)", rolap.Quantile, 0.9},
+		{"PERCENTILE(0.25)", rolap.Quantile, 0.25},
+	}
+	for _, c := range cases {
+		agg, pct, err := parseAgg(c.s)
+		if err != nil || agg != c.agg || pct != c.pct {
+			t.Errorf("parseAgg(%q) = %v, %v, %v; want %v, %v", c.s, agg, pct, err, c.agg, c.pct)
+		}
+	}
+	for _, bad := range []string{"bogus", "percentile(1.5)", "percentile(x)", "percentile(-0.1)"} {
+		if _, _, err := parseAgg(bad); err == nil {
+			t.Errorf("parseAgg(%q) should fail", bad)
+		}
+	}
+}
+
+// TestRunHolistic drives the CSV-to-CSV path with the holistic query
+// forms: COUNT DISTINCT and PERCENTILE(p) build sketch-backed cubes,
+// the output header labels estimates, and -stats reports sketch bytes.
+func TestRunHolistic(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "facts.csv")
+	snapPath := filepath.Join(dir, "cube.bin")
+	facts := "region,product,measure\n" +
+		"east,widget,10\neast,widget,10\neast,widget,30\n" +
+		"east,nut,5\nwest,widget,7\nwest,nut,7\nwest,nut,9\n"
+	if err := os.WriteFile(csvPath, []byte(facts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	capture := func(f func() error) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		errRun := f()
+		w.Close()
+		os.Stdout = old
+		out := make([]byte, 1<<16)
+		n, _ := r.Read(out)
+		r.Close()
+		if errRun != nil {
+			t.Fatal(errRun)
+		}
+		return string(out[:n])
+	}
+
+	// COUNT DISTINCT: east sells measures {10,30,5} -> 3 distinct.
+	out := capture(func() error {
+		return run(csvPath, "measure", 2, "", snapPath, "", "", "region", "", 0, "count distinct", true, 0)
+	})
+	if !strings.Contains(out, "measure_estimate") {
+		t.Fatalf("distinct output not labeled as estimate:\n%s", out)
+	}
+	if !strings.Contains(out, "east,3") || !strings.Contains(out, "west,2") {
+		t.Fatalf("wrong distinct counts:\n%s", out)
+	}
+
+	// The saved snapshot serves the same estimates after reload.
+	out = capture(func() error {
+		return run("", "measure", 2, "", "", snapPath, "", "region", "", 0, "count distinct", false, 0)
+	})
+	if !strings.Contains(out, "measure_estimate") {
+		t.Fatalf("snapshot output not labeled:\n%s", out)
+	}
+
+	// PERCENTILE: east values sorted {5,10,10,30}; p=1 -> 30, median -> 10.
+	out = capture(func() error {
+		return run(csvPath, "measure", 2, "", "", "", "", "region", "", 0, "percentile(1)", false, 0)
+	})
+	if !strings.Contains(out, "east,30") {
+		t.Fatalf("wrong max percentile:\n%s", out)
+	}
+	out = capture(func() error {
+		return run(csvPath, "measure", 2, "", "", "", "", "region", "", 0, "median", false, 0)
+	})
+	if !strings.Contains(out, "east,10") {
+		t.Fatalf("wrong median:\n%s", out)
+	}
+}

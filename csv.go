@@ -283,7 +283,13 @@ func (in *Input) Decode(dim string, code uint32) string {
 // through the input's dictionaries when available.
 func (v *View) WriteCSV(w io.Writer, in *Input) error {
 	cw := csv.NewWriter(w)
-	header := append(append([]string{}, v.Attributes...), "measure")
+	// Sketch-served measures are estimates; say so in the header rather
+	// than passing them off as exact totals.
+	measName := "measure"
+	if v.Estimated {
+		measName = "measure_estimate"
+	}
+	header := append(append([]string{}, v.Attributes...), measName)
 	if err := cw.Write(header); err != nil {
 		return err
 	}

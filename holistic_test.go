@@ -1,0 +1,331 @@
+package rolap
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// holisticFacts builds deterministic facts whose measures are values in
+// [0, 100): below the quantile sketch's exact-code range and with
+// per-group distinct counts far under the exact threshold, so both
+// sketches answer exactly and the oracle comparison is equality.
+func holisticFacts(n int, seed uint64) ([][]uint32, []int64) {
+	cards := []int{12, 40, 25, 3}
+	x := seed | 1
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	rows := make([][]uint32, n)
+	meas := make([]int64, n)
+	for i := 0; i < n; i++ {
+		r := make([]uint32, len(cards))
+		for j, c := range cards {
+			r[j] = uint32(next() % uint64(c))
+		}
+		rows[i] = r
+		meas[i] = int64(next() % 100)
+	}
+	return rows, meas
+}
+
+func buildHolisticCube(t *testing.T, rows [][]uint32, meas []int64, agg Aggregate) *Cube {
+	t.Helper()
+	in, err := NewInput(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if err := in.AddRow(rows[i], meas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, err := Build(in, Options{Processors: 3, Aggregate: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+// holisticGroups group-bys the fact list over dims (with equality
+// filters), returning each group's measure multiset.
+func holisticGroups(rows [][]uint32, meas []int64, dims []string, filters map[string]uint32) map[string][]int64 {
+	names := []string{"month", "store", "product", "channel"}
+	col := map[string]int{}
+	for j, nm := range names {
+		col[nm] = j
+	}
+	out := map[string][]int64{}
+	for i, r := range rows {
+		ok := true
+		for nm, v := range filters {
+			if r[col[nm]] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := ""
+		for _, d := range dims {
+			key += string(rune(r[col[d]])) + ","
+		}
+		out[key] = append(out[key], meas[i])
+	}
+	return out
+}
+
+func distinctOf(vals []int64) int64 {
+	set := map[int64]bool{}
+	for _, v := range vals {
+		set[v] = true
+	}
+	return int64(len(set))
+}
+
+func quantileOf(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1))]
+}
+
+func wantMeasure(agg Aggregate, vals []int64, pct float64) int64 {
+	if agg == CountDistinct {
+		return distinctOf(vals)
+	}
+	return quantileOf(vals, pct)
+}
+
+// checkHolisticGroupBy compares a GroupBy result against the fact-list
+// oracle at percentile pct (ignored for CountDistinct).
+func checkHolisticGroupBy(t *testing.T, cube *Cube, rows [][]uint32, meas []int64, agg Aggregate, dims []string, filters map[string]uint32, pct float64) {
+	t.Helper()
+	var vw *View
+	var err error
+	if pct == 0.5 {
+		vw, err = cube.GroupBy(dims, filters)
+	} else {
+		vw, err = cube.GroupByPercentile(dims, filters, pct)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vw.Estimated {
+		t.Fatalf("holistic GroupBy %v result not marked Estimated", dims)
+	}
+	oracle := holisticGroups(rows, meas, dims, filters)
+	if vw.Len() != len(oracle) {
+		t.Fatalf("GroupBy %v: %d groups, oracle %d", dims, vw.Len(), len(oracle))
+	}
+	for i := 0; i < vw.Len(); i++ {
+		key, got := vw.Row(i)
+		k := ""
+		for _, v := range key {
+			k += string(rune(v)) + ","
+		}
+		vals, ok := oracle[k]
+		if !ok {
+			t.Fatalf("GroupBy %v: group %v not in oracle", dims, key)
+		}
+		if want := wantMeasure(agg, vals, pct); got != want {
+			t.Fatalf("GroupBy %v group %v: got %d, want %d (%d values)", dims, key, got, want, len(vals))
+		}
+	}
+}
+
+func TestHolisticCubeEndToEnd(t *testing.T) {
+	for _, agg := range []Aggregate{CountDistinct, Quantile} {
+		rows, meas := holisticFacts(900, 41)
+		cube := buildHolisticCube(t, rows, meas, agg)
+		if m := cube.Metrics(); m.SketchBytes <= 0 {
+			t.Fatalf("%v cube SketchBytes = %d, want > 0", agg, m.SketchBytes)
+		}
+
+		// Materialized view reads serve estimates and say so.
+		vw, err := cube.View([]string{"channel"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vw.Estimated {
+			t.Fatalf("%v View not marked Estimated", agg)
+		}
+		oracle := holisticGroups(rows, meas, []string{"channel"}, nil)
+		for i := 0; i < vw.Len(); i++ {
+			key, got := vw.Row(i)
+			vals := oracle[string(rune(key[0]))+","]
+			if want := wantMeasure(agg, vals, 0.5); got != want {
+				t.Fatalf("%v View channel=%d: got %d, want %d", agg, key[0], got, want)
+			}
+		}
+
+		// Distributed GroupBy, with and without filters.
+		checkHolisticGroupBy(t, cube, rows, meas, agg, []string{"store"}, nil, 0.5)
+		checkHolisticGroupBy(t, cube, rows, meas, agg, []string{"month", "channel"}, map[string]uint32{"store": 3}, 0.5)
+
+		// Point query (exact view and superset-scan fallback).
+		for _, dims := range [][]string{{"channel"}, {"month", "store", "product", "channel"}} {
+			g := holisticGroups(rows, meas, dims, nil)
+			for k := range g {
+				key := make([]uint32, 0, len(dims))
+				for _, r := range k {
+					if r != ',' {
+						key = append(key, uint32(r))
+					}
+				}
+				got, err := cube.Aggregate(dims, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := wantMeasure(agg, g[k], 0.5); got != want {
+					t.Fatalf("%v Aggregate %v %v: got %d, want %d", agg, dims, key, got, want)
+				}
+				break
+			}
+		}
+
+		// Range aggregate pools the matching groups' sketches.
+		got, err := cube.RangeAggregate([]string{"month"}, []uint32{2}, []uint32{6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pooled []int64
+		for i, r := range rows {
+			if r[0] >= 2 && r[0] <= 6 {
+				pooled = append(pooled, meas[i])
+			}
+		}
+		if want := wantMeasure(agg, pooled, 0.5); got != want {
+			t.Fatalf("%v RangeAggregate month in [2,6]: got %d, want %d", agg, got, want)
+		}
+
+		// Incremental ingest extends the sketches.
+		brows, bmeas := holisticFacts(250, 977)
+		if _, err := cube.Ingest(brows, bmeas); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, brows...)
+		meas = append(meas, bmeas...)
+		checkHolisticGroupBy(t, cube, rows, meas, agg, []string{"store"}, nil, 0.5)
+
+		// Save / load round-trips the sketch store; the loaded cube
+		// serves identically and keeps ingesting.
+		var buf bytes.Buffer
+		if err := cube.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCube(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.opts.Aggregate != agg {
+			t.Fatalf("loaded aggregate %v, want %v", loaded.opts.Aggregate, agg)
+		}
+		checkHolisticGroupBy(t, loaded, rows, meas, agg, []string{"store"}, nil, 0.5)
+		checkHolisticGroupBy(t, loaded, rows, meas, agg, []string{"month", "channel"}, map[string]uint32{"store": 3}, 0.5)
+		crows, cmeas := holisticFacts(120, 5557)
+		if _, err := loaded.Ingest(crows, cmeas); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, crows...)
+		meas = append(meas, cmeas...)
+		checkHolisticGroupBy(t, loaded, rows, meas, agg, []string{"channel"}, nil, 0.5)
+	}
+}
+
+func TestGroupByPercentile(t *testing.T) {
+	rows, meas := holisticFacts(800, 99)
+	cube := buildHolisticCube(t, rows, meas, Quantile)
+	for _, pct := range []float64{0, 0.25, 0.9, 1} {
+		checkHolisticGroupBy(t, cube, rows, meas, Quantile, []string{"channel"}, nil, pct)
+	}
+	if _, err := cube.GroupByPercentile([]string{"channel"}, nil, 1.5); err == nil {
+		t.Fatal("percentile rank outside [0,1] must be rejected")
+	}
+	dcube := buildHolisticCube(t, rows, meas, CountDistinct)
+	if _, err := dcube.GroupByPercentile([]string{"channel"}, nil, 0.5); err == nil {
+		t.Fatal("GroupByPercentile on a non-Quantile cube must be rejected")
+	}
+}
+
+func TestHolisticBuildValidation(t *testing.T) {
+	in, err := NewInput(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AddRow([]uint32{1, 2, 3, 0}, -7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(in, Options{Processors: 2, Aggregate: CountDistinct}); err == nil {
+		t.Fatal("negative measures must be rejected on a holistic build")
+	}
+	in2, _ := NewInput(testSchema())
+	_ = in2.AddRow([]uint32{1, 2, 3, 0}, 5)
+	if _, err := Build(in2, Options{Processors: 2, Aggregate: Quantile, MinSupport: 3}); err == nil {
+		t.Fatal("iceberg thresholds must be rejected on a holistic build")
+	}
+	cube := buildHolisticCube(t, [][]uint32{{1, 2, 3, 0}}, []int64{5}, Quantile)
+	if _, err := cube.Ingest([][]uint32{{1, 2, 3, 1}}, []int64{-4}); err == nil {
+		t.Fatal("negative measures must be rejected on holistic ingest")
+	}
+}
+
+// TestHolisticReplicaSet ships a quantile cube through the replica
+// tier: snapshot bootstrap carries the sketch blobs, delta batches
+// re-aggregate deterministically, and replica reads match the leader.
+func TestHolisticReplicaSet(t *testing.T) {
+	rows, meas := holisticFacts(700, 313)
+	base := 500
+	leader := buildHolisticCube(t, rows[:base], meas[:base], Quantile)
+	rs, err := leader.NewReplicaSet(ReplicaOptions{Replicas: 2, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	for lo := base; lo < len(rows); lo += 100 {
+		hi := lo + 100
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if _, err := leader.Ingest(rows[lo:hi], meas[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReplicas(t, rs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	want, err := leader.GroupBy([]string{"channel"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rs.GroupBy(ctx, []string{"channel"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Estimated {
+		t.Fatal("replica GroupBy result not marked Estimated")
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("replica GroupBy %d groups, leader %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		wk, wm := want.Row(i)
+		gk, gm := got.Row(i)
+		if wm != gm || wk[0] != gk[0] {
+			t.Fatalf("replica row %d (%v, %d) != leader (%v, %d)", i, gk, gm, wk, wm)
+		}
+	}
+	oracle := holisticGroups(rows, meas, []string{"channel"}, nil)
+	for i := 0; i < want.Len(); i++ {
+		k, m := want.Row(i)
+		if w := quantileOf(oracle[string(rune(k[0]))+","], 0.5); m != w {
+			t.Fatalf("leader channel=%d median %d, oracle %d", k[0], m, w)
+		}
+	}
+}

@@ -154,6 +154,9 @@ func (c *Cube) appendPendingLocked(values []uint32, measure int64) error {
 		return fmt.Errorf("rolap: row has %d values, schema has %d dimensions",
 			len(values), len(in.schema.Dimensions))
 	}
+	if c.sketch != nil && measure < 0 {
+		return fmt.Errorf("rolap: negative measure %d: holistic aggregates require non-negative measures (negative values are reserved for sketch handles)", measure)
+	}
 	row := make([]uint32, len(values))
 	for i, u := range in.perm {
 		v := values[u]
@@ -198,6 +201,7 @@ func (c *Cube) flushLocked() (_ IngestMetrics, err error) {
 		Cards:       cards,
 		OverlapComm: c.opts.OverlapComm,
 		Faults:      c.ingestFaults,
+		Sketch:      c.sketch,
 	}
 	// The plan is one-shot: a retry after an injected crash must not
 	// re-fire the same crash.

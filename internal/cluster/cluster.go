@@ -52,6 +52,10 @@ type Machine struct {
 	// same plan.
 	faults *faultState
 
+	// tableExtra, when non-nil, reports extra wire bytes a payload
+	// table carries beyond its row bytes (SetTableSizer).
+	tableExtra func(*record.Table) int
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -459,13 +463,24 @@ func AllToAll[T any](p *Proc, out []T, bytesOf func(T) int) []T {
 	return in
 }
 
+// SetTableSizer installs a hook reporting the extra wire bytes a
+// payload table carries beyond its row bytes — e.g. the serialized
+// sketch state behind holistic-measure handles — so bulk h-relations
+// charge for the payload that actually crosses the switch. Install
+// before Run; the hook must be safe for concurrent use.
+func (m *Machine) SetTableSizer(extra func(*record.Table) int) { m.tableExtra = extra }
+
 // tableBytes is the modelled wire size of a payload table (nil means
-// empty).
-func tableBytes(t *record.Table) int {
-	if t == nil {
+// empty), including any extra state bytes the installed sizer reports.
+func (m *Machine) tableBytes(t *record.Table) int {
+	if t == nil || t.Len() == 0 {
 		return 0
 	}
-	return t.Bytes()
+	b := t.Bytes()
+	if m.tableExtra != nil {
+		b += m.tableExtra(t)
+	}
+	return b
 }
 
 // AllToAllTables is AllToAll for record tables, with byte accounting
@@ -475,7 +490,7 @@ func tableBytes(t *record.Table) int {
 // repaired by charged retransmissions with exponential backoff.
 func AllToAllTables(p *Proc, out []*record.Table) []*record.Table {
 	if p.m.faults == nil {
-		return AllToAll(p, out, tableBytes)
+		return AllToAll(p, out, p.m.tableBytes)
 	}
 	return allToAllTablesChecked(p, out)
 }

@@ -147,13 +147,13 @@ func allToAllTablesChecked(p *Proc, out []*record.Table) []*record.Table {
 	for k := 0; k < m.p; k++ {
 		t := out[k]
 		e := tableEnvelope{t: t}
-		if k != p.rank && tableBytes(t) > 0 {
+		if k != p.rank && m.tableBytes(t) > 0 {
 			e.sum = t.Checksum()
 			e.src = p.orig
 			e.exchange = exchange
 			e.drops, e.corruptions = fs.plan.FailuresFor(p.orig, m.procs[k].orig, exchange)
 			sentRows += t.Len()
-			sent += t.Bytes()
+			sent += m.tableBytes(t)
 			msgs++
 		}
 		env[k] = e
@@ -179,17 +179,17 @@ func allToAllTablesChecked(p *Proc, out []*record.Table) []*record.Table {
 			for j := 0; j < m.p; j++ {
 				e := m.matrix[j][p.rank].(tableEnvelope)
 				in[j] = e.t
-				if j == p.rank || tableBytes(e.t) == 0 {
+				if j == p.rank || m.tableBytes(e.t) == 0 {
 					continue
 				}
-				recv += e.t.Bytes()
+				recv += m.tableBytes(e.t)
 				attempt := 0
 				// Dropped attempts: the receiver's delivery timeout
 				// expires and the sender retransmits.
 				for i := 0; i < e.drops; i++ {
 					attempt++
 					backoff += base * float64(int(1)<<(attempt-1))
-					retryBytes += int64(e.t.Bytes())
+					retryBytes += int64(m.tableBytes(e.t))
 					retryMsgs++
 				}
 				// Corrupted attempts: a damaged copy arrives, the
@@ -205,7 +205,7 @@ func allToAllTablesChecked(p *Proc, out []*record.Table) []*record.Table {
 					}
 					verifyRows += bad.Len()
 					backoff += base * float64(int(1)<<(attempt-1))
-					retryBytes += int64(e.t.Bytes())
+					retryBytes += int64(m.tableBytes(e.t))
 					retryMsgs++
 				}
 				// The delivery that sticks is verified too.

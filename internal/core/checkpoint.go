@@ -176,6 +176,7 @@ func recoverOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.Vi
 	p.SetPhase("recover")
 
 	completed := completedViews(cfg.D, sel, resume)
+	agg := rankAgg(cfg, p.Rank())
 
 	// The dead rank's ring neighbor holds its replicas and adopts them:
 	// the raw replica is appended to its own share, each completed view
@@ -198,7 +199,7 @@ func recoverOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.Vi
 				own = record.New(v.Count(), 0)
 			}
 			clk.AddCompute(costmodel.MergeOps(own.Len()+r.Len(), 2))
-			disk.Put(name, record.MergeSortedAggregateOp([]*record.Table{own, r}, cfg.Agg))
+			disk.Put(name, record.MergeSortedAggregateAgg([]*record.Table{own, r}, agg))
 		}
 	}
 
@@ -226,7 +227,7 @@ func recoverOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.Vi
 	// slices — across the survivors with Adaptive–Sample–Sort, then
 	// re-seal them: rebalancing leaves slices in row form.
 	for _, v := range completed {
-		samplesort.SortPresorted(p, ViewFile(v), cfg.MergeGamma, cfg.Agg)
+		samplesort.SortPresortedAgg(p, ViewFile(v), cfg.MergeGamma, agg)
 		if disk.Has(ViewFile(v)) {
 			disk.Seal(ViewFile(v))
 		}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/pipesort"
 	"repro/internal/record"
 	"repro/internal/samplesort"
+	"repro/internal/sketch"
 )
 
 // ScheduleMode selects between the paper's global schedule trees
@@ -86,6 +87,11 @@ type Config struct {
 	// Agg is the aggregate operator applied to measures (default
 	// record.OpSum; COUNT is OpSum over unit measures).
 	Agg record.AggOp
+	// Sketch is the shared sketch store backing holistic operators
+	// (OpDistinct, OpQuantile): per-group state lives in the store and
+	// measures carry negative handles into it. Required when Agg is
+	// holistic; ignored otherwise.
+	Sketch *sketch.Store
 	// Cards, when len(Cards) == D, gives the per-dimension effective
 	// cardinalities (in raw column order, post attribute-value
 	// reordering). They drive caller-supplied KeyPlans for the external
@@ -174,6 +180,14 @@ func (c Config) validate(m *cluster.Machine, rawFile string) error {
 	}
 	if c.MinSupport < 0 {
 		return fmt.Errorf("core: negative iceberg threshold %d", c.MinSupport)
+	}
+	if c.Agg.Holistic() {
+		if c.Sketch == nil {
+			return fmt.Errorf("core: holistic aggregate %v requires a sketch store", c.Agg)
+		}
+		if c.MinSupport > 0 {
+			return fmt.Errorf("core: iceberg threshold is undefined for holistic aggregate %v (measures are sketch handles)", c.Agg)
+		}
 	}
 	full := lattice.Full(c.D)
 	for _, v := range c.Selected {
@@ -266,7 +280,13 @@ type Metrics struct {
 	// columnar store is disabled.
 	OutputBytes       int64
 	OutputBytesStored int64
-	ViewRows          map[lattice.ViewID]int64
+	// SketchBytes is the serialized size of all sketch state referenced
+	// by the output views' measures (holistic aggregates only);
+	// ViewSketchBytes is the per-view breakdown. Zero for algebraic
+	// operators.
+	SketchBytes     int64
+	ViewSketchBytes map[lattice.ViewID]int64
+	ViewRows        map[lattice.ViewID]int64
 	// ViewBytesStored is the per-view modelled on-disk size, summed over
 	// the per-rank slices as the storage layer reports them.
 	ViewBytesStored map[lattice.ViewID]int64
@@ -362,6 +382,12 @@ func BuildCube(m *cluster.Machine, rawFile string, cfg Config) (Metrics, error) 
 	if err := m.SetFaults(cfg.Faults); err != nil {
 		return Metrics{}, err
 	}
+	if cfg.Sketch != nil && cfg.Agg.Holistic() {
+		// Sketch payloads ride the h-relations with the rows that carry
+		// their handles: charge their serialized size on every exchange.
+		sz := rankAgg(cfg, 0)
+		m.SetTableSizer(func(t *record.Table) int { return sz.TableStateBytes(t) })
+	}
 	sel := cfg.Selected
 	if sel == nil {
 		sel = lattice.AllViews(cfg.D)
@@ -408,7 +434,7 @@ func BuildCube(m *cluster.Machine, rawFile string, cfg Config) (Metrics, error) 
 		startDim = resume
 		initial = false
 	}
-	met := collectMetrics(m, origP, sel, outs)
+	met := collectMetrics(m, origP, sel, outs, cfg)
 	met.FailedRanks = failed
 	return met, nil
 }
@@ -463,12 +489,24 @@ func buildOnProc(p *cluster.Proc, rawFile string, cfg Config, sel []lattice.View
 	}
 }
 
+// rankAgg builds the aggregate descriptor a processor applies to
+// measures: the configured operator plus, for holistic operators, this
+// rank's combiner into the shared sketch store.
+func rankAgg(cfg Config, rank int) record.Agg {
+	agg := record.Agg{Op: cfg.Agg}
+	if cfg.Sketch != nil && cfg.Agg.Holistic() {
+		agg.State = cfg.Sketch.Rank(rank)
+	}
+	return agg
+}
+
 // buildDim runs one dimension iteration of Procedure 1: partition,
 // plan, build, merge.
 func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []lattice.ViewID, obs *dimObs, phase func(string) func()) {
 	d := cfg.D
 	disk := p.Disk()
 	clk := p.Clock()
+	agg := rankAgg(cfg, p.Rank())
 	partViews := lattice.Partition(i, d)
 	root := lattice.Root(i, d)
 	rootOrder := lattice.Canonical(root)
@@ -489,14 +527,14 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 	} else {
 		extsort.Sort(disk, rootFile)
 	}
-	localAggregate(p, rootFile, cfg.Agg)
+	localAggregate(p, rootFile, agg)
 	// 1b: global sort of the union of the local roots.
 	sres := samplesort.Sort(p, rootFile, cfg.Gamma)
 	if sres.Shifted {
 		obs.shifts++
 	}
 	// 1c: local re-aggregation of the received slice.
-	localAggregate(p, rootFile, cfg.Agg)
+	localAggregate(p, rootFile, agg)
 	done()
 
 	// ---- Step 2: local Di-partition. ----
@@ -514,7 +552,7 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 	if sampleCap == 0 {
 		sampleCap = 100 * p.P()
 	}
-	pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg})
+	pipesort.ExecuteOpts(disk, tree, ViewFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg, State: agg.State})
 	done()
 
 	// ---- Step 3: merge of the local Di-partitions. ----
@@ -523,7 +561,7 @@ func buildDim(p *cluster.Proc, rawFile string, cfg Config, i int, partSel []latt
 	for k, v := range partSel {
 		obs.orders[v] = targets[k]
 		my := tree.Node(v).Order
-		r := mergepart.MergeViewOp(p, ViewFile(v), v, my, targets[k], rootOrder, cfg.MergeGamma, cfg.Agg)
+		r := mergepart.MergeViewAgg(p, ViewFile(v), v, my, targets[k], rootOrder, cfg.MergeGamma, agg)
 		if r.Resorted {
 			obs.resorts++
 		}
@@ -570,11 +608,11 @@ func icebergFilter(p *cluster.Proc, file string, minSupport int64) {
 
 // localAggregate rewrites a sorted file with adjacent duplicate keys
 // collapsed (the "sequential scan" halves of Steps 1a and 1c).
-func localAggregate(p *cluster.Proc, file string, op record.AggOp) {
+func localAggregate(p *cluster.Proc, file string, agg record.Agg) {
 	disk := p.Disk()
 	t := disk.MustTake(file)
 	p.Clock().AddCompute(costmodel.ScanOps(t.Len()))
-	disk.Put(file, record.AggregateSortedOp(t, t.D, op))
+	disk.Put(file, record.AggregateSortedAgg(t, t.D, agg))
 }
 
 // planTree performs Steps 2a/2b: P0 plans and broadcasts in global
@@ -649,7 +687,7 @@ func (m Metrics) MaskableCommFraction() float64 {
 // collectMetrics aggregates per-processor observations and the final
 // disk state. origP is the machine size the build started with; after
 // crash recovery m.P() is smaller.
-func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []*procOut) Metrics {
+func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []*procOut, cfg Config) Metrics {
 	st := m.Stats()
 	met := Metrics{
 		P:               origP,
@@ -705,20 +743,31 @@ func collectMetrics(m *cluster.Machine, origP int, sel []lattice.ViewID, outs []
 		}
 	}
 	met.ViewBytesStored = map[lattice.ViewID]int64{}
+	met.ViewSketchBytes = map[lattice.ViewID]int64{}
+	agg := rankAgg(cfg, 0)
 	for _, v := range sel {
-		var rows, stored int64
+		var rows, stored, sk int64
 		for r := 0; r < m.P(); r++ {
 			disk := m.Proc(r).Disk()
 			if n := disk.Len(ViewFile(v)); n > 0 {
 				rows += int64(n)
 				stored += int64(disk.StoredBytes(ViewFile(v)))
+				if agg.State != nil {
+					// Peek is uncharged: metrics collection must not
+					// perturb the clocks later query timing reads.
+					if t, ok := disk.Peek(ViewFile(v)); ok {
+						sk += int64(agg.TableStateBytes(t))
+					}
+				}
 			}
 		}
 		met.ViewRows[v] = rows
 		met.ViewBytesStored[v] = stored
+		met.ViewSketchBytes[v] = sk
 		met.OutputRows += rows
 		met.OutputBytes += rows * int64(record.RowBytes(v.Count()))
 		met.OutputBytesStored += stored
+		met.SketchBytes += sk
 	}
 	return met
 }

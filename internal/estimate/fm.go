@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -37,6 +38,12 @@ func (s *FMSketch) Add(h uint64) {
 	s.maps[idx] |= 1 << uint(rho)
 }
 
+// fmKappa is the small-range correction exponent (Scheuermann &
+// Mauve): the raw PCSA estimator m/phi*2^mean overshoots badly when
+// fewer than ~8m items have been added; subtracting 2^(-kappa*mean)
+// cancels most of that bias while vanishing for large counts.
+const fmKappa = 1.75
+
 // Estimate returns the approximate number of distinct items added.
 func (s *FMSketch) Estimate() float64 {
 	m := len(s.maps)
@@ -46,7 +53,7 @@ func (s *FMSketch) Estimate() float64 {
 		sum += bits.TrailingZeros64(^bm)
 	}
 	mean := float64(sum) / float64(m)
-	return float64(m) / fmPhi * math.Pow(2, mean)
+	return float64(m) / fmPhi * (math.Pow(2, mean) - math.Pow(2, -fmKappa*mean))
 }
 
 // Merge unions another sketch of identical shape into s, yielding the
@@ -62,6 +69,54 @@ func (s *FMSketch) Merge(o *FMSketch) {
 
 // Bytes returns the modelled wire size of the sketch.
 func (s *FMSketch) Bytes() int { return len(s.maps) * 8 }
+
+// Clone returns an independent copy of the sketch.
+func (s *FMSketch) Clone() *FMSketch {
+	return &FMSketch{maps: append([]uint64(nil), s.maps...)}
+}
+
+// AppendBinary appends the sketch's canonical serialized form to dst:
+// each bitmap as 8 little-endian bytes. Two sketches that absorbed the
+// same item set serialize identically regardless of insertion or merge
+// order — the bitmaps are pure unions.
+func (s *FMSketch) AppendBinary(dst []byte) []byte {
+	for _, bm := range s.maps {
+		dst = append(dst,
+			byte(bm), byte(bm>>8), byte(bm>>16), byte(bm>>24),
+			byte(bm>>32), byte(bm>>40), byte(bm>>48), byte(bm>>56))
+	}
+	return dst
+}
+
+// FMFromBinary reconstructs a sketch from AppendBinary's output.
+func FMFromBinary(data []byte) (*FMSketch, error) {
+	if len(data) == 0 || len(data)%8 != 0 {
+		return nil, fmt.Errorf("estimate: FM sketch blob of %d bytes is not a bitmap array", len(data))
+	}
+	m := len(data) / 8
+	if m&(m-1) != 0 {
+		return nil, fmt.Errorf("estimate: FM sketch blob holds %d bitmaps (want a power of two)", m)
+	}
+	s := &FMSketch{maps: make([]uint64, m)}
+	for i := range s.maps {
+		b := data[i*8:]
+		s.maps[i] = uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	}
+	return s, nil
+}
+
+// Hash64 mixes a single 64-bit value with the splitmix64 finalizer —
+// the scalar analogue of HashRow, used to hash raw measure values into
+// distinct-count sketches.
+func Hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // FMSizer estimates view sizes by scanning a table and sketching each
 // requested view's projection. Sketches are built lazily and cached,

@@ -1,0 +1,115 @@
+package estimate
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fmOf sketches the hashes of n seeded pseudo-random items.
+func fmOf(m int, seed int64, n int) *FMSketch {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewFMSketch(m)
+	for i := 0; i < n; i++ {
+		s.Add(Hash64(rng.Uint64()))
+	}
+	return s
+}
+
+// TestFMMergeCommutativeAssociative: union semantics make merge order
+// irrelevant — A∪B = B∪A and (A∪B)∪C = A∪(B∪C), bit for bit.
+func TestFMMergeCommutativeAssociative(t *testing.T) {
+	const m = 64
+	a := fmOf(m, 1, 500)
+	b := fmOf(m, 2, 2000)
+	c := fmOf(m, 3, 50)
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !bytes.Equal(ab.AppendBinary(nil), ba.AppendBinary(nil)) {
+		t.Fatal("merge is not commutative")
+	}
+
+	abc := ab.Clone()
+	abc.Merge(c)
+	bc := b.Clone()
+	bc.Merge(c)
+	aBC := a.Clone()
+	aBC.Merge(bc)
+	if !bytes.Equal(abc.AppendBinary(nil), aBC.AppendBinary(nil)) {
+		t.Fatal("merge is not associative")
+	}
+
+	// Idempotence: merging a sketch with itself changes nothing.
+	aa := a.Clone()
+	aa.Merge(a)
+	if !bytes.Equal(aa.AppendBinary(nil), a.AppendBinary(nil)) {
+		t.Fatal("merge is not idempotent")
+	}
+}
+
+func TestFMSerializationRoundTrip(t *testing.T) {
+	for _, m := range []int{1, 8, 256} {
+		s := fmOf(m, 42, 1000)
+		b := s.AppendBinary(nil)
+		if len(b) != s.Bytes() {
+			t.Fatalf("m=%d: serialized %d bytes, Bytes() says %d", m, len(b), s.Bytes())
+		}
+		back, err := FMFromBinary(b)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !bytes.Equal(back.AppendBinary(nil), b) {
+			t.Fatalf("m=%d: round-trip blob differs", m)
+		}
+		if back.Estimate() != s.Estimate() {
+			t.Fatalf("m=%d: round-trip estimate differs", m)
+		}
+	}
+
+	for _, bad := range [][]byte{nil, make([]byte, 7), make([]byte, 24)} {
+		if _, err := FMFromBinary(bad); err == nil {
+			t.Fatalf("blob of %d bytes accepted", len(bad))
+		}
+	}
+}
+
+// TestFMErrorBoundByCardinality checks the estimate at several true
+// cardinalities against the PCSA standard error (~0.78/sqrt(m), 2.4%
+// at m=1024), from the corrected small range (n ≈ 4m) up. Seeds are
+// fixed, so this pins actual behavior; the 10% tolerance is ~4
+// standard errors.
+func TestFMErrorBoundByCardinality(t *testing.T) {
+	const m = 1024
+	for _, n := range []int{4096, 20000, 100000, 500000} {
+		s := fmOf(m, int64(n), n)
+		est := s.Estimate()
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if rel > 0.10 {
+			t.Errorf("n=%d: estimate %.0f (rel err %.3f > 0.10)", n, est, rel)
+		}
+	}
+}
+
+// TestHash64Distributes sanity-checks the scalar hash: distinct inputs
+// rarely collide and low bits are usable for bucket selection.
+func TestHash64Distributes(t *testing.T) {
+	seen := make(map[uint64]bool, 10000)
+	var buckets [16]int
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash64(i)
+		if seen[h] {
+			t.Fatalf("collision at input %d", i)
+		}
+		seen[h] = true
+		buckets[h&15]++
+	}
+	for b, n := range buckets {
+		if n < 400 || n > 850 { // ~625 expected
+			t.Fatalf("bucket %d has %d of 10000 (poorly mixed low bits)", b, n)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/pipesort"
 	"repro/internal/record"
 	"repro/internal/samplesort"
+	"repro/internal/sketch"
 )
 
 // Phase names of the incremental pipeline, charged on the simulated
@@ -87,6 +88,10 @@ type Config struct {
 	SampleCap int
 	// Agg is the aggregate operator (default record.OpSum).
 	Agg record.AggOp
+	// Sketch is the shared sketch store backing holistic operators
+	// (required when Agg is holistic; must be the same store the cube
+	// was built against so live handles resolve).
+	Sketch *sketch.Store
 	// Cards optionally carries the per-dimension effective
 	// cardinalities (core Config.Cards): delta external sorts then run
 	// with caller-supplied key plans instead of measuring per run.
@@ -126,6 +131,9 @@ func (c Config) validate(m *cluster.Machine, batch *record.Table, sel []lattice.
 	}
 	if c.SampleCap < 0 {
 		return fmt.Errorf("ingest: negative sample cap %d", c.SampleCap)
+	}
+	if c.Agg.Holistic() && c.Sketch == nil {
+		return fmt.Errorf("ingest: holistic aggregate %v requires a sketch store", c.Agg)
 	}
 	full := lattice.Full(c.D)
 	for _, v := range sel {
@@ -260,6 +268,11 @@ func IngestBatch(m *cluster.Machine, batch *record.Table, cfg Config) (Result, e
 		return Result{}, err
 	}
 	defer m.SetFaults(nil)
+	if cfg.Sketch != nil && cfg.Agg.Holistic() {
+		// Sketch payloads ride the delta h-relations with their handles.
+		sz := rankAgg(cfg, 0)
+		m.SetTableSizer(func(t *record.Table) int { return sz.TableStateBytes(t) })
+	}
 
 	np := m.P()
 	before := make([]map[string]bool, np)
@@ -338,6 +351,17 @@ func IngestBatch(m *cluster.Machine, batch *record.Table, cfg Config) (Result, e
 	return res, nil
 }
 
+// rankAgg builds the aggregate descriptor a processor applies to
+// measures: the configured operator plus, for holistic operators, this
+// rank's combiner into the shared sketch store.
+func rankAgg(cfg Config, rank int) record.Agg {
+	agg := record.Agg{Op: cfg.Agg}
+	if cfg.Sketch != nil && cfg.Agg.Holistic() {
+		agg.State = cfg.Sketch.Rank(rank)
+	}
+	return agg
+}
+
 // ingestOnProc is the SPMD body of one batch.
 func ingestOnProc(p *cluster.Proc, batch *record.Table, cfg Config, sel []lattice.ViewID, out *procOut) {
 	d := cfg.D
@@ -411,6 +435,7 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 	root := lattice.Root(i, d)
 	rootOrder := lattice.Canonical(root)
 	rootDelta := deltaFile(root)
+	agg := rankAgg(cfg, p.Rank())
 
 	// Local delta root: sort + scan of the local batch share (the
 	// ingest analogue of build Step 1a).
@@ -426,7 +451,7 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 	} else {
 		extsort.Sort(disk, rootDelta)
 	}
-	localAggregate(p, rootDelta, cfg.Agg)
+	localAggregate(p, rootDelta, agg)
 
 	// Boundary-aligned Adaptive–Sample–Sort: the live root's gathered
 	// last keys stand in for sampled pivots, so every delta row lands
@@ -445,7 +470,7 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 		}
 	}
 	if aligned && p.P() > 1 {
-		mergepart.RouteMerge(p, rootDelta, ranges, cfg.Agg)
+		mergepart.RouteMergeAgg(p, rootDelta, ranges, agg)
 	}
 
 	// Pipesort over the build's schedule tree (reused, not re-planned);
@@ -459,7 +484,7 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 	if sampleCap == 0 {
 		sampleCap = 100 * p.P()
 	}
-	pipesort.ExecuteOpts(disk, tree, deltaFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg})
+	pipesort.ExecuteOpts(disk, tree, deltaFile, pipesort.Options{SampleCap: sampleCap, Op: cfg.Agg, State: agg.State})
 
 	// Drop delta intermediates the plan materialized but nobody merges.
 	selSet := map[lattice.ViewID]bool{}
@@ -481,6 +506,7 @@ func deltaBuildDim(p *cluster.Proc, cfg Config, i int, partSel []lattice.ViewID)
 func mergeDelta(p *cluster.Proc, cfg Config, v lattice.ViewID, aligned bool, rootOrder lattice.Order, out *procOut) {
 	disk := p.Disk()
 	clk := p.Clock()
+	agg := rankAgg(cfg, p.Rank())
 	order := cfg.Orders[v]
 	df := deltaFile(v)
 	lf := core.ViewFile(v)
@@ -509,8 +535,8 @@ func mergeDelta(p *cluster.Proc, cfg Config, v lattice.ViewID, aligned bool, roo
 		// exchange agglomerates them.
 		delta := disk.MustTake(df)
 		clk.AddCompute(costmodel.MergeOps(delta.Len()+live.Len(), 2))
-		disk.Put(sf, record.MergeSortedAggregateOp([]*record.Table{live, delta}, cfg.Agg))
-		mergepart.BoundaryAgglomerate(p, sf, cfg.Agg)
+		disk.Put(sf, record.MergeSortedAggregateAgg([]*record.Table{live, delta}, agg))
+		mergepart.BoundaryAgglomerateAgg(p, sf, agg)
 		out.cases[mergepart.CasePrefix]++
 		return
 	}
@@ -535,17 +561,17 @@ func mergeDelta(p *cluster.Proc, cfg Config, v lattice.ViewID, aligned bool, roo
 		// it with the full sample sort (Case 3 machinery).
 		disk.Put(sf, disk.MustTake(df))
 		if p.P() > 1 {
-			samplesort.SortPresorted(p, sf, cfg.MergeGamma, cfg.Agg)
-			mergepart.BoundaryAgglomerate(p, sf, cfg.Agg)
+			samplesort.SortPresortedAgg(p, sf, cfg.MergeGamma, agg)
+			mergepart.BoundaryAgglomerateAgg(p, sf, agg)
 		}
 		out.cases[mergepart.CaseGlobalSort]++
 		return
 	}
 
-	mergepart.RouteMerge(p, df, ranges, cfg.Agg)
+	mergepart.RouteMergeAgg(p, df, ranges, agg)
 	delta := disk.MustTake(df)
 	clk.AddCompute(costmodel.MergeOps(delta.Len()+live.Len(), 2))
-	merged := record.MergeSortedAggregateOp([]*record.Table{live, delta}, cfg.Agg)
+	merged := record.MergeSortedAggregateAgg([]*record.Table{live, delta}, agg)
 	disk.Put(sf, merged)
 
 	// Case 2 keeps the live partitioning, so key ranges stay disjoint
@@ -554,8 +580,8 @@ func mergeDelta(p *cluster.Proc, cfg Config, v lattice.ViewID, aligned bool, roo
 	// (Case 3).
 	sizes := cluster.AllGather(p, merged.Len(), 8)
 	if p.P() > 1 && balance.Imbalance(sizes) > cfg.MergeGamma {
-		samplesort.SortPresorted(p, sf, cfg.MergeGamma, cfg.Agg)
-		mergepart.BoundaryAgglomerate(p, sf, cfg.Agg)
+		samplesort.SortPresortedAgg(p, sf, cfg.MergeGamma, agg)
+		mergepart.BoundaryAgglomerateAgg(p, sf, agg)
 		out.cases[mergepart.CaseGlobalSort]++
 		return
 	}
@@ -564,11 +590,11 @@ func mergeDelta(p *cluster.Proc, cfg Config, v lattice.ViewID, aligned bool, roo
 
 // localAggregate rewrites a sorted file with adjacent duplicate keys
 // collapsed (the same sequential scan as build Step 1a).
-func localAggregate(p *cluster.Proc, file string, op record.AggOp) {
+func localAggregate(p *cluster.Proc, file string, agg record.Agg) {
 	disk := p.Disk()
 	t := disk.MustTake(file)
 	p.Clock().AddCompute(costmodel.ScanOps(t.Len()))
-	disk.Put(file, record.AggregateSortedOp(t, t.D, op))
+	disk.Put(file, record.AggregateSortedAgg(t, t.D, agg))
 }
 
 // deltaTree derives a schedule tree for dimension i from the agreed

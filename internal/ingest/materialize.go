@@ -11,6 +11,7 @@ import (
 	"repro/internal/mergepart"
 	"repro/internal/record"
 	"repro/internal/samplesort"
+	"repro/internal/sketch"
 )
 
 // PhaseAdvise covers online view materialization and retirement (the
@@ -33,6 +34,9 @@ type MaterializeOptions struct {
 	MergeGamma float64
 	// Agg is the aggregate operator (default record.OpSum).
 	Agg record.AggOp
+	// Sketch is the shared sketch store backing holistic operators
+	// (required when Agg is holistic).
+	Sketch *sketch.Store
 }
 
 // MaterializeResult reports what one online materialization cost.
@@ -73,6 +77,9 @@ func MaterializeView(m *cluster.Machine, opts MaterializeOptions) (MaterializeRe
 	if !opts.View.SubsetOf(opts.Src) || opts.View == opts.Src {
 		return MaterializeResult{}, fmt.Errorf("ingest: view %v is not a strict subset of source %v", opts.View, opts.Src)
 	}
+	if opts.Agg.Holistic() && opts.Sketch == nil {
+		return MaterializeResult{}, fmt.Errorf("ingest: holistic aggregate %v requires a sketch store", opts.Agg)
+	}
 
 	// Column of each source dimension in the ancestor's layout.
 	col := make(map[int]int, len(opts.SrcOrder))
@@ -98,6 +105,10 @@ func MaterializeView(m *cluster.Machine, opts MaterializeOptions) (MaterializeRe
 		p.SetPhase(PhaseAdvise)
 		disk := p.Disk()
 		clk := p.Clock()
+		agg := record.Agg{Op: opts.Agg}
+		if opts.Sketch != nil && opts.Agg.Holistic() {
+			agg.State = opts.Sketch.Rank(p.Rank())
+		}
 		var local *record.Table
 		if disk.Len(srcFile) > 0 {
 			local = disk.MustGet(srcFile) // charged read
@@ -110,13 +121,13 @@ func MaterializeView(m *cluster.Machine, opts MaterializeOptions) (MaterializeRe
 		// Local sort + adjacent aggregation; the ancestor slice is
 		// sorted in SrcOrder, which need not sort the projection.
 		extsort.Sort(disk, sf)
-		localAggregate(p, sf, opts.Agg)
+		localAggregate(p, sf, agg)
 		if np > 1 {
 			// Redistribute to the global order; equal keys arriving
 			// from different processors collapse during the merge and
 			// at the boundaries.
-			samplesort.SortPresorted(p, sf, opts.MergeGamma, opts.Agg)
-			mergepart.BoundaryAgglomerate(p, sf, opts.Agg)
+			samplesort.SortPresortedAgg(p, sf, opts.MergeGamma, agg)
+			mergepart.BoundaryAgglomerateAgg(p, sf, agg)
 		}
 		cluster.Barrier(p) // commit: every slice staged successfully
 		disk.Remove(core.ViewFile(opts.View))

@@ -81,6 +81,13 @@ func MergeView(p *cluster.Proc, file string, view lattice.ViewID, localOrder, ta
 
 // MergeViewOp is MergeView with an explicit aggregate operator.
 func MergeViewOp(p *cluster.Proc, file string, view lattice.ViewID, localOrder, targetOrder, globalOrder lattice.Order, gamma float64, op record.AggOp) ViewResult {
+	return MergeViewAgg(p, file, view, localOrder, targetOrder, globalOrder, gamma, record.Agg{Op: op})
+}
+
+// MergeViewAgg is MergeView with sketch state for holistic operators:
+// every cross-processor agglomeration combines sketches through this
+// processor's combiner and seals before rows ship or land on disk.
+func MergeViewAgg(p *cluster.Proc, file string, view lattice.ViewID, localOrder, targetOrder, globalOrder lattice.Order, gamma float64, agg record.Agg) ViewResult {
 	res := ViewResult{View: view}
 	if !localOrder.Equal(targetOrder) {
 		resortLocal(p, file, localOrder, targetOrder)
@@ -100,7 +107,7 @@ func MergeViewOp(p *cluster.Proc, file string, view lattice.ViewID, localOrder, 
 
 	if targetOrder.IsPrefixOf(globalOrder) {
 		res.Case = CasePrefix
-		res.Rows = BoundaryAgglomerate(p, file, op)
+		res.Rows = BoundaryAgglomerateAgg(p, file, agg)
 		return res
 	}
 
@@ -114,13 +121,13 @@ func MergeViewOp(p *cluster.Proc, file string, view lattice.ViewID, localOrder, 
 
 	if res.Imbalance <= gamma {
 		res.Case = CaseOverlap
-		res.Rows = overlapMerge(p, file, ranges, op)
+		res.Rows = overlapMerge(p, file, ranges, agg)
 		return res
 	}
 
 	res.Case = CaseGlobalSort
-	samplesort.SortPresorted(p, file, gamma, op)
-	res.Rows = BoundaryAgglomerate(p, file, op)
+	samplesort.SortPresortedAgg(p, file, gamma, agg)
+	res.Rows = BoundaryAgglomerateAgg(p, file, agg)
 	return res
 }
 
@@ -237,13 +244,19 @@ func addVectors(a, b []int) []int {
 // root's slice boundaries and to exchange delta overlap runs before
 // two-way merging into non-prefix views.
 func RouteMerge(p *cluster.Proc, file string, ranges []KeyRange, op record.AggOp) int {
-	return overlapMerge(p, file, ranges, op)
+	return overlapMerge(p, file, ranges, record.Agg{Op: op})
+}
+
+// RouteMergeAgg is RouteMerge with sketch state for holistic
+// operators.
+func RouteMergeAgg(p *cluster.Proc, file string, ranges []KeyRange, agg record.Agg) int {
+	return overlapMerge(p, file, ranges, agg)
 }
 
 // overlapMerge is Case 2: route every local row to its range owner,
 // then merge and agglomerate the received sorted runs. When no rows
 // cross processor boundaries the file is left untouched (no rewrite).
-func overlapMerge(p *cluster.Proc, file string, ranges []KeyRange, op record.AggOp) int {
+func overlapMerge(p *cluster.Proc, file string, ranges []KeyRange, agg record.Agg) int {
 	disk := p.Disk()
 	t := disk.MustGet(file) // read to route; not yet rewritten
 	np := p.P()
@@ -288,7 +301,7 @@ func overlapMerge(p *cluster.Proc, file string, ranges []KeyRange, op record.Agg
 	in[me] = kept
 	total := received + kept.Len()
 	p.Clock().AddCompute(costmodel.MergeOps(total, np))
-	merged := record.MergeSortedAggregateOp(in, op)
+	merged := record.MergeSortedAggregateAgg(in, agg)
 	disk.Remove(file)
 	disk.Put(file, merged)
 	return merged.Len()
@@ -313,6 +326,14 @@ type boundaryInfo struct {
 // incremental-ingest delta merge, which reuses the same cascade after
 // merging delta slices into prefix views.
 func BoundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
+	return BoundaryAgglomerateAgg(p, file, record.Agg{Op: op})
+}
+
+// BoundaryAgglomerateAgg is BoundaryAgglomerate with sketch state for
+// holistic operators. Every measure the cascade combines is sealed
+// before it ships in a boundary digest or lands in the view file, and
+// digests carrying sketch handles charge the sketch payload bytes.
+func BoundaryAgglomerateAgg(p *cluster.Proc, file string, agg record.Agg) int {
 	disk := p.Disk()
 	np := p.P()
 	n := disk.Len(file)
@@ -347,11 +368,15 @@ func BoundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
 			my.FirstMeas = firstMeas
 			if front == n-1 && hasPending {
 				// Single remaining row: any measure absorbed from the
-				// right lives in this row and must travel with it.
-				my.FirstMeas = op.Combine(my.FirstMeas, pending)
+				// right lives in this row and must travel with it. The
+				// combine lands only in the shipped digest — local
+				// pending state is untouched in case the row stays.
+				my.FirstMeas = agg.Seal(agg.Combine(my.FirstMeas, pending))
 			}
 		}
-		infos := cluster.AllGather(p, my, infoBytes)
+		// Sketch-backed measures ship their serialized state with the
+		// digest; charge it on top of the fixed digest layout.
+		infos := cluster.AllGather(p, my, infoBytes+agg.StateBytes(my.FirstMeas))
 
 		// Deterministic matching, identical on every processor: each
 		// non-empty processor j whose first key equals the last key of
@@ -392,7 +417,7 @@ func BoundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
 		me := p.Rank()
 		if hasAbsorb[me] {
 			if hasPending {
-				pending = op.Combine(pending, absorb[me])
+				pending = agg.Seal(agg.Combine(pending, absorb[me]))
 			} else {
 				pending = absorb[me]
 				hasPending = true
@@ -408,7 +433,7 @@ func BoundaryAgglomerate(p *cluster.Proc, file string, op record.AggOp) int {
 		disk.Mutate(file, record.RowBytes(cols), func(t *record.Table) *record.Table {
 			if hp {
 				last := t.Len() - 1
-				t.SetMeas(last, op.Combine(t.Meas(last), d))
+				t.SetMeas(last, agg.Seal(agg.Combine(t.Meas(last), d)))
 			}
 			if f > 0 {
 				t = t.Sub(f, t.Len())

@@ -20,6 +20,10 @@ type Options struct {
 	SampleCap int
 	// Op is the aggregate operator (default record.OpSum).
 	Op record.AggOp
+	// State is this processor's sketch-state combiner, required when Op
+	// is holistic: group accumulators then live in the sketch store and
+	// flushed rows carry sealed handles.
+	State record.StateCombiner
 }
 
 // Stats summarizes one execution of a schedule tree.
@@ -106,7 +110,7 @@ func emitChain(disk *simdisk.Disk, src *record.Table, chain []*lattice.Node, inc
 		lens[i] = len(m.Order)
 		outs[i] = record.New(lens[i], 0)
 	}
-	pipelineAggregate(src, lens, outs, opts.Op)
+	pipelineAggregate(src, lens, outs, record.Agg{Op: opts.Op, State: opts.State})
 
 	emitted := 0
 	for i, m := range members {
@@ -130,7 +134,7 @@ func emitChain(disk *simdisk.Disk, src *record.Table, chain []*lattice.Node, inc
 // lens (each <= src.D), appending results to the corresponding outs
 // table. This is the Pipesort pipeline: one scan computes every view
 // in a scan chain.
-func pipelineAggregate(src *record.Table, lens []int, outs []*record.Table, op record.AggOp) {
+func pipelineAggregate(src *record.Table, lens []int, outs []*record.Table, agg record.Agg) {
 	n := src.Len()
 	if n == 0 {
 		return
@@ -139,6 +143,7 @@ func pipelineAggregate(src *record.Table, lens []int, outs []*record.Table, op r
 	groupStart := make([]int, k)
 	accs := make([]int64, k)
 	fresh := make([]bool, k)
+	combined := make([]bool, k)
 	for i := 0; i < k; i++ {
 		accs[i] = src.Meas(0)
 	}
@@ -150,6 +155,12 @@ func pipelineAggregate(src *record.Table, lens []int, outs []*record.Table, op r
 	}
 	flush := func(i, row int) {
 		gs := groupStart[i]
+		if combined[i] {
+			// Seal combined accumulators on emit: flushed rows may be
+			// stored, shipped, or merged downstream.
+			accs[i] = agg.Seal(accs[i])
+			combined[i] = false
+		}
 		outs[i].Append(src.Row(gs)[:lens[i]], accs[i])
 		groupStart[i] = row
 		fresh[i] = true
@@ -174,7 +185,8 @@ func pipelineAggregate(src *record.Table, lens []int, outs []*record.Table, op r
 				accs[i] = m
 				fresh[i] = false
 			} else {
-				accs[i] = op.Combine(accs[i], m)
+				accs[i] = agg.Combine(accs[i], m)
+				combined[i] = true
 			}
 		}
 	}

@@ -279,7 +279,7 @@ func TestPipelineAggregateMultiLevel(t *testing.T) {
 	for i, l := range lens {
 		outs[i] = record.New(l, 0)
 	}
-	pipelineAggregate(raw, lens, outs, record.OpSum)
+	pipelineAggregate(raw, lens, outs, record.Agg{Op: record.OpSum})
 	for i, l := range lens {
 		want := record.AggregateSorted(raw, l)
 		if !record.Equal(outs[i], want) {

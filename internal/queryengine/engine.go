@@ -31,6 +31,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/lattice"
 	"repro/internal/record"
+	"repro/internal/sketch"
 )
 
 // ErrStalePlan reports that a query was planned against a view set
@@ -48,6 +49,11 @@ var ErrStalePlan = errors.New("queryengine: plan is stale (materialized view set
 type Engine struct {
 	m  *cluster.Machine
 	op record.AggOp
+	// sk backs holistic operators: view measures are handles into it,
+	// query-time merges run in scratch shards released per query, and
+	// results carry resolved estimates instead of handles. Nil for
+	// algebraic operators.
+	sk *sketch.Store
 
 	mu sync.Mutex // serializes machine access across Execute/Maintain
 
@@ -122,6 +128,19 @@ func New(m *cluster.Machine, orders map[lattice.ViewID]lattice.Order, rows map[l
 		demand:   make(map[lattice.ViewID]*ViewDemand),
 	}
 }
+
+// SetSketch attaches the sketch store backing a holistic operator.
+// Call it once, before any query executes; Execute panics on a
+// holistic engine without a store.
+func (e *Engine) SetSketch(st *sketch.Store) { e.sk = st }
+
+// Sketch returns the attached sketch store (nil for algebraic
+// operators).
+func (e *Engine) Sketch() *sketch.Store { return e.sk }
+
+// Holistic reports whether the engine's operator aggregates through
+// sketch state, i.e. query results are estimates.
+func (e *Engine) Holistic() bool { return e.op.Holistic() }
 
 // ViewVersion returns view v's version counter. It starts at 0 and is
 // bumped by InvalidateView whenever an ingest batch replaces the
@@ -324,6 +343,10 @@ type Query struct {
 	// NoIndex forces full scans even when the bounds cover a prefix of
 	// the view's sort order (for the indexed-vs-scan comparison).
 	NoIndex bool
+	// Percentile is the rank (in [0,1]) a quantile-operator engine
+	// resolves each group's sketch at; ignored for every other
+	// operator.
+	Percentile float64
 	// Need is the exact target view (every grouped or bounded
 	// dimension); when Need != View the query is a superset fallback.
 	// NewQuery sets it; it feeds the per-view demand counters, not the
@@ -354,6 +377,9 @@ func (q Query) Key() string {
 	}
 	if q.NoIndex {
 		sb.WriteString("|noidx")
+	}
+	if q.Percentile != 0 {
+		fmt.Fprintf(&sb, "|p%g", q.Percentile)
 	}
 	return sb.String()
 }
@@ -462,15 +488,39 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 	bytes0 := e.m.Stats().BytesMoved
 
 	p := e.m.P()
+	if e.op.Holistic() && e.sk == nil {
+		panic("queryengine: holistic operator without a sketch store (call SetSketch)")
+	}
+	// Holistic queries combine group state in per-rank scratch shards,
+	// resolved to estimates at the root and released before returning —
+	// the store's rank shards (the live cube's state) are never touched.
+	var scratch []*sketch.Combiner
+	if e.op.Holistic() {
+		scratch = make([]*sketch.Combiner, p)
+		for r := 0; r < p; r++ {
+			scratch[r] = e.sk.Scratch()
+		}
+		defer func() {
+			for _, c := range scratch {
+				e.sk.ReleaseScratch(c)
+			}
+		}()
+	}
 	scanned := make([]int64, p)
 	idxUsed := make([]bool, p)
 	var out *record.Table
 	err := e.m.Run(func(pr *cluster.Proc) {
 		pr.SetPhase("query")
-		part, n, used := e.scanLocal(pr, q)
+		agg := record.Agg{Op: e.op}
+		if scratch != nil {
+			agg.State = scratch[pr.Rank()]
+		}
+		part, n, used := e.scanLocal(pr, q, agg)
 		scanned[pr.Rank()] = n
 		idxUsed[pr.Rank()] = used
-		parts := cluster.Gather(pr, 0, part, part.Bytes())
+		// Sketch payloads travel with their handles: the gather charge
+		// includes the serialized state of every shipped group.
+		parts := cluster.Gather(pr, 0, part, part.Bytes()+agg.TableStateBytes(part))
 		if pr.Rank() == 0 {
 			total, streams := 0, 0
 			for _, t := range parts {
@@ -482,7 +532,16 @@ func (e *Engine) Execute(q Query) (*record.Table, Metrics, error) {
 			// Loser-tree k-way merge on packed keys (heap fallback for
 			// unpackable keys); the MergeOps charge is path-independent.
 			pr.Clock().AddCompute(costmodel.MergeOps(total, streams))
-			out = record.MergeSortedAggregateOp(parts, e.op)
+			out = record.MergeSortedAggregateAgg(parts, agg)
+			if scratch != nil {
+				// Resolve handles to estimates in place: the result the
+				// caller sees carries plain values, never handles into
+				// scratch shards about to be released.
+				pr.Clock().AddCompute(costmodel.ScanOps(out.Len()))
+				for i := 0; i < out.Len(); i++ {
+					out.SetMeas(i, e.sk.EstimateMeasure(out.Meas(i), q.Percentile))
+				}
+			}
 		}
 	})
 	if err != nil {
@@ -523,7 +582,7 @@ func orderEqual(a, b lattice.Order) bool {
 // remaining rows applying residual bounds, project onto OutCols, and
 // partially aggregate. Returns the sorted partial aggregate, the
 // number of source rows scanned, and whether the index was used.
-func (e *Engine) scanLocal(pr *cluster.Proc, q Query) (*record.Table, int64, bool) {
+func (e *Engine) scanLocal(pr *cluster.Proc, q Query, agg record.Agg) (*record.Table, int64, bool) {
 	disk := pr.Disk()
 	clk := pr.Clock()
 	file := core.ViewFile(q.View)
@@ -595,7 +654,7 @@ func (e *Engine) scanLocal(pr *cluster.Proc, q Query) (*record.Table, int64, boo
 		proj.Append(key, rows.Meas(i))
 	}
 	clk.AddCompute(costmodel.SortOps(proj.Len()) + costmodel.ScanOps(proj.Len()))
-	return record.SortAggregateOp(proj, e.op), int64(n), indexed
+	return record.SortAggregateAgg(proj, agg), int64(n), indexed
 }
 
 // sliceIndex returns this processor's prefix index of the view,

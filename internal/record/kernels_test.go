@@ -243,8 +243,8 @@ func TestLoserTreeMergeMatchesHeapOracle(t *testing.T) {
 		}
 		for _, aggregate := range []bool{false, true} {
 			for _, op := range []AggOp{OpSum, OpMin, OpMax} {
-				want := mergeSortedHeap(tables, d, total, aggregate, op)
-				got := mergeSortedOp(tables, aggregate, op)
+				want := mergeSortedHeap(tables, d, total, aggregate, Agg{Op: op})
+				got := mergeSortedAgg(tables, aggregate, Agg{Op: op})
 				if !Equal(got, want) {
 					t.Fatalf("trial %d (k=%d d=%d agg=%v op=%v): tree merge differs from heap",
 						trial, k, d, aggregate, op)
@@ -383,7 +383,7 @@ func TestZeroColumnMergeAndPlan(t *testing.T) {
 	if got.Len() != 1 || got.Meas(0) != 313 {
 		t.Fatalf("zero-column aggregate merge: len=%d meas=%v", got.Len(), got)
 	}
-	want := mergeSortedHeap([]*Table{mk(1, 2), mk(10), mk(100, 200)}, 0, 5, true, OpSum)
+	want := mergeSortedHeap([]*Table{mk(1, 2), mk(10), mk(100, 200)}, 0, 5, true, Agg{Op: OpSum})
 	if !Equal(got, want) {
 		t.Fatal("zero-column merge differs from heap oracle")
 	}

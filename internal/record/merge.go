@@ -38,17 +38,17 @@ func MergeSorted(tables []*Table) *Table {
 // required to be internally duplicate-free). Use
 // MergeSortedAggregateOp for other aggregate operators.
 func MergeSortedAggregate(tables []*Table) *Table {
-	return mergeSortedOp(tables, true, OpSum)
+	return mergeSortedAgg(tables, true, Agg{Op: OpSum})
 }
 
 func mergeSorted(tables []*Table, aggregate bool) *Table {
-	return mergeSortedOp(tables, aggregate, OpSum)
+	return mergeSortedAgg(tables, aggregate, Agg{Op: OpSum})
 }
 
-// mergeSortedOp dispatches between the packed-key loser-tree kernel
+// mergeSortedAgg dispatches between the packed-key loser-tree kernel
 // and the comparison/heap fallback. Both produce identical output: the
 // same global order with ties broken by input index.
-func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
+func mergeSortedAgg(tables []*Table, aggregate bool, agg Agg) *Table {
 	d := -1
 	total := 0
 	live := 0
@@ -88,10 +88,10 @@ func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
 			}
 		}
 		if kp.Packable() {
-			return mergeSortedTree(tables, d, total, kp, aggregate, op)
+			return mergeSortedTree(tables, d, total, kp, aggregate, agg)
 		}
 	}
-	return mergeSortedHeap(tables, d, total, aggregate, op)
+	return mergeSortedHeap(tables, d, total, aggregate, agg)
 }
 
 // mergeSortedTree is the kernel path: bulk-extract each input's packed
@@ -99,7 +99,7 @@ func mergeSortedOp(tables []*Table, aggregate bool, op AggOp) *Table {
 // duplicate test is one (or two) word compares against the last
 // emitted key instead of a D-column row compare — packing is injective
 // under the union plan, so key equality is row equality.
-func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, op AggOp) *Table {
+func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, agg Agg) *Table {
 	wide := kp.Wide()
 	type stream struct {
 		t      *Table
@@ -131,6 +131,7 @@ func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, 
 	out := New(d, total)
 	var lastHi, lastLo uint64
 	have := false
+	lastCombined := false
 	for {
 		w := lt.Winner()
 		if w < 0 {
@@ -143,8 +144,13 @@ func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, 
 			kh = s.hi[s.pos]
 		}
 		if aggregate && have && kh == lastHi && kl == lastLo {
-			out.SetMeas(out.Len()-1, op.Combine(out.Meas(out.Len()-1), s.t.Meas(s.pos)))
+			out.SetMeas(out.Len()-1, agg.Combine(out.Meas(out.Len()-1), s.t.Meas(s.pos)))
+			lastCombined = true
 		} else {
+			if lastCombined {
+				out.SetMeas(out.Len()-1, agg.Seal(out.Meas(out.Len()-1)))
+				lastCombined = false
+			}
 			out.AppendFrom(s.t, s.pos)
 			lastHi, lastLo, have = kh, kl, true
 		}
@@ -157,12 +163,15 @@ func mergeSortedTree(tables []*Table, d, total int, kp KeyPlan, aggregate bool, 
 		}
 		lt.Fix()
 	}
+	if lastCombined {
+		out.SetMeas(out.Len()-1, agg.Seal(out.Meas(out.Len()-1)))
+	}
 	return out
 }
 
 // mergeSortedHeap is the comparison fallback (and the oracle the
 // kernel path is tested against): a container/heap of row cursors.
-func mergeSortedHeap(tables []*Table, d, total int, aggregate bool, op AggOp) *Table {
+func mergeSortedHeap(tables []*Table, d, total int, aggregate bool, agg Agg) *Table {
 	out := New(d, total)
 	h := make(mergeHeap, 0, len(tables))
 	for i, t := range tables {
@@ -171,13 +180,19 @@ func mergeSortedHeap(tables []*Table, d, total int, aggregate bool, op AggOp) *T
 		}
 	}
 	heap.Init(&h)
+	lastCombined := false
 	for !h.empty() {
 		it := h.peek()
 		row := it.t
 		pos := it.pos
 		if aggregate && out.Len() > 0 && CompareTables(out, out.Len()-1, row, pos, d) == 0 {
-			out.SetMeas(out.Len()-1, op.Combine(out.Meas(out.Len()-1), row.Meas(pos)))
+			out.SetMeas(out.Len()-1, agg.Combine(out.Meas(out.Len()-1), row.Meas(pos)))
+			lastCombined = true
 		} else {
+			if lastCombined {
+				out.SetMeas(out.Len()-1, agg.Seal(out.Meas(out.Len()-1)))
+				lastCombined = false
+			}
 			out.AppendFrom(row, pos)
 		}
 		if it.pos++; it.pos >= it.t.Len() {
@@ -185,6 +200,9 @@ func mergeSortedHeap(tables []*Table, d, total int, aggregate bool, op AggOp) *T
 		} else {
 			heap.Fix(&h, 0)
 		}
+	}
+	if lastCombined {
+		out.SetMeas(out.Len()-1, agg.Seal(out.Meas(out.Len()-1)))
 	}
 	return out
 }

@@ -40,7 +40,7 @@ func keyBytes(cols int) int { return record.DimBytes * cols }
 // the global order: all rows on Pj sort no later than all rows on
 // Pj+1. Must be called by all processors of the machine (SPMD).
 func Sort(p *cluster.Proc, file string, gamma float64) Result {
-	return sortImpl(p, file, gamma, false, record.OpSum)
+	return sortImpl(p, file, gamma, false, record.Agg{Op: record.OpSum})
 }
 
 // SortPresorted is Sort for files already locally sorted (e.g. views
@@ -49,10 +49,17 @@ func Sort(p *cluster.Proc, file string, gamma float64) Result {
 // the p-way merge, so equal view keys arriving from different
 // processors collapse in the same pass.
 func SortPresorted(p *cluster.Proc, file string, gamma float64, op record.AggOp) Result {
-	return sortImpl(p, file, gamma, true, op)
+	return sortImpl(p, file, gamma, true, record.Agg{Op: op})
 }
 
-func sortImpl(p *cluster.Proc, file string, gamma float64, presorted bool, op record.AggOp) Result {
+// SortPresortedAgg is SortPresorted with sketch state for holistic
+// operators: equal keys collapsing during the p-way merge combine
+// their sketches through the processor's combiner.
+func SortPresortedAgg(p *cluster.Proc, file string, gamma float64, agg record.Agg) Result {
+	return sortImpl(p, file, gamma, true, agg)
+}
+
+func sortImpl(p *cluster.Proc, file string, gamma float64, presorted bool, agg record.Agg) Result {
 	disk := p.Disk()
 	clk := p.Clock()
 	np := p.P()
@@ -138,7 +145,7 @@ func sortImpl(p *cluster.Proc, file string, gamma float64, presorted bool, op re
 	var merged *record.Table
 	if presorted {
 		// View redistribution: collapse equal keys while merging.
-		merged = record.MergeSortedAggregateOp(in, op)
+		merged = record.MergeSortedAggregateAgg(in, agg)
 	} else {
 		merged = record.MergeSorted(in)
 	}

@@ -233,6 +233,19 @@ func (d *Disk) Get(name string) (*record.Table, bool) {
 	return f.st.Table(), true
 }
 
+// Peek returns shared read-only access to the named file without
+// charging the clock. It is host-side introspection for post-run
+// metrics collection (like Len and StoredBytes), not a primitive the
+// simulated algorithm may use: algorithm reads go through Get/Take and
+// pay for their bytes.
+func (d *Disk) Peek(name string) (*record.Table, bool) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, false
+	}
+	return f.st.Table(), true
+}
+
 // MustGet is Get but panics if the file does not exist.
 func (d *Disk) MustGet(name string) *record.Table {
 	t, ok := d.Get(name)

@@ -1,0 +1,438 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blob returns the canonical serialized form of a sketch.
+func blob(m Mergeable) []byte { return m.AppendBinary(nil) }
+
+func TestDistinctExactBelowThreshold(t *testing.T) {
+	d := NewDistinct(64, 256)
+	for i := 0; i < 200; i++ {
+		d.Insert(int64(i % 50)) // 50 distinct, many duplicates
+	}
+	if !d.Exact() {
+		t.Fatal("sketch left exact mode below threshold")
+	}
+	if got := d.Estimate(0); got != 50 {
+		t.Fatalf("exact estimate = %v, want 50", got)
+	}
+}
+
+func TestDistinctConvertsAboveThreshold(t *testing.T) {
+	d := NewDistinct(64, 1024)
+	n := 5000
+	for i := 0; i < n; i++ {
+		d.Insert(int64(i))
+	}
+	if d.Exact() {
+		t.Fatal("sketch stayed exact above threshold")
+	}
+	est := d.Estimate(0)
+	if rel := math.Abs(est-float64(n)) / float64(n); rel > 0.15 {
+		t.Fatalf("FM estimate %v for %d distinct (rel err %.3f)", est, n, rel)
+	}
+}
+
+// TestDistinctOrderInsensitive is the determinism keystone: the same
+// multiset absorbed in any insertion order, through any merge tree,
+// must seal to bit-identical blobs.
+func TestDistinctOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 900)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(400)) // straddles a threshold of 64 after split
+	}
+
+	build := func(order []int64, parts int) []byte {
+		chunks := make([]*Distinct, parts)
+		for i := range chunks {
+			chunks[i] = NewDistinct(64, 256)
+		}
+		for i, v := range order {
+			chunks[i%parts].Insert(v)
+		}
+		root := chunks[0]
+		for _, c := range chunks[1:] {
+			root.Merge(c)
+		}
+		return blob(root)
+	}
+
+	want := build(vals, 1)
+	shuffled := append([]int64(nil), vals...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, parts := range []int{1, 2, 7} {
+		if got := build(shuffled, parts); !bytes.Equal(got, want) {
+			t.Fatalf("blob differs for %d-way merge of shuffled input", parts)
+		}
+	}
+
+	// Exact-mode invariance too (small distinct set).
+	small := make([]int64, 300)
+	for i := range small {
+		small[i] = int64(rng.Intn(40))
+	}
+	want = build(small, 1)
+	rng.Shuffle(len(small), func(i, j int) { small[i], small[j] = small[j], small[i] })
+	if got := build(small, 5); !bytes.Equal(got, want) {
+		t.Fatal("exact-mode blob differs under shuffle+merge")
+	}
+}
+
+func TestDistinctRoundTrip(t *testing.T) {
+	for _, n := range []int{10, 500} {
+		d := NewDistinct(64, 256)
+		for i := 0; i < n; i++ {
+			d.Insert(int64(i * 3))
+		}
+		b := blob(d)
+		back, err := distinctFromBinary(b, 64, 256)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(blob(back), b) {
+			t.Fatalf("n=%d: round-trip blob differs", n)
+		}
+		if back.Estimate(0) != d.Estimate(0) {
+			t.Fatalf("n=%d: round-trip estimate differs", n)
+		}
+	}
+}
+
+func TestQCodeMonotoneContinuous(t *testing.T) {
+	prev := qCode(0)
+	for v := int64(1); v < 1<<14; v++ {
+		c := qCode(v)
+		if c < prev {
+			t.Fatalf("qCode not monotone at %d", v)
+		}
+		if c > prev+1 {
+			t.Fatalf("qCode skips a code at %d (%d -> %d)", v, prev, c)
+		}
+		prev = c
+	}
+	// Range inversion: every value lies in its code's range.
+	for _, v := range []int64{0, 1, 127, 128, 255, 256, 1000, 1 << 20, 1<<62 + 12345} {
+		lo, hi := qBaseRange(qCode(v))
+		if uint64(v) < lo || uint64(v) > hi {
+			t.Fatalf("value %d outside its bucket range [%d, %d]", v, lo, hi)
+		}
+	}
+	if c := qCode(1<<63 - 1); c > qMaxCode {
+		t.Fatalf("max value code %d exceeds qMaxCode %d", c, qMaxCode)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	d := NewQuantile(4096)
+	n := 50000
+	for i := 0; i < n; i++ {
+		d.Insert(int64(i))
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		got := d.Estimate(q)
+		want := q * float64(n-1)
+		tol := 0.01*want + 2 // log-bucket half-width ~0.4%, compaction may widen
+		if math.Abs(got-want) > tol {
+			t.Fatalf("q=%v: estimate %v, want %v ± %v (shift %d)", q, got, want, tol, d.Shift())
+		}
+	}
+}
+
+func TestQuantileCompactionBound(t *testing.T) {
+	d := NewQuantile(32)
+	for i := 0; i < 100000; i++ {
+		d.Insert(int64(i * 7))
+	}
+	if len(d.codes) > 32 {
+		t.Fatalf("histogram has %d buckets, bound 32", len(d.codes))
+	}
+	if d.Shift() == 0 {
+		t.Fatal("expected compaction to raise the shift")
+	}
+	if d.Total() != 100000 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	// Even heavily compacted, the median should be in the right region.
+	got := d.Estimate(0.5)
+	want := 0.5 * 7 * 99999
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("compacted median %v far from %v", got, want)
+	}
+}
+
+func TestQuantileOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1 << 20))
+	}
+
+	build := func(order []int64, parts, maxBuckets int) []byte {
+		chunks := make([]*Quantile, parts)
+		for i := range chunks {
+			chunks[i] = NewQuantile(maxBuckets)
+		}
+		for i, v := range order {
+			chunks[i%parts].Insert(v)
+		}
+		root := chunks[0]
+		for _, c := range chunks[1:] {
+			root.Merge(c)
+		}
+		return blob(root)
+	}
+
+	for _, maxBuckets := range []int{64, 4096} { // with and without compaction pressure
+		want := build(vals, 1, maxBuckets)
+		shuffled := append([]int64(nil), vals...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for _, parts := range []int{2, 5, 16} {
+			if got := build(shuffled, parts, maxBuckets); !bytes.Equal(got, want) {
+				t.Fatalf("maxBuckets=%d parts=%d: blob differs", maxBuckets, parts)
+			}
+		}
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	d := NewQuantile(128)
+	for i := 0; i < 10000; i++ {
+		d.Insert(int64(i * i))
+	}
+	b := blob(d)
+	back, err := quantileFromBinary(b, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob(back), b) {
+		t.Fatal("round-trip blob differs")
+	}
+	if back.Estimate(0.9) != d.Estimate(0.9) {
+		t.Fatal("round-trip estimate differs")
+	}
+}
+
+func TestStoreCombineSealEstimate(t *testing.T) {
+	s := NewStore(Config{Kind: KindDistinct, ExactThreshold: 8, FMBitmaps: 64})
+	c := s.Rank(0)
+
+	// Runs combine raw words into one accumulator.
+	h := c.Combine(3, 4)
+	if h >= 0 {
+		t.Fatalf("Combine returned raw word %d", h)
+	}
+	if got := c.Combine(h, 5); got != h {
+		t.Fatalf("open accumulator not reused: %d vs %d", got, h)
+	}
+	c.Combine(h, 3) // duplicate
+	c.Seal(h)
+	if got := s.Estimate(h, 0); got != 3 {
+		t.Fatalf("estimate = %v, want 3 (values 3,4,5)", got)
+	}
+	// Sealed handles merge into fresh accumulators, not in place.
+	h2 := c.Combine(h, 9)
+	if h2 == h {
+		t.Fatal("sealed accumulator mutated in place")
+	}
+	c.Seal(h2)
+	if got := s.Estimate(h2, 0); got != 4 {
+		t.Fatalf("merged estimate = %v, want 4", got)
+	}
+	if got := s.Estimate(h, 0); got != 3 {
+		t.Fatalf("source sketch changed by merge: %v", got)
+	}
+	// Raw words are singletons.
+	if got := s.Estimate(42, 0); got != 1 {
+		t.Fatalf("raw distinct estimate = %v", got)
+	}
+
+	if st := s.Stats(); st.Entries != 2 || st.SealedBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.StateBytes(7) != 0 || c.StateBytes(h) == 0 {
+		t.Fatal("StateBytes misreports raw/handle words")
+	}
+}
+
+func TestStoreQuantileRawEstimate(t *testing.T) {
+	s := NewStore(Config{Kind: KindQuantile})
+	if got := s.Estimate(123, 0.5); got != 123 {
+		t.Fatalf("raw quantile estimate = %v", got)
+	}
+	c := s.Rank(0)
+	h := c.Combine(10, 20)
+	c.Combine(h, 30)
+	c.Seal(h)
+	if got := s.EstimateMeasure(h, 0.5); got != 20 {
+		t.Fatalf("median of {10,20,30} = %d", got)
+	}
+	if got := s.EstimateMeasure(h, 0); got != 10 {
+		t.Fatalf("min of {10,20,30} = %d", got)
+	}
+}
+
+func TestStoreScratchRelease(t *testing.T) {
+	s := NewStore(Config{Kind: KindDistinct, ExactThreshold: 8, FMBitmaps: 64})
+	rank := s.Rank(0)
+	h := rank.Combine(1, 2)
+	rank.Seal(h)
+
+	sc := s.Scratch()
+	sh := sc.Combine(h, 3)
+	sc.Seal(sh)
+	if got := s.Estimate(sh, 0); got != 3 {
+		t.Fatalf("scratch estimate = %v", got)
+	}
+	s.ReleaseScratch(sc)
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("entries after release = %d", st.Entries)
+	}
+	// Rank sketch unaffected.
+	if got := s.Estimate(h, 0); got != 2 {
+		t.Fatalf("rank sketch after release = %v", got)
+	}
+	// Scratch ids are never reused.
+	sc2 := s.Scratch()
+	if sc2.shard == sc.shard {
+		t.Fatal("scratch shard id reused")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("dangling scratch handle did not panic")
+			}
+		}()
+		s.Estimate(sh, 0)
+	}()
+}
+
+// TestStoreMemoryBounded is the spill-and-merge acceptance: with an
+// arena far smaller than the total sketch state, the build still
+// completes and serves correct estimates, and the decoded high-water
+// mark stays near the budget instead of near the total.
+func TestStoreMemoryBounded(t *testing.T) {
+	const arena = 4 << 10
+	s := NewStore(Config{Kind: KindQuantile, MaxBuckets: 256, ArenaBudget: arena})
+	c := s.Rank(0)
+
+	rng := rand.New(rand.NewSource(3))
+	const groups = 200
+	handles := make([]int64, groups)
+	for g := 0; g < groups; g++ {
+		h := c.Combine(int64(rng.Intn(1<<16)), int64(rng.Intn(1<<16)))
+		for i := 0; i < 300; i++ {
+			h = c.Combine(h, int64(rng.Intn(1<<16)))
+		}
+		handles[g] = c.Seal(h)
+	}
+	// Second pass merges sealed state (forces spilled blobs to decode).
+	for g := 0; g < groups; g += 2 {
+		h := c.Combine(handles[g], handles[g+1])
+		c.Seal(h)
+	}
+
+	st := s.Stats()
+	if st.SealedBytes <= arena {
+		t.Fatalf("test too small: sealed %d <= arena %d", st.SealedBytes, arena)
+	}
+	if st.PeakResident >= st.SealedBytes {
+		t.Fatalf("peak resident %d not bounded below sealed total %d", st.PeakResident, st.SealedBytes)
+	}
+	// Budget bounds the sealed-decode cache; one open accumulator rides
+	// on top, so allow that much headroom.
+	maxOne := 5 + 10*256
+	if st.PeakResident > arena+4*maxOne {
+		t.Fatalf("peak resident %d far above arena %d", st.PeakResident, arena)
+	}
+	if st.Decodes == 0 {
+		t.Fatal("expected spill-and-decode churn with a small arena")
+	}
+	// Spilled state still serves.
+	for _, h := range handles {
+		if est := s.Estimate(h, 0.5); est <= 0 {
+			t.Fatalf("estimate %v for handle %d", est, h)
+		}
+	}
+}
+
+func TestStoreExportImport(t *testing.T) {
+	s := NewStore(Config{Kind: KindDistinct, ExactThreshold: 16, FMBitmaps: 64})
+	c := s.Rank(2)
+	h1 := c.Seal(c.Combine(1, 2))
+	h2 := c.Seal(c.Combine(h1, 50))
+	handles := []int64{h1, h2}
+	blobs := s.Export(handles)
+
+	s2 := NewStore(Config{Kind: KindDistinct, ExactThreshold: 16, FMBitmaps: 64})
+	if err := s2.Import(handles, blobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if s2.Estimate(h, 0) != s.Estimate(h, 0) {
+			t.Fatalf("handle %d estimate differs after import", i)
+		}
+	}
+	// Imported stores keep minting from where the rank left off without
+	// colliding with imported slots.
+	c2 := s2.Rank(2)
+	h3 := c2.Seal(c2.Combine(h1, h2))
+	if h3 == h1 || h3 == h2 {
+		t.Fatal("import collided with fresh allocation")
+	}
+	if got := s2.Estimate(h3, 0); got != 3 {
+		t.Fatalf("post-import combine estimate = %v", got)
+	}
+
+	// Conflicting re-import must fail; identical re-import is a no-op.
+	if err := s2.Import(handles, blobs); err != nil {
+		t.Fatalf("idempotent import failed: %v", err)
+	}
+	if err := s2.Import([]int64{h1}, [][]byte{blobs[1]}); err == nil {
+		t.Fatal("conflicting import did not fail")
+	}
+	// Corrupt blob rejected.
+	if err := s2.Import([]int64{encodeHandle(9, 0)}, [][]byte{{99}}); err == nil {
+		t.Fatal("corrupt blob import did not fail")
+	}
+}
+
+// TestCombinerAllocationDeterminism pins the handle-word guarantee:
+// the same run structure processed twice mints the same handles.
+func TestCombinerAllocationDeterminism(t *testing.T) {
+	mint := func() []int64 {
+		s := NewStore(Config{Kind: KindQuantile, MaxBuckets: 64})
+		var out []int64
+		for r := 0; r < 3; r++ {
+			c := s.Rank(r)
+			for g := 0; g < 4; g++ {
+				h := c.Combine(int64(g), int64(g+1))
+				h = c.Combine(h, int64(g+2))
+				out = append(out, c.Seal(h))
+			}
+		}
+		return out
+	}
+	a, b := mint(), mint()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("handle %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpenCrossShardPanics(t *testing.T) {
+	s := NewStore(Config{Kind: KindDistinct, ExactThreshold: 8, FMBitmaps: 64})
+	h := s.Rank(0).Combine(1, 2) // open in shard 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard open combine did not panic")
+		}
+	}()
+	s.Rank(1).Combine(h, 3)
+}

@@ -66,6 +66,12 @@ type Metrics struct {
 	IngestSeconds     float64
 	DeltaMergeSeconds float64
 	DeltaMergeBytes   int64
+	// SketchBytes is the serialized size of the sketch state backing a
+	// holistic cube's group measures after the build; ViewSketchBytes
+	// is the per-view breakdown (same keys as ViewRows). Zero for
+	// algebraic cubes.
+	SketchBytes     int64
+	ViewSketchBytes map[string]int64
 }
 
 // ReplicaStats are one read replica's replication progress and serving
@@ -177,6 +183,12 @@ func (c *Cube) Metrics() Metrics {
 		}
 	}
 	m.FailedProcessors = append([]int(nil), c.metrics.FailedProcessors...)
+	if c.metrics.ViewSketchBytes != nil {
+		m.ViewSketchBytes = make(map[string]int64, len(c.metrics.ViewSketchBytes))
+		for k, v := range c.metrics.ViewSketchBytes {
+			m.ViewSketchBytes[k] = v
+		}
+	}
 	return m
 }
 
@@ -204,6 +216,13 @@ func publicMetrics(in *Input, met core.Metrics) Metrics {
 	}
 	for v, rows := range met.ViewRows {
 		m.ViewRows[viewName(in, v)] = rows
+	}
+	m.SketchBytes = met.SketchBytes
+	if len(met.ViewSketchBytes) > 0 {
+		m.ViewSketchBytes = make(map[string]int64, len(met.ViewSketchBytes))
+		for v, b := range met.ViewSketchBytes {
+			m.ViewSketchBytes[viewName(in, v)] = b
+		}
 	}
 	return m
 }

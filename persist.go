@@ -3,7 +3,9 @@ package rolap
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/colstore"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/queryengine"
 	"repro/internal/record"
+	"repro/internal/sketch"
 )
 
 // savedCube is the gob-serialized form of a cube: the schema, the
@@ -50,6 +53,22 @@ type savedCube struct {
 	ViewVersions map[uint32]uint64
 	PendingDims  []uint32
 	PendingMeas  []int64
+
+	// Holistic sketch section (CountDistinct / Quantile cubes): the
+	// store's parameters plus every sealed sketch blob referenced by a
+	// saved view measure. The measure words in the saved views are
+	// sketch handles and stay valid verbatim because Import reinstalls
+	// each blob at the exact slot it was exported from. Sums[i] is
+	// Blobs[i]'s FNV-1a checksum, verified at load. Absent (zero) on
+	// algebraic cubes and on files written before this section existed.
+	SketchKind           int
+	SketchFMBitmaps      int
+	SketchExactThreshold int
+	SketchMaxBuckets     int
+	SketchArenaBudget    int
+	SketchHandles        []int64
+	SketchBlobs          [][]byte
+	SketchSums           []uint64
 }
 
 type savedView struct {
@@ -110,6 +129,20 @@ func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
 		Hardware:   int(c.opts.Hardware),
 		MinSupport: c.opts.MinSupport,
 	}
+	// On a holistic cube every view measure is a sketch handle; collect
+	// them (deduplicated, in deterministic order) so the sealed blobs
+	// travel with the file.
+	handleSet := map[int64]bool{}
+	collectHandles := func(rows *record.Table) {
+		if c.sketch == nil {
+			return
+		}
+		for i := 0; i < rows.Len(); i++ {
+			if m := rows.Meas(i); m < 0 {
+				handleSet[m] = true
+			}
+		}
+	}
 	snapshot := func() error {
 		if c.engine != nil {
 			sc.ViewVersions = map[uint32]uint64{}
@@ -147,10 +180,12 @@ func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
 					sv.Slices = append(sv.Slices, s)
 					sv.Sums = append(sv.Sums, s.Checksum())
 				}
+				collectHandles(c.gatherViewRaw(v))
 				sc.Views = append(sc.Views, sv)
 				continue
 			}
 			rows := c.gatherViewRaw(v)
+			collectHandles(rows)
 			n := rows.Len()
 			sv.Dims = make([]uint32, 0, n*rows.D)
 			sv.Meas = make([]int64, 0, n)
@@ -174,7 +209,34 @@ func (c *Cube) saveLocked(w io.Writer, includePending bool) error {
 	if err != nil {
 		return err
 	}
+	if c.sketch != nil {
+		cfg := c.sketch.Config()
+		sc.SketchKind = int(cfg.Kind)
+		sc.SketchFMBitmaps = cfg.FMBitmaps
+		sc.SketchExactThreshold = cfg.ExactThreshold
+		sc.SketchMaxBuckets = cfg.MaxBuckets
+		sc.SketchArenaBudget = cfg.ArenaBudget
+		handles := make([]int64, 0, len(handleSet))
+		for h := range handleSet {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		sc.SketchHandles = handles
+		sc.SketchBlobs = c.sketch.Export(handles)
+		sc.SketchSums = make([]uint64, len(handles))
+		for i, b := range sc.SketchBlobs {
+			sc.SketchSums[i] = blobSum(b)
+		}
+	}
 	return gob.NewEncoder(w).Encode(sc)
+}
+
+// blobSum is the FNV-1a checksum persisted alongside each sketch blob:
+// structural decode alone cannot catch a flipped payload bit.
+func blobSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 // gatherViewRaw reads view v's slices into one table directly off the
@@ -245,10 +307,41 @@ func LoadCube(r io.Reader) (*Cube, error) {
 		pending:  record.New(d, 0),
 	}
 	switch record.AggOp(sc.Op) {
+	case record.OpSum:
+		c.opts.Aggregate = Sum
 	case record.OpMin:
 		c.opts.Aggregate = Min
 	case record.OpMax:
 		c.opts.Aggregate = Max
+	case record.OpDistinct:
+		c.opts.Aggregate = CountDistinct
+	case record.OpQuantile:
+		c.opts.Aggregate = Quantile
+	}
+	if c.op.Holistic() {
+		if len(sc.SketchHandles) != len(sc.SketchBlobs) || len(sc.SketchHandles) != len(sc.SketchSums) {
+			return nil, fmt.Errorf("rolap: corrupt sketch section: %d handles, %d blobs, %d checksums",
+				len(sc.SketchHandles), len(sc.SketchBlobs), len(sc.SketchSums))
+		}
+		for i, b := range sc.SketchBlobs {
+			if blobSum(b) != sc.SketchSums[i] {
+				return nil, fmt.Errorf("rolap: sketch blob for handle %d: checksum mismatch", sc.SketchHandles[i])
+			}
+		}
+		st := sketch.NewStore(sketch.Config{
+			Kind:           sketch.Kind(sc.SketchKind),
+			FMBitmaps:      sc.SketchFMBitmaps,
+			ExactThreshold: sc.SketchExactThreshold,
+			MaxBuckets:     sc.SketchMaxBuckets,
+			ArenaBudget:    sc.SketchArenaBudget,
+		})
+		if err := st.Import(sc.SketchHandles, sc.SketchBlobs); err != nil {
+			return nil, fmt.Errorf("rolap: %w", err)
+		}
+		c.sketch = st
+		c.opts.SketchExactThreshold = sc.SketchExactThreshold
+		c.opts.SketchMaxBuckets = sc.SketchMaxBuckets
+		c.opts.SketchArenaBudget = sc.SketchArenaBudget
 	}
 
 	tables := map[lattice.ViewID]*record.Table{}
@@ -329,6 +422,9 @@ func LoadCube(r io.Reader) (*Cube, error) {
 	}
 
 	c.engine = queryengine.New(m, c.orders, rows, c.op)
+	if c.sketch != nil {
+		c.engine.SetSketch(c.sketch)
+	}
 	if len(sc.ViewVersions) > 0 {
 		vers := make(map[lattice.ViewID]uint64, len(sc.ViewVersions))
 		for v, ver := range sc.ViewVersions {

@@ -26,15 +26,36 @@ import (
 //
 // The result is a computed View (not materialized on the cluster):
 // Attributes follow the order of dims, rows are sorted.
+//
+// On holistic cubes (CountDistinct, Quantile) the measures are served
+// estimates and the View's Estimated flag is set; Quantile cubes
+// report the median — use GroupByPercentile for another rank.
 func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) {
+	return c.groupByAt(dims, filters, defaultPercentile)
+}
+
+// GroupByPercentile is GroupBy serving the p-th percentile (rank pct
+// in [0, 1]) of each group's value distribution instead of the
+// median. Only valid on Quantile cubes.
+func (c *Cube) GroupByPercentile(dims []string, filters map[string]uint32, pct float64) (*View, error) {
+	if c.opts.Aggregate != Quantile {
+		return nil, fmt.Errorf("rolap: GroupByPercentile requires a Quantile cube (have %v)", c.opts.Aggregate)
+	}
+	if pct < 0 || pct > 1 {
+		return nil, fmt.Errorf("rolap: percentile rank %v outside [0, 1]", pct)
+	}
+	return c.groupByAt(dims, filters, pct)
+}
+
+func (c *Cube) groupByAt(dims []string, filters map[string]uint32, pct float64) (*View, error) {
 	if c.engine == nil {
-		return c.gatherGroupBy(dims, filters)
+		return c.gatherGroupBy(dims, filters, pct)
 	}
 	// The advisor can retire a plan's source view between planning and
 	// execution; a stale plan is rejected (never silently misread) and
 	// simply replanned against the current view set.
 	for attempt := 0; ; attempt++ {
-		q, err := c.planQuery(dims, filters)
+		q, err := c.planQuery(dims, filters, pct)
 		if err != nil {
 			if errors.Is(err, queryengine.ErrStalePlan) && attempt < staleReplanLimit {
 				continue
@@ -50,6 +71,7 @@ func (c *Cube) GroupBy(dims []string, filters map[string]uint32) (*View, error) 
 		}
 		return &View{
 			Attributes: append([]string(nil), dims...),
+			Estimated:  c.op.Holistic(),
 			order:      queryOrder(c, dims),
 			rows:       rows,
 		}, nil
@@ -66,7 +88,7 @@ const staleReplanLimit = 4
 // execution: dimension names are resolved to internal indices, filters
 // become per-dimension equality bounds, and the engine picks the
 // source view and column layout.
-func (c *Cube) planQuery(dims []string, filters map[string]uint32) (queryengine.Query, error) {
+func (c *Cube) planQuery(dims []string, filters map[string]uint32, pct float64) (queryengine.Query, error) {
 	if _, err := c.in.viewOf(dims); err != nil {
 		return queryengine.Query{}, err
 	}
@@ -90,6 +112,9 @@ func (c *Cube) planQuery(dims []string, filters map[string]uint32) (queryengine.
 	if err != nil {
 		return queryengine.Query{}, fmt.Errorf("rolap: %w", err)
 	}
+	if c.op.Holistic() {
+		q.Percentile = pct
+	}
 	return q, nil
 }
 
@@ -97,7 +122,7 @@ func (c *Cube) planQuery(dims []string, filters map[string]uint32) (queryengine.
 // rank and scanning it — the original serving path, kept for cubes
 // loaded from snapshots (no cluster) and as the oracle the distributed
 // path is tested against.
-func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32) (*View, error) {
+func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32, pct float64) (*View, error) {
 	if _, err := c.in.viewOf(dims); err != nil {
 		return nil, err
 	}
@@ -177,11 +202,19 @@ func (c *Cube) gatherGroupBy(dims []string, filters map[string]uint32) (*View, e
 		}
 		proj.Append(key, vw.rows.Meas(i))
 	}
-	agg := record.SortAggregateOp(proj, c.op)
+	agg, release := c.scratchAgg()
+	defer release()
+	out := record.SortAggregateAgg(proj, agg)
+	if agg.State != nil {
+		for i := 0; i < out.Len(); i++ {
+			out.SetMeas(i, c.resolveMeasure(out.Meas(i), pct))
+		}
+	}
 	return &View{
 		Attributes: append([]string(nil), dims...),
+		Estimated:  c.op.Holistic(),
 		order:      queryOrder(c, dims),
-		rows:       agg,
+		rows:       out,
 	}, nil
 }
 
@@ -284,6 +317,9 @@ func (c *Cube) planRange(dims []string, lo, hi []uint32) (queryengine.Query, err
 	if err != nil {
 		return queryengine.Query{}, fmt.Errorf("rolap: %w", err)
 	}
+	if c.op.Holistic() {
+		q.Percentile = defaultPercentile
+	}
 	return q, nil
 }
 
@@ -321,6 +357,8 @@ func (c *Cube) gatherRangeAggregate(dims []string, lo, hi []uint32) (int64, erro
 			}
 		}
 	}
+	agg, release := c.scratchAgg()
+	defer release()
 	var acc int64
 	first := true
 	for i := 0; i < vw.rows.Len(); i++ {
@@ -339,13 +377,13 @@ func (c *Cube) gatherRangeAggregate(dims []string, lo, hi []uint32) (int64, erro
 			acc = vw.rows.Meas(i)
 			first = false
 		} else {
-			acc = c.op.Combine(acc, vw.rows.Meas(i))
+			acc = agg.Combine(acc, vw.rows.Meas(i))
 		}
 	}
 	if first {
 		return 0, nil
 	}
-	return acc, nil
+	return c.resolveMeasure(agg.Seal(acc), defaultPercentile), nil
 }
 
 // sourceViewNames renders a ViewID as its sorted user dimension names

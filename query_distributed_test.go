@@ -68,7 +68,7 @@ func TestDistributedGroupByMatchesGatherOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: distributed: %v", trial, err)
 		}
-		want, err := cube.gatherGroupBy(group, filters)
+		want, err := cube.gatherGroupBy(group, filters, defaultPercentile)
 		if err != nil {
 			t.Fatalf("trial %d: gather: %v", trial, err)
 		}

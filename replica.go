@@ -280,7 +280,7 @@ func (r *ReplicaSet) GroupBy(ctx context.Context, dims []string, filters map[str
 	// Pre-validate on the leader so user errors (unknown dimensions,
 	// bad filters) return immediately instead of counting as replica
 	// failures and tripping breakers.
-	if _, err := r.leader.planQuery(dims, filters); err != nil {
+	if _, err := r.leader.planQuery(dims, filters, defaultPercentile); err != nil {
 		return nil, QueryMetrics{}, err
 	}
 	out, qm, err := r.resilient(ctx, groupByAffinity(dims, filters), func(srv *Server, ctx context.Context) (any, QueryMetrics, error) {

@@ -42,6 +42,7 @@ import (
 	"repro/internal/partialcube"
 	"repro/internal/queryengine"
 	"repro/internal/record"
+	"repro/internal/sketch"
 )
 
 // Dimension is one dimension of the fact table. Values of the
@@ -156,6 +157,16 @@ const (
 	Min
 	// Max keeps the largest measure per group.
 	Max
+	// CountDistinct estimates the number of distinct measure values per
+	// group with a mergeable sketch (exact below the sketch's exact
+	// threshold, Flajolet–Martin beyond it). Holistic: measures must be
+	// non-negative, and query results are estimates.
+	CountDistinct
+	// Quantile tracks the distribution of measure values per group with
+	// a mergeable log-quantized histogram; GroupByPercentile (and
+	// Query.Percentile) pick the rank to report. Holistic: measures
+	// must be non-negative, and query results are estimates.
+	Quantile
 )
 
 func (a Aggregate) op() record.AggOp {
@@ -164,9 +175,29 @@ func (a Aggregate) op() record.AggOp {
 		return record.OpMin
 	case Max:
 		return record.OpMax
+	case CountDistinct:
+		return record.OpDistinct
+	case Quantile:
+		return record.OpQuantile
 	default:
 		return record.OpSum
 	}
+}
+
+// Holistic reports whether the aggregate needs per-group sketch state
+// (its results are estimates, not exact values).
+func (a Aggregate) Holistic() bool { return a.op().Holistic() }
+
+// Holistic reports whether the cube's aggregate is sketch-backed
+// (CountDistinct or Quantile): every measure it serves is an estimate.
+func (c *Cube) Holistic() bool { return c.op.Holistic() }
+
+// sketchKind maps a holistic aggregate to its sketch type.
+func (a Aggregate) sketchKind() sketch.Kind {
+	if a == Quantile {
+		return sketch.KindQuantile
+	}
+	return sketch.KindDistinct
 }
 
 // Hardware selects the cost model of the simulated cluster.
@@ -203,6 +234,18 @@ type Options struct {
 	FlajoletMartin bool
 	// Aggregate selects the measure combiner (default Sum).
 	Aggregate Aggregate
+	// SketchArenaBudget bounds the decoded-sketch arena of a holistic
+	// build in bytes (default 1 MiB): sealed per-group sketches beyond
+	// the budget are spilled to their serialized form and reloaded on
+	// demand, so builds whose total sketch state exceeds memory still
+	// complete in bounded passes. Ignored for algebraic aggregates.
+	SketchArenaBudget int
+	// SketchExactThreshold overrides the distinct sketch's exact-mode
+	// cutoff and SketchMaxBuckets the quantile sketch's bucket bound
+	// (defaults sketch.DefaultExactThreshold / DefaultMaxBuckets; for
+	// experiments).
+	SketchExactThreshold int
+	SketchMaxBuckets     int
 	// MinSupport, when > 0, builds an iceberg cube: only groups whose
 	// aggregate reaches the threshold are materialized.
 	MinSupport int64
@@ -244,6 +287,9 @@ type Cube struct {
 	// engine serves distributed queries; nil for cubes loaded from a
 	// v1 snapshot, which fall back to gather-and-scan.
 	engine *queryengine.Engine
+	// sketch backs holistic aggregates: view measures are handles into
+	// it. Nil for algebraic cubes.
+	sketch *sketch.Store
 	// cache holds gathered views for machine-less (loaded) cubes.
 	cache map[lattice.ViewID]*record.Table
 
@@ -315,6 +361,24 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		}
 	}
 
+	var st *sketch.Store
+	if opts.Aggregate.Holistic() {
+		if opts.MinSupport > 0 {
+			return nil, fmt.Errorf("rolap: iceberg cubes are not supported with holistic aggregates (group state is a sketch, not a comparable total)")
+		}
+		for i := 0; i < in.table.Len(); i++ {
+			if in.table.Meas(i) < 0 {
+				return nil, fmt.Errorf("rolap: negative measure %d at fact %d: holistic aggregates require non-negative measures (negative values are reserved for sketch handles)", in.table.Meas(i), i)
+			}
+		}
+		st = sketch.NewStore(sketch.Config{
+			Kind:           opts.Aggregate.sketchKind(),
+			ArenaBudget:    opts.SketchArenaBudget,
+			ExactThreshold: opts.SketchExactThreshold,
+			MaxBuckets:     opts.SketchMaxBuckets,
+		})
+	}
+
 	params := costmodel.Default()
 	if opts.Hardware == ModernCluster {
 		params = costmodel.Modern()
@@ -340,6 +404,7 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		Gamma:       opts.Gamma,
 		MergeGamma:  opts.MergeGamma,
 		Agg:         opts.Aggregate.op(),
+		Sketch:      st,
 		Cards:       cards,
 		MinSupport:  opts.MinSupport,
 		OverlapComm: opts.OverlapComm,
@@ -381,6 +446,10 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 	// slowdowns) so it cannot fire during query supersteps.
 	m.SetFaults(nil)
 	opts.Processors = p
+	engine := queryengine.New(m, met.ViewOrders, met.ViewRows, opts.Aggregate.op())
+	if st != nil {
+		engine.SetSketch(st)
+	}
 	return &Cube{
 		in:      in,
 		machine: m,
@@ -388,7 +457,8 @@ func Build(in *Input, opts Options) (_ *Cube, err error) {
 		orders:  met.ViewOrders,
 		metrics: publicMetrics(in, met),
 		op:      opts.Aggregate.op(),
-		engine:  queryengine.New(m, met.ViewOrders, met.ViewRows, opts.Aggregate.op()),
+		engine:  engine,
+		sketch:  st,
 		opts:    opts,
 		trees:   met.SchedTrees,
 		pending: record.New(d, 0),

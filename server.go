@@ -307,7 +307,7 @@ type cached struct {
 // per-query cost metrics.
 func (s *Server) GroupBy(ctx context.Context, dims []string, filters map[string]uint32) (*View, QueryMetrics, error) {
 	for attempt := 0; ; attempt++ {
-		q, err := s.cube.planQuery(dims, filters)
+		q, err := s.cube.planQuery(dims, filters, defaultPercentile)
 		if err != nil {
 			if s.replanable(err, attempt) {
 				continue
@@ -323,6 +323,7 @@ func (s *Server) GroupBy(ctx context.Context, dims []string, filters map[string]
 		}
 		return &View{
 			Attributes: append([]string(nil), dims...),
+			Estimated:  s.cube.op.Holistic(),
 			order:      queryOrder(s.cube, dims),
 			rows:       c.rows,
 		}, qm, nil

@@ -15,8 +15,13 @@ type View struct {
 	// Attributes lists the view's dimensions (user names) in the
 	// materialized column order.
 	Attributes []string
-	order      lattice.Order
-	rows       *record.Table
+	// Estimated marks measures served from mergeable sketches
+	// (CountDistinct / Quantile cubes): values are estimates, exact
+	// only while the per-group state stayed under the sketch's exact
+	// threshold.
+	Estimated bool
+	order     lattice.Order
+	rows      *record.Table
 }
 
 // Views returns the names of the materialized views, each a sorted
@@ -66,7 +71,9 @@ func (c *Cube) lookup(dims []string) (lattice.ViewID, error) {
 }
 
 // View gathers the named view (a set of dimension names; empty for the
-// grand total) from all processors into one relation.
+// grand total) from all processors into one relation. On a holistic
+// cube the measures are served estimates (distinct counts, or the
+// median for Quantile cubes) and Estimated is set.
 func (c *Cube) View(dims []string) (*View, error) {
 	v, err := c.lookup(dims)
 	if err != nil {
@@ -76,7 +83,36 @@ func (c *Cube) View(dims []string) (*View, error) {
 	if !ok {
 		return nil, fmt.Errorf("rolap: view %v not materialized", dims)
 	}
-	return vw, nil
+	return c.resolveView(vw, defaultPercentile), nil
+}
+
+// defaultPercentile is the rank Quantile cubes serve when the caller
+// does not pick one (the median).
+const defaultPercentile = 0.5
+
+// resolveMeasure serves one measure word: identity on algebraic
+// cubes, sketch estimate (at rank q for Quantile) on holistic ones.
+func (c *Cube) resolveMeasure(m int64, q float64) int64 {
+	if c.sketch == nil {
+		return m
+	}
+	return c.sketch.EstimateMeasure(m, q)
+}
+
+// resolveView replaces sketch handles with served estimates in a
+// gathered view. The rows are rewritten into a fresh table — gathered
+// rows can alias the loaded-cube cache, which must keep its handles.
+func (c *Cube) resolveView(vw *View, q float64) *View {
+	if c.sketch == nil {
+		return vw
+	}
+	res := record.New(vw.rows.D, vw.rows.Len())
+	for i := 0; i < vw.rows.Len(); i++ {
+		res.Append(vw.rows.Row(i), c.sketch.EstimateMeasure(vw.rows.Meas(i), q))
+	}
+	vw.rows = res
+	vw.Estimated = true
+	return vw
 }
 
 // gather collects view v from all processors. It reports false when
@@ -161,8 +197,11 @@ func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
 			for col, dim := range vw.order {
 				k[col] = key[indexOfDim(dims, c.in, dim)]
 			}
-			m, _ := vw.Aggregate(k)
-			return m, nil
+			m, ok := vw.Aggregate(k)
+			if !ok {
+				return 0, nil
+			}
+			return c.resolveMeasure(m, defaultPercentile), nil
 		}
 		// Retired between the check and the gather; fall back.
 	}
@@ -175,6 +214,8 @@ func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("rolap: view retired while gathering; retry")
 	}
+	agg, release := c.scratchAgg()
+	defer release()
 	var total int64
 	first := true
 	for i := 0; i < vw.rows.Len(); i++ {
@@ -193,11 +234,27 @@ func (c *Cube) Aggregate(dims []string, key []uint32) (int64, error) {
 				total = vw.rows.Meas(i)
 				first = false
 			} else {
-				total = c.op.Combine(total, vw.rows.Meas(i))
+				total = agg.Combine(total, vw.rows.Meas(i))
 			}
 		}
 	}
-	return total, nil
+	if first {
+		return 0, nil
+	}
+	return c.resolveMeasure(agg.Seal(total), defaultPercentile), nil
+}
+
+// scratchAgg returns the aggregate descriptor for a gather-path merge:
+// on holistic cubes the combine runs in a scratch sketch shard, dropped
+// by the returned release func once every handle is resolved.
+func (c *Cube) scratchAgg() (record.Agg, func()) {
+	agg := record.Agg{Op: c.op}
+	if c.sketch == nil {
+		return agg, func() {}
+	}
+	sc := c.sketch.Scratch()
+	agg.State = sc
+	return agg, func() { c.sketch.ReleaseScratch(sc) }
 }
 
 // indexOfDim finds the position in dims of the user name for internal
